@@ -1,0 +1,93 @@
+package sqlxnf
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickPath(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+	CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR, loc VARCHAR);
+	CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal FLOAT, edno INT);
+	INSERT INTO DEPT VALUES (1, 'toys', 'NY'), (2, 'tools', 'SF');
+	INSERT INTO EMP VALUES (10, 'ann', 1200, 1), (11, 'bob', 900, 1), (12, 'cid', 2000, 2);
+	`)
+	r, err := db.Query("SELECT ename FROM EMP WHERE sal > 1000 ORDER BY ename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "ann" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	co, err := db.QueryCO(`OUT OF
+		Xdept AS DEPT, Xemp AS EMP,
+		employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+		TAKE *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Node("Xemp") == nil || len(co.Node("Xemp").Rows) != 3 {
+		t.Fatalf("co = %v", co)
+	}
+	// Cache navigation.
+	c, err := db.OpenCache(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := c.Open("Xdept")
+	total := 0
+	for cur.Next() {
+		dep, _ := cur.OpenDependent("employment")
+		for dep.Next() {
+			total++
+		}
+	}
+	if total != 3 {
+		t.Errorf("navigated %d employees", total)
+	}
+}
+
+func TestQueryCORequiresXNF(t *testing.T) {
+	db := Open()
+	db.MustExec("CREATE TABLE T (a INT)")
+	if _, err := db.QueryCO("SELECT * FROM T"); err == nil {
+		t.Error("QueryCO over plain SELECT should fail")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	db := Open(WithBufferPool(8), WithoutCommonSubexpressions(), WithoutIndexes())
+	if db.Engine().BufferPool().Capacity() != 8 {
+		t.Error("buffer pool option ignored")
+	}
+	if !db.Engine().Options().XNF.NoSharedSubexpressions {
+		t.Error("CSE option ignored")
+	}
+	if !db.Engine().Options().Optimizer.NoIndexes {
+		t.Error("index option ignored")
+	}
+	// The ablated engine still answers queries.
+	db.MustExec("CREATE TABLE T (a INT PRIMARY KEY); INSERT INTO T VALUES (1), (2)")
+	r, err := db.Query("SELECT COUNT(*) FROM T")
+	if err != nil || r.Rows[0][0].Int() != 2 {
+		t.Fatalf("ablated query: %v %v", r, err)
+	}
+}
+
+func TestQueryCacheCombined(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE P (id INT PRIMARY KEY, name VARCHAR);
+		INSERT INTO P VALUES (1, 'x'), (2, 'y')`)
+	c, err := db.QueryCache("OUT OF Xp AS P TAKE *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := c.Open("Xp")
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("cached tuples = %d", n)
+	}
+}

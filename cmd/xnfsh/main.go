@@ -1,0 +1,127 @@
+// xnfsh is an interactive shell for the SQL/XNF engine: type SQL or XNF
+// statements terminated by ';'. Results print as tables; XNF TAKE queries
+// print the composite object's components and connections.
+//
+// Meta commands: \d (list tables and views), \q (quit).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlxnf"
+	"sqlxnf/internal/types"
+)
+
+func main() {
+	db := sqlxnf.Open()
+	s := db.Session()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\q quit)")
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("xnf> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\q":
+			return
+		case "\\d":
+			cat := db.Engine().Catalog()
+			fmt.Println("tables:", strings.Join(cat.TableNames(), ", "))
+			fmt.Println("views: ", strings.Join(cat.ViewNames(), ", "))
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		r, err := s.Exec(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			prompt()
+			continue
+		}
+		printResult(r)
+		prompt()
+	}
+}
+
+func printResult(r *sqlxnf.Result) {
+	switch {
+	case r == nil:
+		fmt.Println("ok")
+	case r.Explain != "":
+		fmt.Print(r.Explain)
+	case r.CO != nil:
+		fmt.Println(r.CO)
+		for _, n := range r.CO.Nodes {
+			fmt.Printf("-- %s%s %v\n", n.Name, rootMark(n.Root), n.Schema.Names())
+			for _, row := range n.Rows {
+				fmt.Println("  ", row)
+			}
+		}
+		for _, e := range r.CO.Edges {
+			fmt.Printf("-- %s: %s -> %s (%d connections)\n", e.Name, e.Parent, e.Child, len(e.Conns))
+		}
+	case r.Schema != nil:
+		printTable(r.Schema, r.Rows)
+	default:
+		fmt.Printf("ok (%d rows affected)\n", r.RowsAffected)
+	}
+}
+
+func rootMark(root bool) string {
+	if root {
+		return "*"
+	}
+	return ""
+}
+
+func printTable(schema types.Schema, rows []types.Row) {
+	widths := make([]int, len(schema))
+	for i, c := range schema {
+		widths[i] = len(c.Name)
+	}
+	rendered := make([][]string, len(rows))
+	for ri, row := range rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			rendered[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range schema {
+		fmt.Printf("%-*s ", widths[i], c.Name)
+	}
+	fmt.Println()
+	for i := range schema {
+		fmt.Print(strings.Repeat("-", widths[i]), " ")
+	}
+	fmt.Println()
+	for _, row := range rendered {
+		for ci, cell := range row {
+			fmt.Printf("%-*s ", widths[ci], cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}

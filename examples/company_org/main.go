@@ -1,0 +1,98 @@
+// Company organizational units: a walk through the paper's running example
+// (Figures 1 and 3–5) — XNF views, views over views with an attributed M:N
+// relationship, node and edge restrictions, recursive composite objects,
+// path expressions, and CO-level deletion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlxnf"
+)
+
+func main() {
+	db := sqlxnf.Open()
+
+	db.MustExec(`
+	CREATE TABLE DEPT (dno INT NOT NULL PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget FLOAT);
+	CREATE TABLE EMP  (eno INT NOT NULL PRIMARY KEY, ename VARCHAR, sal FLOAT, descr VARCHAR, edno INT);
+	CREATE TABLE PROJ (pno INT NOT NULL PRIMARY KEY, pname VARCHAR, budget FLOAT, pdno INT, pmgrno INT);
+	CREATE TABLE EMPPROJ (epeno INT, eppno INT, percentage FLOAT);
+
+	INSERT INTO DEPT VALUES (1, 'd-NY', 'NY', 1000000), (2, 'd-SF', 'SF', 500000);
+	INSERT INTO EMP VALUES
+	 (101, 'e1', 1500, 'staff', 1),
+	 (102, 'e2', 2500, 'staff', 1),
+	 (103, 'e3', 1200, 'staff', 2),
+	 (104, 'e4', 3000, 'staff', 2);
+	INSERT INTO PROJ VALUES
+	 (201, 'p1', 300000, 2, NULL),
+	 (202, 'p2', 900000, NULL, 102),
+	 (203, 'p3', 100000, NULL, 103);
+	INSERT INTO EMPPROJ VALUES (103, 202, 50), (104, 202, 50), (104, 203, 100);
+	`)
+
+	// The ALL_DEPS view — §3.2, the CO constructor bound to a view name.
+	db.MustExec(`CREATE VIEW ALL_DEPS AS
+	OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ,
+	 employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+	 ownership  AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+	TAKE *`)
+
+	// Views over views: add the attributed membership relationship derived
+	// from the EMPPROJ base table (Fig. 3), then the projmanagement
+	// relationship closing a cycle (Fig. 4).
+	db.MustExec(`CREATE VIEW ALL_DEPS_ORG AS
+	OUT OF ALL_DEPS,
+	 membership AS (RELATE Xproj, Xemp
+		WITH ATTRIBUTES ep.percentage
+		USING EMPPROJ ep
+		WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno)
+	TAKE *`)
+	db.MustExec(`CREATE VIEW EXT_ALL_DEPS_ORG AS
+	OUT OF ALL_DEPS_ORG,
+	 projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno)
+	TAKE *`)
+
+	co, err := db.QueryCO("OUT OF EXT_ALL_DEPS_ORG TAKE *")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("EXT_ALL_DEPS_ORG:", co)
+
+	// Node restriction — §3.3: employees under 2000.
+	co, _ = db.QueryCO("OUT OF ALL_DEPS WHERE Xemp e SUCH THAT e.sal < 2000 TAKE *")
+	fmt.Println("\nEmployees under 2000:", co)
+
+	// Edge restriction + structural projection — §3.3: employees making
+	// less than 0.2% of their department's budget, projects dropped.
+	co, _ = db.QueryCO(`OUT OF ALL_DEPS
+		WHERE employment (d, e) SUCH THAT e.sal < d.budget / 500
+		TAKE Xdept(*), Xemp(*), employment`)
+	fmt.Println("Edge-restricted, Xproj projected away:", co)
+
+	// Restriction on the recursive CO with a path expression — §3.4/3.5:
+	// departments whose employees manage at least one project.
+	co, _ = db.QueryCO(`OUT OF EXT_ALL_DEPS_ORG
+		WHERE Xdept d SUCH THAT COUNT(d->employment->projmanagement) >= 1
+		TAKE *`)
+	fmt.Println("\nDepartments whose staff manage projects:")
+	for _, row := range co.Node("Xdept").Rows {
+		fmt.Printf("  %s\n", row[1])
+	}
+
+	// Reachability on the recursive graph (Fig. 5): restrict to NY and drop
+	// ownership — p1 disappears, p2/p3 stay reachable via management and
+	// membership.
+	co, _ = db.QueryCO(`OUT OF EXT_ALL_DEPS_ORG
+		WHERE Xdept SUCH THAT loc = 'NY'
+		TAKE Xdept(*), employment, Xemp(*), projmanagement, membership(*), Xproj(*)`)
+	fmt.Println("\nFig. 5 result:", co)
+
+	// CO-level DELETE — §3.7: remove employees under 1300 from the base.
+	r := db.MustExec(`OUT OF Xemp AS (SELECT * FROM EMP WHERE sal < 1300) DELETE *`)
+	fmt.Printf("\nCO DELETE removed %d base tuples\n", r.RowsAffected)
+	q, _ := db.Query("SELECT COUNT(*) FROM EMP")
+	fmt.Printf("EMP now holds %v tuples\n", q.Rows[0][0])
+}

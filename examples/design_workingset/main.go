@@ -1,0 +1,73 @@
+// Design working sets: the introduction's engineering scenario. A design
+// repository holds many versioned designs; an application extracts the
+// working set of one (model, version) as a composite object, loads it into
+// the cache close to the tool, navigates and edits it, and the changes
+// propagate back to the shared relational database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlxnf"
+	"sqlxnf/internal/workload"
+)
+
+func main() {
+	db := sqlxnf.Open()
+	s := db.Session()
+
+	cfg := workload.DesignConfig{Designs: 400, CompsPerDesign: 6, SubsPerComp: 3, Seed: 21}
+	total, err := workload.LoadDesign(s, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design repository: %d tuples\n", total)
+
+	// Set-oriented extraction of one working set (1 design out of 400).
+	co, err := db.QueryCO(workload.WorkingSetQuery("model-25", 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("working set: %s — %d of %d tuples (%.2f%%)\n",
+		co, co.Size(), total, 100*float64(co.Size())/float64(total))
+
+	// Load into the cache and browse: design → components → subcomponents.
+	c, err := db.OpenCache(co)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcur, _ := c.Open("Xdesign")
+	for dcur.Next() {
+		d := dcur.Tuple()
+		fmt.Printf("design %v (%v v%v)\n", d.MustValue("did"), d.MustValue("model"), d.MustValue("version"))
+		comps, _ := dcur.OpenDependent("hascomp")
+		for comps.Next() {
+			cmp := comps.Tuple()
+			subs, _ := comps.OpenDependent("hassub")
+			n := 0
+			for subs.Next() {
+				n++
+			}
+			fmt.Printf("  component %v (%v, %.1f kg) with %d subcomponents\n",
+				cmp.MustValue("cid"), cmp.MustValue("kind"), cmp.MustValue("weight").Float(), n)
+		}
+	}
+
+	// Edit the working set: lighten every component by 5%, write back.
+	comps, _ := c.Open("Xcomp")
+	for comps.Next() {
+		w := comps.Tuple().MustValue("weight").Float()
+		if err := c.Update(comps.Tuple(), "weight", sqlxnf.NewFloat(w*0.95)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nupdated %d components through the cache\n", len(co.Node("Xcomp").Rows))
+
+	// The shared database sees the propagated changes.
+	r, _ := db.Query(`SELECT MIN(c.weight), MAX(c.weight)
+		FROM COMPONENTS c, DESIGNS d
+		WHERE c.cdid = d.did AND d.model = 'model-25' AND d.version = 2`)
+	fmt.Printf("component weights in the base tables now span %.2f .. %.2f\n",
+		r.Rows[0][0].Float(), r.Rows[0][1].Float())
+}

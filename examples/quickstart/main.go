@@ -1,0 +1,76 @@
+// Quickstart: create a small relational database, define a composite object
+// over it with the XNF constructor, and browse it both set-oriented (the CO
+// result) and navigationally (the cache API).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlxnf"
+)
+
+func main() {
+	db := sqlxnf.Open()
+
+	// Plain SQL: the shared relational database (Fig. 7 — SQL applications
+	// keep working unchanged).
+	db.MustExec(`
+	CREATE TABLE DEPT (dno INT NOT NULL PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget FLOAT);
+	CREATE TABLE EMP  (eno INT NOT NULL PRIMARY KEY, ename VARCHAR, sal FLOAT, edno INT);
+	INSERT INTO DEPT VALUES (1, 'design', 'NY', 900000), (2, 'assembly', 'SF', 400000);
+	INSERT INTO EMP VALUES
+	 (10, 'ann', 2100, 1), (11, 'bob', 1800, 1), (12, 'cid', 1500, 2), (13, 'dee', 900, NULL);
+	`)
+
+	r, err := db.Query("SELECT dname, budget FROM DEPT ORDER BY budget DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SQL view of the data:")
+	for _, row := range r.Rows {
+		fmt.Printf("  %-10s %v\n", row[0], row[1])
+	}
+
+	// The XNF composite-object constructor (paper §3.1): departments with
+	// their employees. dee has no department and is excluded by the
+	// reachability constraint.
+	co, err := db.QueryCO(`OUT OF
+		Xdept AS DEPT,
+		Xemp  AS EMP,
+		employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+	TAKE *`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nComposite object:", co)
+
+	// Navigate through the cache (paper §3.7/§4.2): independent cursor over
+	// the root, dependent cursors across the relationship.
+	c, err := db.OpenCache(co)
+	if err != nil {
+		log.Fatal(err)
+	}
+	depts, _ := c.Open("Xdept")
+	for depts.Next() {
+		d := depts.Tuple()
+		fmt.Printf("\n%s (%s)\n", d.MustValue("dname"), d.MustValue("loc"))
+		emps, _ := depts.OpenDependent("employment")
+		for emps.Next() {
+			e := emps.Tuple()
+			fmt.Printf("  - %s earns %v\n", e.MustValue("ename"), e.MustValue("sal"))
+		}
+	}
+
+	// Write through the cache: a raise for ann propagates to EMP.
+	emps, _ := c.Open("Xemp")
+	for emps.Next() {
+		if emps.Tuple().MustValue("ename").Str() == "ann" {
+			if err := c.Update(emps.Tuple(), "sal", sqlxnf.NewFloat(2500)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	r, _ = db.Query("SELECT sal FROM EMP WHERE ename = 'ann'")
+	fmt.Printf("\nann's salary after cache write-back: %v\n", r.Rows[0][0])
+}

@@ -1,0 +1,81 @@
+// Schema evolution via views (paper §5): a new application needs employees
+// linked to medical records. With XNF this is a new view adding a viewed
+// relationship — no base objects change, no existing application recompiles,
+// no pointer sets are added to stored data (the OO-system pain the paper
+// contrasts against).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlxnf"
+)
+
+func main() {
+	db := sqlxnf.Open()
+
+	// The operational database and the original application's view.
+	db.MustExec(`
+	CREATE TABLE DEPT (dno INT NOT NULL PRIMARY KEY, dname VARCHAR);
+	CREATE TABLE EMP  (eno INT NOT NULL PRIMARY KEY, ename VARCHAR, edno INT);
+	INSERT INTO DEPT VALUES (1, 'ops'), (2, 'labs');
+	INSERT INTO EMP VALUES (10, 'ann', 1), (11, 'bob', 1), (12, 'cid', 2);
+
+	CREATE VIEW ORG AS
+	OUT OF Xdept AS DEPT, Xemp AS EMP,
+	 employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+	TAKE *`)
+
+	before, err := db.QueryCO("OUT OF ORG TAKE *")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("original application's view:", before)
+
+	// The new application arrives with its own data and its own view,
+	// layered over ORG. Nothing about DEPT/EMP or the ORG view changes.
+	db.MustExec(`
+	CREATE TABLE MEDICAL (mid INT NOT NULL PRIMARY KEY, meno INT, note VARCHAR);
+	INSERT INTO MEDICAL VALUES (900, 10, 'allergy'), (901, 12, 'checkup');
+
+	CREATE VIEW ORG_MED AS
+	OUT OF ORG,
+	 Xmed AS MEDICAL,
+	 medrecord AS (RELATE Xemp, Xmed WHERE Xemp.eno = Xmed.meno)
+	TAKE *`)
+
+	after, err := db.QueryCO("OUT OF ORG_MED TAKE *")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("new application's view:  ", after)
+
+	// The original application still sees exactly what it used to.
+	again, _ := db.QueryCO("OUT OF ORG TAKE *")
+	fmt.Println("original view, unchanged:", again)
+
+	// The new relationship is navigable and — because it is FK-shaped —
+	// even updatable through the cache.
+	c, err := db.QueryCache("OUT OF ORG_MED TAKE *")
+	if err != nil {
+		log.Fatal(err)
+	}
+	emps, _ := c.Open("Xemp")
+	for emps.Next() {
+		meds, _ := emps.OpenDependent("medrecord")
+		for meds.Next() {
+			fmt.Printf("%s -> %s\n",
+				emps.Tuple().MustValue("ename"), meds.Tuple().MustValue("note"))
+		}
+	}
+
+	// A casual user can even restrict through the new relationship ad hoc.
+	co, err := db.QueryCO(`OUT OF ORG_MED
+		WHERE Xemp e SUCH THAT EXISTS e->medrecord->Xmed
+		TAKE Xdept(*), employment, Xemp(*), medrecord, Xmed(*)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("employees with medical records:", co)
+}

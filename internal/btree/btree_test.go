@@ -1,0 +1,269 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+func intKey(v int64) []byte { return types.EncodeKey([]types.Value{types.NewInt(v)}) }
+
+func rid(n int) storage.RID { return storage.RID{Page: storage.PageID(n / 100), Slot: uint16(n % 100)} }
+
+func TestInsertSeekSmall(t *testing.T) {
+	tr := New(false)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(intKey(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		rids := tr.SeekEQ(intKey(int64(i)))
+		if len(rids) != 1 || rids[0] != rid(i) {
+			t.Errorf("SeekEQ(%d) = %v", i, rids)
+		}
+	}
+	if rids := tr.SeekEQ(intKey(99)); len(rids) != 0 {
+		t.Errorf("SeekEQ(miss) = %v", rids)
+	}
+}
+
+func TestUniqueRejectsDuplicates(t *testing.T) {
+	tr := New(true)
+	if err := tr.Insert(intKey(1), rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(intKey(1), rid(2)); err != ErrDuplicate {
+		t.Errorf("duplicate insert err = %v, want ErrDuplicate", err)
+	}
+	// Same key+rid is idempotent in non-unique trees.
+	nt := New(false)
+	_ = nt.Insert(intKey(1), rid(1))
+	_ = nt.Insert(intKey(1), rid(1))
+	if nt.Len() != 1 {
+		t.Errorf("idempotent insert inflated Len to %d", nt.Len())
+	}
+	// Distinct rids under one key coexist in non-unique trees.
+	_ = nt.Insert(intKey(1), rid(2))
+	if got := len(nt.SeekEQ(intKey(1))); got != 2 {
+		t.Errorf("non-unique SeekEQ found %d", got)
+	}
+}
+
+func TestSplitGrowthAndHeight(t *testing.T) {
+	tr := New(true)
+	n := 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if h := tr.Height(); h < 2 || h > 5 {
+		t.Errorf("height = %d, implausible for %d entries with fan-out 64", h, n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every key findable.
+	for i := 0; i < n; i += 97 {
+		if len(tr.SeekEQ(intKey(int64(i)))) != 1 {
+			t.Fatalf("lost key %d after splits", i)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 1000; i++ {
+		_ = tr.Insert(intKey(int64(i*2)), rid(i)) // even keys 0..1998
+	}
+	collect := func(lo, hi []byte, loInc, hiInc bool) []int {
+		var out []int
+		tr.Scan(lo, hi, loInc, hiInc, func(k []byte, r storage.RID) bool {
+			out = append(out, int(r.Page)*100+int(r.Slot))
+			return true
+		})
+		return out
+	}
+	// Inclusive window [10, 20] → keys 10..20 even → entries 5..10.
+	got := collect(intKey(10), intKey(20), true, true)
+	want := []int{5, 6, 7, 8, 9, 10}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("range [10,20] = %v, want %v", got, want)
+	}
+	// Exclusive endpoints.
+	got = collect(intKey(10), intKey(20), false, false)
+	want = []int{6, 7, 8, 9}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("range (10,20) = %v, want %v", got, want)
+	}
+	// Unbounded low.
+	got = collect(nil, intKey(6), true, true)
+	want = []int{0, 1, 2, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("range (-inf,6] = %v, want %v", got, want)
+	}
+	// Unbounded high with early stop.
+	n := 0
+	tr.Scan(intKey(1990), nil, true, true, func([]byte, storage.RID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Full scan is ordered.
+	var prev []byte
+	tr.Scan(nil, nil, true, true, func(k []byte, _ storage.RID) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatal("full scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}
+
+func TestDeleteWithRebalance(t *testing.T) {
+	tr := New(true)
+	n := 5000
+	for i := 0; i < n; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+	// Delete in an order that forces borrows and merges.
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for step, i := range perm {
+		if !tr.Delete(intKey(int64(i)), rid(i)) {
+			t.Fatalf("delete of %d failed", i)
+		}
+		if step%500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after %d deletes: %v", step+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len after full delete = %d", tr.Len())
+	}
+	if tr.Delete(intKey(1), rid(1)) {
+		t.Error("delete from empty tree should return false")
+	}
+}
+
+func TestDeleteByKeyOnlyInUnique(t *testing.T) {
+	tr := New(true)
+	_ = tr.Insert(intKey(7), rid(7))
+	// Unique trees allow deleting with a stale/unknown rid.
+	if !tr.Delete(intKey(7), rid(999)) {
+		t.Error("unique delete by key should succeed despite rid mismatch")
+	}
+	if tr.Len() != 0 {
+		t.Error("entry not removed")
+	}
+	// Non-unique trees require the exact pair.
+	nt := New(false)
+	_ = nt.Insert(intKey(7), rid(7))
+	if nt.Delete(intKey(7), rid(999)) {
+		t.Error("non-unique delete with wrong rid should fail")
+	}
+	if !nt.Delete(intKey(7), rid(7)) {
+		t.Error("exact pair delete should succeed")
+	}
+}
+
+// TestRandomizedAgainstModel drives the tree with a random workload and
+// compares every observable against a sorted-slice model.
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(false)
+	type pair struct {
+		key int64
+		rid storage.RID
+	}
+	var model []pair
+	find := func(p pair) int {
+		return sort.Search(len(model), func(i int) bool {
+			if model[i].key != p.key {
+				return model[i].key > p.key
+			}
+			if model[i].rid.Page != p.rid.Page {
+				return model[i].rid.Page > p.rid.Page
+			}
+			return model[i].rid.Slot >= p.rid.Slot
+		})
+	}
+	for step := 0; step < 20000; step++ {
+		k := int64(rng.Intn(500)) // dense key space → many duplicates
+		r := rid(rng.Intn(1000))
+		p := pair{k, r}
+		if rng.Intn(2) == 0 {
+			i := find(p)
+			exists := i < len(model) && model[i] == p
+			_ = tr.Insert(intKey(k), r)
+			if !exists {
+				model = append(model, pair{})
+				copy(model[i+1:], model[i:])
+				model[i] = p
+			}
+		} else {
+			i := find(p)
+			exists := i < len(model) && model[i] == p
+			got := tr.Delete(intKey(k), r)
+			if got != exists {
+				t.Fatalf("step %d: Delete(%d,%v) = %v, model says %v", step, k, r, got, exists)
+			}
+			if exists {
+				model = append(model[:i], model[i+1:]...)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", tr.Len(), len(model))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Full scan matches model order exactly.
+	i := 0
+	tr.Scan(nil, nil, true, true, func(k []byte, r storage.RID) bool {
+		if i >= len(model) {
+			t.Fatal("scan longer than model")
+		}
+		if !bytes.Equal(k, intKey(model[i].key)) || r != model[i].rid {
+			t.Fatalf("scan mismatch at %d", i)
+		}
+		i++
+		return true
+	})
+	if i != len(model) {
+		t.Fatalf("scan visited %d of %d", i, len(model))
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New(false)
+	words := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for i, w := range words {
+		k := types.EncodeKey([]types.Value{types.NewString(w)})
+		_ = tr.Insert(k, rid(i))
+	}
+	var got []string
+	tr.Scan(nil, nil, true, true, func(k []byte, r storage.RID) bool {
+		got = append(got, words[int(r.Page)*100+int(r.Slot)])
+		return true
+	})
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("string scan order = %v", got)
+	}
+}

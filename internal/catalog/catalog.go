@@ -1,0 +1,310 @@
+// Package catalog maintains the schema objects of a database: base tables
+// (each bound to a heap and owner tag), secondary indexes, SQL views, and
+// XNF composite-object views. Tables may join a cluster family, sharing one
+// heap so that related tuples of different tables co-locate on pages —
+// the paper's composite-object clustering.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlxnf/internal/btree"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// Index is a secondary index over one or more columns of a table.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Tree    *btree.Tree
+}
+
+// KeyFor extracts the index key values from a row of the owning table.
+func (ix *Index) KeyFor(schema types.Schema, row types.Row) ([]byte, error) {
+	vals := make([]types.Value, len(ix.Columns))
+	for i, col := range ix.Columns {
+		p := schema.Index(col)
+		if p < 0 {
+			return nil, fmt.Errorf("catalog: index %s references missing column %q", ix.Name, col)
+		}
+		vals[i] = row[p]
+	}
+	return types.EncodeKey(vals), nil
+}
+
+// Table is a base table bound to storage.
+type Table struct {
+	Name    string
+	Schema  types.Schema
+	Tag     uint32
+	Heap    *storage.Heap
+	Family  string // cluster family, "" when the table owns its heap
+	Indexes []*Index
+	// Rows is the live tuple count, maintained by the engine on every
+	// insert/delete; the optimizer's cardinality estimates read it.
+	Rows int64
+}
+
+// View is a named query definition; XNF marks composite-object views.
+type View struct {
+	Name       string
+	Definition string
+	XNF        bool
+}
+
+// Catalog is the schema registry for one database.
+type Catalog struct {
+	mu       sync.RWMutex
+	bp       *storage.BufferPool
+	tables   map[string]*Table
+	indexes  map[string]*Index
+	views    map[string]*View
+	families map[string]*storage.Heap
+	nextTag  uint32
+}
+
+// New creates an empty catalog over the buffer pool.
+func New(bp *storage.BufferPool) *Catalog {
+	return &Catalog{
+		bp:       bp,
+		tables:   make(map[string]*Table),
+		indexes:  make(map[string]*Index),
+		views:    make(map[string]*View),
+		families: make(map[string]*storage.Heap),
+		nextTag:  1,
+	}
+}
+
+// BufferPool returns the pool the catalog's heaps live on.
+func (c *Catalog) BufferPool() *storage.BufferPool { return c.bp }
+
+func norm(name string) string { return strings.ToUpper(name) }
+
+// CreateTable registers a table. family optionally names a cluster family;
+// tables in the same family share a heap.
+func (c *Catalog) CreateTable(name string, schema types.Schema, family string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, exists := c.views[key]; exists {
+		return nil, fmt.Errorf("catalog: %q already names a view", name)
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("catalog: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range schema {
+		cn := norm(col.Name)
+		if seen[cn] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		seen[cn] = true
+	}
+	var heap *storage.Heap
+	var err error
+	if family != "" {
+		fkey := norm(family)
+		heap = c.families[fkey]
+		if heap == nil {
+			heap, err = storage.CreateHeap(c.bp)
+			if err != nil {
+				return nil, err
+			}
+			c.families[fkey] = heap
+		}
+	} else {
+		heap, err = storage.CreateHeap(c.bp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := &Table{
+		Name:   key,
+		Schema: schema.Clone(),
+		Tag:    c.nextTag,
+		Heap:   heap,
+		Family: norm(family),
+	}
+	c.nextTag++
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a base table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[norm(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports table existence without an error value.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[norm(name)]
+	return ok
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	t, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	for _, ix := range t.Indexes {
+		delete(c.indexes, norm(ix.Name))
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex registers an index over existing columns. The caller (engine)
+// populates the tree from current table contents.
+func (c *Catalog) CreateIndex(name, table string, columns []string, unique bool) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, exists := c.indexes[key]; exists {
+		return nil, fmt.Errorf("catalog: index %q already exists", name)
+	}
+	t, ok := c.tables[norm(table)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %q references missing table %q", name, table)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("catalog: index %q needs at least one column", name)
+	}
+	for _, col := range columns {
+		if !t.Schema.Has(col) {
+			return nil, fmt.Errorf("catalog: index %q references missing column %q", name, col)
+		}
+	}
+	ix := &Index{
+		Name:    key,
+		Table:   t.Name,
+		Columns: append([]string(nil), columns...),
+		Unique:  unique,
+		Tree:    btree.New(unique),
+	}
+	c.indexes[key] = ix
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// Index looks up an index by name.
+func (c *Catalog) Index(name string) (*Index, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[norm(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	return ix, nil
+}
+
+// DropIndex removes an index.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	ix, ok := c.indexes[key]
+	if !ok {
+		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	if t, ok := c.tables[ix.Table]; ok {
+		for i, cand := range t.Indexes {
+			if cand == ix {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.indexes, key)
+	return nil
+}
+
+// CreateView registers a named view definition. xnf marks XNF CO views.
+func (c *Catalog) CreateView(name, definition string, xnf bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, exists := c.views[key]; exists {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("catalog: %q already names a table", name)
+	}
+	c.views[key] = &View{Name: key, Definition: definition, XNF: xnf}
+	return nil
+}
+
+// View looks up a view.
+func (c *Catalog) View(name string) (*View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[norm(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	return v, nil
+}
+
+// HasView reports view existence.
+func (c *Catalog) HasView(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.views[norm(name)]
+	return ok
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := norm(name)
+	if _, ok := c.views[key]; !ok {
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.views, key)
+	return nil
+}
+
+// ViewNames returns all view names, sorted.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for n := range c.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package catalog
+
+import (
+	"testing"
+
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+func newCat() *Catalog {
+	return New(storage.NewBufferPool(storage.NewDisk(), 64))
+}
+
+func deptSchema() types.Schema {
+	return types.Schema{
+		{Name: "dno", Kind: types.KindInt, NotNull: true},
+		{Name: "dname", Kind: types.KindString},
+		{Name: "loc", Kind: types.KindString},
+	}
+}
+
+func TestCreateTableAndLookup(t *testing.T) {
+	c := newCat()
+	tbl, err := c.CreateTable("Dept", deptSchema(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "DEPT" {
+		t.Errorf("name not normalized: %q", tbl.Name)
+	}
+	// Case-insensitive lookup.
+	got, err := c.Table("dept")
+	if err != nil || got != tbl {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if !c.HasTable("DEPT") || c.HasTable("EMP") {
+		t.Error("HasTable broken")
+	}
+	// Duplicate rejected.
+	if _, err := c.CreateTable("DEPT", deptSchema(), ""); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	// Empty schema rejected.
+	if _, err := c.CreateTable("E", nil, ""); err == nil {
+		t.Error("empty schema should fail")
+	}
+	// Duplicate column rejected.
+	bad := types.Schema{{Name: "a", Kind: types.KindInt}, {Name: "A", Kind: types.KindInt}}
+	if _, err := c.CreateTable("B", bad, ""); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+}
+
+func TestTagsAreDistinct(t *testing.T) {
+	c := newCat()
+	t1, _ := c.CreateTable("A", deptSchema(), "")
+	t2, _ := c.CreateTable("B", deptSchema(), "")
+	if t1.Tag == t2.Tag {
+		t.Error("tables share a tag")
+	}
+}
+
+func TestClusterFamilySharesHeap(t *testing.T) {
+	c := newCat()
+	t1, err := c.CreateTable("DEPT", deptSchema(), "orgunit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.CreateTable("EMP", deptSchema(), "ORGUNIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Heap != t2.Heap {
+		t.Error("family members should share one heap")
+	}
+	t3, _ := c.CreateTable("PROJ", deptSchema(), "")
+	if t3.Heap == t1.Heap {
+		t.Error("non-family table must own its heap")
+	}
+}
+
+func TestDropTableRemovesIndexes(t *testing.T) {
+	c := newCat()
+	_, _ = c.CreateTable("DEPT", deptSchema(), "")
+	if _, err := c.CreateIndex("dept_dno", "DEPT", []string{"dno"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("DEPT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Index("dept_dno"); err == nil {
+		t.Error("index should be gone after table drop")
+	}
+	if err := c.DropTable("DEPT"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	c := newCat()
+	_, _ = c.CreateTable("DEPT", deptSchema(), "")
+	if _, err := c.CreateIndex("i1", "NOPE", []string{"dno"}, false); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	if _, err := c.CreateIndex("i1", "DEPT", []string{"zzz"}, false); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if _, err := c.CreateIndex("i1", "DEPT", nil, false); err == nil {
+		t.Error("index with no columns should fail")
+	}
+	ix, err := c.CreateIndex("i1", "DEPT", []string{"dno", "loc"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("I1", "DEPT", []string{"dno"}, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	// KeyFor extracts composite keys.
+	tbl, _ := c.Table("DEPT")
+	key, err := ix.KeyFor(tbl.Schema, types.Row{types.NewInt(1), types.NewString("d"), types.NewString("NY")})
+	if err != nil || len(key) == 0 {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	// DropIndex unlinks from table.
+	if err := c.DropIndex("i1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Indexes) != 0 {
+		t.Error("index still linked to table")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := newCat()
+	if err := c.CreateView("AllDeps", "OUT OF ...", true); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.View("ALLDEPS")
+	if err != nil || !v.XNF {
+		t.Fatalf("view lookup: %v %v", v, err)
+	}
+	if err := c.CreateView("alldeps", "x", false); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	// Name collision with tables is refused both ways.
+	_, _ = c.CreateTable("T1", deptSchema(), "")
+	if err := c.CreateView("t1", "x", false); err == nil {
+		t.Error("view with table name should fail")
+	}
+	if _, err := c.CreateTable("ALLDEPS", deptSchema(), ""); err == nil {
+		t.Error("table with view name should fail")
+	}
+	if !c.HasView("alldeps") {
+		t.Error("HasView broken")
+	}
+	if err := c.DropView("ALLDEPS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasView("alldeps") {
+		t.Error("view survived drop")
+	}
+	if err := c.DropView("ALLDEPS"); err == nil {
+		t.Error("double view drop should fail")
+	}
+}
+
+func TestNamesListing(t *testing.T) {
+	c := newCat()
+	_, _ = c.CreateTable("b", deptSchema(), "")
+	_, _ = c.CreateTable("a", deptSchema(), "")
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("TableNames = %v", names)
+	}
+	_ = c.CreateView("v2", "x", false)
+	_ = c.CreateView("v1", "y", true)
+	vn := c.ViewNames()
+	if len(vn) != 2 || vn[0] != "V1" {
+		t.Errorf("ViewNames = %v", vn)
+	}
+}

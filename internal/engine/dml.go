@@ -1,0 +1,808 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/btree"
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/lock"
+	"sqlxnf/internal/optimizer"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"strings"
+
+	"sqlxnf/internal/rewrite"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+	"sqlxnf/internal/wal"
+)
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+func (s *Session) createTable(stmt *parser.CreateTableStmt, text string) (*Result, error) {
+	schema := make(types.Schema, len(stmt.Columns))
+	var pkCols []string
+	for i, cd := range stmt.Columns {
+		kind, err := types.ParseKind(cd.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = types.Column{Name: cd.Name, Kind: kind, NotNull: cd.NotNull}
+		if cd.PrimaryKey {
+			pkCols = append(pkCols, cd.Name)
+		}
+	}
+	t, err := s.eng.cat.CreateTable(stmt.Name, schema, stmt.Family)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkCols) > 0 {
+		if _, err := s.eng.cat.CreateIndex(t.Name+"_PK", t.Name, pkCols, true); err != nil {
+			_ = s.eng.cat.DropTable(t.Name)
+			return nil, err
+		}
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDDL, Table: text})
+	return &Result{}, nil
+}
+
+func (s *Session) createIndex(stmt *parser.CreateIndexStmt, text string) (*Result, error) {
+	ix, err := s.eng.cat.CreateIndex(stmt.Name, stmt.Table, stmt.Columns, stmt.Unique)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.eng.cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Populate from existing rows.
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		key, kerr := ix.KeyFor(t.Schema, row)
+		if kerr != nil {
+			return true, kerr
+		}
+		return false, ix.Tree.Insert(key, rid)
+	})
+	if err != nil {
+		_ = s.eng.cat.DropIndex(stmt.Name)
+		if err == btree.ErrDuplicate {
+			return nil, fmt.Errorf("engine: cannot create unique index %s: duplicate keys exist", stmt.Name)
+		}
+		return nil, err
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDDL, Table: text})
+	return &Result{}, nil
+}
+
+func (s *Session) createView(stmt *parser.CreateViewStmt, text string) (*Result, error) {
+	// Validate the body by building it now.
+	if stmt.Select != nil {
+		if _, err := s.builder().BuildSelect(stmt.Select); err != nil {
+			return nil, err
+		}
+	} else if stmt.XNF != nil {
+		if _, err := s.builder().BuildXNF(stmt.XNF); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("engine: view %q has no body", stmt.Name)
+	}
+	if stmt.Text == "" {
+		return nil, fmt.Errorf("engine: view %q body text missing (parser bug)", stmt.Name)
+	}
+	if err := s.eng.cat.CreateView(stmt.Name, stmt.Text, stmt.XNF != nil); err != nil {
+		return nil, err
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDDL, Table: text})
+	return &Result{}, nil
+}
+
+func (s *Session) drop(stmt *parser.DropStmt, text string) (*Result, error) {
+	var err error
+	switch stmt.Kind {
+	case "TABLE":
+		err = s.eng.cat.DropTable(stmt.Name)
+	case "INDEX":
+		err = s.eng.cat.DropIndex(stmt.Name)
+	case "VIEW":
+		err = s.eng.cat.DropView(stmt.Name)
+	default:
+		err = fmt.Errorf("engine: unknown DROP kind %q", stmt.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDDL, Table: text})
+	return &Result{}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Row primitives (WAL + heap + index maintenance)
+// ---------------------------------------------------------------------------
+
+// insertRowTx validates, stores, indexes, and logs one tuple.
+func (s *Session) insertRowTx(t *catalog.Table, row types.Row) (storage.RID, error) {
+	return s.insertRowNearTx(t, storage.NilRID, row)
+}
+
+// insertRowNearTx is insertRowTx with a clustering hint: the tuple is placed
+// on (or near) the page of the given RID — composite-object clustering.
+func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.Row) (storage.RID, error) {
+	coerced, err := t.Schema.CoerceRow(row)
+	if err != nil {
+		return storage.NilRID, fmt.Errorf("engine: insert into %s: %v", t.Name, err)
+	}
+	rid, err := t.Heap.InsertNear(t.Tag, near, coerced)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	if err := s.addIndexEntries(t, coerced, rid); err != nil {
+		_ = t.Heap.Delete(t.Tag, rid)
+		return storage.NilRID, err
+	}
+	t.Rows++
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: rid, After: coerced.Clone()})
+	return rid, nil
+}
+
+// deleteRowTx removes one tuple.
+func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
+	row, err := t.Heap.Get(t.Tag, rid)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Delete(t.Tag, rid); err != nil {
+		return err
+	}
+	s.removeIndexEntries(t, row, rid)
+	t.Rows--
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDelete, Table: t.Name, RID: rid, Before: row.Clone()})
+	return nil
+}
+
+// updateRowTx replaces one tuple; the tuple may move to a new RID.
+func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Row) (storage.RID, error) {
+	coerced, err := t.Schema.CoerceRow(newRow)
+	if err != nil {
+		return storage.NilRID, fmt.Errorf("engine: update of %s: %v", t.Name, err)
+	}
+	old, err := t.Heap.Get(t.Tag, rid)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	// Check unique indexes before mutating: a new key colliding with a
+	// different tuple's key must be rejected.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		newKey, err := ix.KeyFor(t.Schema, coerced)
+		if err != nil {
+			return storage.NilRID, err
+		}
+		oldKey, err := ix.KeyFor(t.Schema, old)
+		if err != nil {
+			return storage.NilRID, err
+		}
+		if string(newKey) == string(oldKey) {
+			continue
+		}
+		if len(ix.Tree.SeekEQ(newKey)) > 0 {
+			return storage.NilRID, fmt.Errorf("engine: update of %s violates unique index %s", t.Name, ix.Name)
+		}
+	}
+	newRID, err := t.Heap.Update(t.Tag, rid, coerced)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	s.removeIndexEntries(t, old, rid)
+	if err := s.addIndexEntries(t, coerced, newRID); err != nil {
+		return storage.NilRID, err
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecUpdate, Table: t.Name,
+		RID: rid, NewRID: newRID, Before: old.Clone(), After: coerced.Clone()})
+	return newRID, nil
+}
+
+func (s *Session) addIndexEntries(t *catalog.Table, row types.Row, rid storage.RID) error {
+	for i, ix := range t.Indexes {
+		key, err := ix.KeyFor(t.Schema, row)
+		if err == nil {
+			err = ix.Tree.Insert(key, rid)
+		}
+		if err != nil {
+			// Undo entries added so far.
+			for j := 0; j < i; j++ {
+				if key2, kerr := t.Indexes[j].KeyFor(t.Schema, row); kerr == nil {
+					t.Indexes[j].Tree.Delete(key2, rid)
+				}
+			}
+			if err == btree.ErrDuplicate {
+				return fmt.Errorf("engine: insert into %s violates unique index %s", t.Name, ix.Name)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) removeIndexEntries(t *catalog.Table, row types.Row, rid storage.RID) {
+	for _, ix := range t.Indexes {
+		if key, err := ix.KeyFor(t.Schema, row); err == nil {
+			ix.Tree.Delete(key, rid)
+		}
+	}
+}
+
+// Undo helpers for rollback.
+
+func (s *Session) undoInsert(r wal.Record) error {
+	t, err := s.eng.cat.Table(r.Table)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Delete(t.Tag, r.RID); err != nil {
+		return err
+	}
+	s.removeIndexEntries(t, r.After, r.RID)
+	t.Rows--
+	return nil
+}
+
+func (s *Session) undoDelete(r wal.Record) error {
+	t, err := s.eng.cat.Table(r.Table)
+	if err != nil {
+		return err
+	}
+	rid, err := t.Heap.Insert(t.Tag, r.Before)
+	if err != nil {
+		return err
+	}
+	t.Rows++
+	return s.addIndexEntries(t, r.Before, rid)
+}
+
+func (s *Session) undoUpdate(r wal.Record) error {
+	t, err := s.eng.cat.Table(r.Table)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Delete(t.Tag, r.NewRID); err != nil {
+		return err
+	}
+	s.removeIndexEntries(t, r.After, r.NewRID)
+	rid, err := t.Heap.Insert(t.Tag, r.Before)
+	if err != nil {
+		return err
+	}
+	return s.addIndexEntries(t, r.Before, rid)
+}
+
+// ---------------------------------------------------------------------------
+// DML statements
+// ---------------------------------------------------------------------------
+
+func (s *Session) insert(stmt *parser.InsertStmt) (*Result, error) {
+	t, err := s.eng.cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(t.Name, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	// Column positions: explicit list or full schema order.
+	positions := make([]int, 0, len(t.Schema))
+	if len(stmt.Columns) > 0 {
+		for _, c := range stmt.Columns {
+			p := t.Schema.Index(c)
+			if p < 0 {
+				return nil, fmt.Errorf("engine: table %s has no column %q", t.Name, c)
+			}
+			positions = append(positions, p)
+		}
+	} else {
+		for i := range t.Schema {
+			positions = append(positions, i)
+		}
+	}
+	var sourceRows []types.Row
+	switch {
+	case stmt.Select != nil:
+		sub, err := s.selectStmt(stmt.Select)
+		if err != nil {
+			return nil, err
+		}
+		sourceRows = sub.Rows
+	default:
+		b := s.builder()
+		ctx := exec.NewContext()
+		for _, exprRow := range stmt.Rows {
+			if len(exprRow) != len(positions) {
+				return nil, fmt.Errorf("engine: INSERT expects %d values, got %d", len(positions), len(exprRow))
+			}
+			row := make(types.Row, len(exprRow))
+			for i, pe := range exprRow {
+				qe, err := b.ResolveConstExpr(pe)
+				if err != nil {
+					return nil, err
+				}
+				ce, err := optimizer.CompileConstExpr(qe)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ce.Eval(ctx, nil)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			sourceRows = append(sourceRows, row)
+		}
+	}
+	n := int64(0)
+	for _, src := range sourceRows {
+		if len(src) != len(positions) {
+			return nil, fmt.Errorf("engine: INSERT expects %d values, got %d", len(positions), len(src))
+		}
+		full := make(types.Row, len(t.Schema))
+		for i := range full {
+			full[i] = types.Null()
+		}
+		for i, p := range positions {
+			full[p] = src[i]
+		}
+		if _, err := s.insertRowTx(t, full); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (s *Session) update(stmt *parser.UpdateStmt) (*Result, error) {
+	t, err := s.eng.cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(t.Name, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	binding := stmt.Alias
+	if binding == "" {
+		binding = t.Name
+	}
+	b := s.builder()
+	pred, err := s.compileRowPred(b, binding, t.Schema, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	type setOp struct {
+		col  int
+		expr exec.Expr
+	}
+	var sets []setOp
+	for _, a := range stmt.Set {
+		p := t.Schema.Index(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", t.Name, a.Column)
+		}
+		qe, err := b.ResolveRowExpr(binding, t.Schema, a.Value)
+		if err != nil {
+			return nil, err
+		}
+		ce, err := optimizer.CompileRowExpr(qe)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{col: p, expr: ce})
+	}
+	ctx := exec.NewContext()
+	// Collect matches first, then mutate (no mutation under scan).
+	type match struct {
+		rid storage.RID
+		row types.Row
+	}
+	var matches []match
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		ok, perr := exec.EvalPred(ctx, pred, row)
+		if perr != nil {
+			return true, perr
+		}
+		if ok {
+			matches = append(matches, match{rid, row.Clone()})
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matches {
+		newRow := m.row.Clone()
+		for _, so := range sets {
+			v, err := so.expr.Eval(ctx, m.row)
+			if err != nil {
+				return nil, err
+			}
+			newRow[so.col] = v
+		}
+		if _, err := s.updateRowTx(t, m.rid, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: int64(len(matches))}, nil
+}
+
+func (s *Session) deleteStmt(stmt *parser.DeleteStmt) (*Result, error) {
+	t, err := s.eng.cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(t.Name, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	binding := stmt.Alias
+	if binding == "" {
+		binding = t.Name
+	}
+	pred, err := s.compileRowPred(s.builder(), binding, t.Schema, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	var rids []storage.RID
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		ok, perr := exec.EvalPred(ctx, pred, row)
+		if perr != nil {
+			return true, perr
+		}
+		if ok {
+			rids = append(rids, rid)
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range rids {
+		if err := s.deleteRowTx(t, rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: int64(len(rids))}, nil
+}
+
+// compileRowPred compiles an optional WHERE clause against one table row.
+func (s *Session) compileRowPred(b *qgm.Builder, binding string, schema types.Schema, where parser.Expr) (exec.Expr, error) {
+	if where == nil {
+		return nil, nil
+	}
+	qe, err := b.ResolveRowExpr(binding, schema, where)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.CompileRowExpr(qe)
+}
+
+// ---------------------------------------------------------------------------
+// xnf.Host implementation
+// ---------------------------------------------------------------------------
+
+// autoTx wraps a host-surface mutation in an autocommit transaction when no
+// explicit transaction is open.
+func (s *Session) autoTx(fn func() error) error {
+	if s.inTx {
+		return fn()
+	}
+	s.begin()
+	if err := fn(); err != nil {
+		if rbErr := s.rollback(); rbErr != nil {
+			return fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	s.commit()
+	return nil
+}
+
+// RunBox implements xnf.Host: rewrite, optimize, execute.
+func (s *Session) RunBox(box *qgm.Box) ([]types.Row, error) {
+	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
+	plan, err := optimizer.CompileWith(box, s.eng.opts.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(exec.NewContext(), plan)
+}
+
+// RunBoxWithRIDs implements xnf.Host. Single-table selections (after the
+// rewrite phase collapses wrappers) run with provenance, using index
+// probes for equality and IN-list predicates on indexed columns; anything
+// else falls back to RunBox without RIDs.
+func (s *Session) RunBoxWithRIDs(box *qgm.Box) ([]types.Row, []storage.RID, error) {
+	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
+	if box.Kind == qgm.KindSelect && len(box.Quants) == 1 &&
+		box.Quants[0].Input.Kind == qgm.KindBase &&
+		!box.Distinct && len(box.OrderBy) == 0 && box.Limit == nil && box.NumParams == 0 {
+		return s.runSingleTableWithRIDs(box)
+	}
+	rows, err := s.RunBox(box)
+	return rows, nil, err
+}
+
+// runSingleTableWithRIDs evaluates a single-table selection keeping base
+// RIDs. It picks an access path: index probes for `col = const` and
+// `col IN (consts)` conjuncts on indexed columns, hash-set filters for
+// large IN lists, else a heap scan.
+func (s *Session) runSingleTableWithRIDs(box *qgm.Box) ([]types.Row, []storage.RID, error) {
+	t := box.Quants[0].Input.Table
+	conj := qgm.Conjuncts(box.Pred)
+
+	// Access-path selection over the conjuncts.
+	var probeKeys [][]byte
+	var probeIx *catalog.Index
+	residual := conj
+	if !s.eng.opts.Optimizer.NoIndexes {
+	search:
+		for ci, cj := range conj {
+			col, vals, ok := probeableConjunct(cj)
+			if !ok {
+				continue
+			}
+			for _, ix := range t.Indexes {
+				if !strings.EqualFold(ix.Columns[0], t.Schema[col].Name) {
+					continue
+				}
+				seen := map[string]bool{}
+				for _, v := range vals {
+					key := types.EncodeKey([]types.Value{v})
+					if seen[string(key)] {
+						continue
+					}
+					seen[string(key)] = true
+					probeKeys = append(probeKeys, key)
+				}
+				probeIx = ix
+				residual = append(append([]qgm.Expr{}, conj[:ci]...), conj[ci+1:]...)
+				break search
+			}
+		}
+	}
+	var pred exec.Expr
+	var err error
+	if p := qgm.Conjoin(residual); p != nil {
+		pred, err = optimizer.CompileRowExpr(p)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	head := make([]exec.Expr, len(box.Head))
+	for i, h := range box.Head {
+		if head[i], err = optimizer.CompileRowExpr(h.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	ctx := exec.NewContext()
+	var rows []types.Row
+	var rids []storage.RID
+	emit := func(rid storage.RID, row types.Row) error {
+		ok, perr := exec.EvalPred(ctx, pred, row)
+		if perr != nil {
+			return perr
+		}
+		if !ok {
+			return nil
+		}
+		out := make(types.Row, len(head))
+		for i, he := range head {
+			v, eerr := he.Eval(ctx, row)
+			if eerr != nil {
+				return eerr
+			}
+			out[i] = v
+		}
+		rows = append(rows, out)
+		rids = append(rids, rid)
+		return nil
+	}
+	if probeIx != nil {
+		seenRID := map[storage.RID]bool{}
+		for _, key := range probeKeys {
+			for _, rid := range probeIx.Tree.SeekEQ(key) {
+				if seenRID[rid] {
+					continue
+				}
+				seenRID[rid] = true
+				row, gerr := t.Heap.Get(t.Tag, rid)
+				if gerr != nil {
+					return nil, nil, gerr
+				}
+				if err := emit(rid, row); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		return rows, rids, nil
+	}
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		if e := emit(rid, row); e != nil {
+			return true, e
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, rids, nil
+}
+
+// probeableConjunct matches `col = const` and `col IN (const list)` shapes
+// usable as index probes, returning the column and the probe values.
+func probeableConjunct(cj qgm.Expr) (col int, vals []types.Value, ok bool) {
+	switch x := cj.(type) {
+	case *qgm.Binary:
+		if x.Op != "=" {
+			return 0, nil, false
+		}
+		if cr, isCol := x.L.(*qgm.ColRef); isCol {
+			if c, isConst := x.R.(*qgm.Const); isConst {
+				return cr.Col, []types.Value{c.Val}, true
+			}
+		}
+		if cr, isCol := x.R.(*qgm.ColRef); isCol {
+			if c, isConst := x.L.(*qgm.Const); isConst {
+				return cr.Col, []types.Value{c.Val}, true
+			}
+		}
+	case *qgm.InList:
+		if x.Negate {
+			return 0, nil, false
+		}
+		cr, isCol := x.E.(*qgm.ColRef)
+		if !isCol {
+			return 0, nil, false
+		}
+		for _, item := range x.List {
+			c, isConst := item.(*qgm.Const)
+			if !isConst {
+				return 0, nil, false
+			}
+			if !c.Val.IsNull() {
+				vals = append(vals, c.Val)
+			}
+		}
+		return cr.Col, vals, true
+	}
+	return 0, nil, false
+}
+
+// GetRow implements xnf.Host.
+func (s *Session) GetRow(table string, rid storage.RID) (types.Row, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Heap.Get(t.Tag, rid)
+}
+
+// InsertRow implements xnf.Host.
+func (s *Session) InsertRow(table string, row types.Row) (storage.RID, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	var rid storage.RID
+	err = s.autoTx(func() error {
+		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
+			return lerr
+		}
+		var ierr error
+		rid, ierr = s.insertRowTx(t, row)
+		return ierr
+	})
+	return rid, err
+}
+
+// InsertRowNear inserts with a clustering hint (used by workload loaders to
+// build composite-object clustered layouts).
+func (s *Session) InsertRowNear(table string, near storage.RID, row types.Row) (storage.RID, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	var rid storage.RID
+	err = s.autoTx(func() error {
+		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
+			return lerr
+		}
+		var ierr error
+		rid, ierr = s.insertRowNearTx(t, near, row)
+		return ierr
+	})
+	return rid, err
+}
+
+// InsertRowOnFreshPage places the row at the start of a new page — used by
+// cluster-family loaders to anchor each composite-object root before its
+// children fill the page via InsertRowNear.
+func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	var rid storage.RID
+	err = s.autoTx(func() error {
+		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
+			return lerr
+		}
+		coerced, cerr := t.Schema.CoerceRow(row)
+		if cerr != nil {
+			return fmt.Errorf("engine: insert into %s: %v", t.Name, cerr)
+		}
+		r, ierr := t.Heap.InsertOnFreshPage(t.Tag, coerced)
+		if ierr != nil {
+			return ierr
+		}
+		if ierr := s.addIndexEntries(t, coerced, r); ierr != nil {
+			_ = t.Heap.Delete(t.Tag, r)
+			return ierr
+		}
+		t.Rows++
+		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: r, After: coerced.Clone()})
+		rid = r
+		return nil
+	})
+	return rid, err
+}
+
+// UpdateRow implements xnf.Host.
+func (s *Session) UpdateRow(table string, rid storage.RID, row types.Row) (storage.RID, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return storage.NilRID, err
+	}
+	var newRID storage.RID
+	err = s.autoTx(func() error {
+		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
+			return lerr
+		}
+		var uerr error
+		newRID, uerr = s.updateRowTx(t, rid, row)
+		return uerr
+	})
+	return newRID, err
+}
+
+// DeleteRow implements xnf.Host.
+func (s *Session) DeleteRow(table string, rid storage.RID) error {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return s.autoTx(func() error {
+		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
+			return lerr
+		}
+		return s.deleteRowTx(t, rid)
+	})
+}
+
+// ScanTable implements xnf.Host.
+func (s *Session) ScanTable(table string, fn func(rid storage.RID, row types.Row) (bool, error)) error {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.Heap.Scan(t.Tag, fn)
+}
+
+// TableSchema implements xnf.Host.
+func (s *Session) TableSchema(table string) (types.Schema, error) {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema, nil
+}

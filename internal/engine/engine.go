@@ -1,0 +1,484 @@
+// Package engine ties the substrate together into a working DBMS: sessions,
+// strict two-phase locking transactions with write-ahead logging, DDL and
+// DML execution, the full compilation pipeline for queries (parse → QGM →
+// XNF semantic rewrite → query rewrite → plan optimization → evaluation,
+// Fig. 8 of the paper), and the xnf.Host surface the composite-object
+// machinery builds on. SQL applications and XNF applications share one
+// engine and one database, which is the architecture of Fig. 7.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/lock"
+	"sqlxnf/internal/optimizer"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/rewrite"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+	"sqlxnf/internal/wal"
+	"sqlxnf/internal/xnf"
+)
+
+// Options configures an engine.
+type Options struct {
+	// BufferPoolPages sizes the buffer pool (default 256 pages = 1 MiB).
+	BufferPoolPages int
+	// Rewrite toggles query-rewrite rules.
+	Rewrite rewrite.Options
+	// Optimizer toggles plan-optimizer features.
+	Optimizer optimizer.Options
+	// XNF toggles composite-object evaluation strategies.
+	XNF xnf.Options
+}
+
+// DefaultOptions enables everything at default sizes.
+func DefaultOptions() Options {
+	return Options{
+		BufferPoolPages: 256,
+		Rewrite:         rewrite.DefaultOptions(),
+		Optimizer:       optimizer.DefaultOptions(),
+		XNF:             xnf.DefaultOptions(),
+	}
+}
+
+// Engine is one database instance.
+type Engine struct {
+	mu     sync.Mutex
+	disk   *storage.Disk
+	bp     *storage.BufferPool
+	cat    *catalog.Catalog
+	log    *wal.Log
+	locks  *lock.Manager
+	nextTx uint64
+	opts   Options
+	// recovering disables WAL writes while a log replays.
+	recovering bool
+}
+
+// New creates an empty database engine.
+func New(opts Options) *Engine {
+	if opts.BufferPoolPages == 0 {
+		opts.BufferPoolPages = 256
+	}
+	disk := storage.NewDisk()
+	bp := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	return &Engine{
+		disk:   disk,
+		bp:     bp,
+		cat:    catalog.New(bp),
+		log:    wal.New(),
+		locks:  lock.NewManager(),
+		nextTx: 1,
+		opts:   opts,
+	}
+}
+
+// NewDefault creates an engine with default options.
+func NewDefault() *Engine { return New(DefaultOptions()) }
+
+// Catalog exposes the schema registry.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Disk exposes the simulated disk (benches read its I/O counters).
+func (e *Engine) Disk() *storage.Disk { return e.disk }
+
+// BufferPool exposes the buffer pool (benches drop it for cold runs).
+func (e *Engine) BufferPool() *storage.BufferPool { return e.bp }
+
+// Log exposes the write-ahead log.
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// allocTx hands out transaction ids.
+func (e *Engine) allocTx() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextTx
+	e.nextTx++
+	return id
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Schema and Rows carry query output for SELECT (and path) queries.
+	Schema types.Schema
+	Rows   []types.Row
+	// RowsAffected counts DML effects.
+	RowsAffected int64
+	// CO is the materialized composite object of an XNF TAKE query.
+	CO *xnf.CO
+	// Explain carries EXPLAIN text.
+	Explain string
+	// Stats snapshots evaluator counters for the statement.
+	Stats exec.Stats
+}
+
+// Session is one client connection with transaction state. Sessions are not
+// safe for concurrent use; open one per goroutine.
+type Session struct {
+	eng  *Engine
+	txID uint64
+	inTx bool
+}
+
+// Session opens a new session.
+func (e *Engine) Session() *Session { return &Session{eng: e} }
+
+// Exec parses and runs a script, returning the last statement's result.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmts, err := parser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{}, nil
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.execStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// Query runs a single query statement and returns its result rows.
+func (s *Session) Query(sql string) (*Result, error) { return s.Exec(sql) }
+
+// MustExec is a test/example helper that panics on error.
+func (s *Session) MustExec(sql string) *Result {
+	r, err := s.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v\nSQL: %s", err, sql))
+	}
+	return r
+}
+
+// Engine returns the engine this session belongs to.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// InTx reports whether an explicit transaction is open.
+func (s *Session) InTx() bool { return s.inTx }
+
+// TxID returns the current transaction id (0 outside transactions).
+func (s *Session) TxID() uint64 {
+	if s.inTx {
+		return s.txID
+	}
+	return 0
+}
+
+// execStmt dispatches one statement, wrapping it in an autocommit
+// transaction when none is open.
+func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
+	switch stmt := st.Stmt.(type) {
+	case *parser.BeginStmt:
+		if s.inTx {
+			return nil, fmt.Errorf("engine: transaction already open")
+		}
+		s.begin()
+		return &Result{}, nil
+	case *parser.CommitStmt:
+		if !s.inTx {
+			return nil, fmt.Errorf("engine: no transaction open")
+		}
+		s.commit()
+		return &Result{}, nil
+	case *parser.RollbackStmt:
+		if !s.inTx {
+			return nil, fmt.Errorf("engine: no transaction open")
+		}
+		err := s.rollback()
+		return &Result{}, err
+	case *parser.ExplainStmt:
+		return s.explain(stmt, st.Text)
+	default:
+		auto := !s.inTx
+		if auto {
+			s.begin()
+		}
+		res, err := s.dispatch(st)
+		if auto {
+			if err != nil {
+				if rbErr := s.rollback(); rbErr != nil {
+					return nil, fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
+				}
+				return nil, err
+			}
+			s.commit()
+		} else if err != nil {
+			// Statement failure inside an explicit transaction: the paper's
+			// host (Starburst) rolls back the statement; we roll back the
+			// transaction for simplicity and surface that.
+			if rbErr := s.rollback(); rbErr != nil {
+				return nil, fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
+			}
+			return nil, fmt.Errorf("%v (transaction rolled back)", err)
+		}
+		return res, err
+	}
+}
+
+func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
+	switch stmt := st.Stmt.(type) {
+	case *parser.CreateTableStmt:
+		return s.createTable(stmt, st.Text)
+	case *parser.CreateIndexStmt:
+		return s.createIndex(stmt, st.Text)
+	case *parser.CreateViewStmt:
+		return s.createView(stmt, st.Text)
+	case *parser.DropStmt:
+		return s.drop(stmt, st.Text)
+	case *parser.InsertStmt:
+		return s.insert(stmt)
+	case *parser.UpdateStmt:
+		return s.update(stmt)
+	case *parser.DeleteStmt:
+		return s.deleteStmt(stmt)
+	case *parser.SelectStmt:
+		return s.selectStmt(stmt)
+	case *parser.XNFQuery:
+		return s.xnfQuery(stmt)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st.Stmt)
+	}
+}
+
+// begin starts a transaction.
+func (s *Session) begin() {
+	s.txID = s.eng.allocTx()
+	s.inTx = true
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecBegin})
+}
+
+// commit ends the transaction, releasing locks (strict 2PL).
+func (s *Session) commit() {
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecCommit})
+	s.eng.locks.ReleaseAll(s.txID)
+	s.inTx = false
+}
+
+// rollback undoes the transaction's effects in reverse LSN order.
+func (s *Session) rollback() error {
+	recs := s.eng.log.TxRecords(s.txID)
+	var undoErr error
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		switch r.Type {
+		case wal.RecInsert:
+			if err := s.undoInsert(r); err != nil && undoErr == nil {
+				undoErr = err
+			}
+		case wal.RecDelete:
+			if err := s.undoDelete(r); err != nil && undoErr == nil {
+				undoErr = err
+			}
+		case wal.RecUpdate:
+			if err := s.undoUpdate(r); err != nil && undoErr == nil {
+				undoErr = err
+			}
+		case wal.RecDDL:
+			if undoErr == nil {
+				undoErr = fmt.Errorf("engine: cannot roll back DDL %q; DDL autocommits", r.Table)
+			}
+		}
+	}
+	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAbort})
+	s.eng.locks.ReleaseAll(s.txID)
+	s.inTx = false
+	return undoErr
+}
+
+func (s *Session) appendLog(rec wal.Record) {
+	if s.eng.recovering {
+		return
+	}
+	s.eng.log.Append(rec)
+}
+
+// lockTable acquires a table lock for the session's transaction.
+func (s *Session) lockTable(name string, mode lock.Mode) error {
+	if !s.inTx {
+		// Host-surface calls outside statements: single-op autocommit locks
+		// are acquired and released by the caller paths; take no lock.
+		return nil
+	}
+	return s.eng.locks.Lock(s.txID, name, mode)
+}
+
+// builder returns a QGM builder wired to this session's XNF node resolver.
+func (s *Session) builder() *qgm.Builder {
+	return qgm.NewBuilder(s.eng.cat, s.resolveXNFNode)
+}
+
+// resolveXNFNode evaluates an XNF view and exposes one node as a rowset —
+// the paper's type (3) XNF→NF queries (FROM VIEW.NODE).
+func (s *Session) resolveXNFNode(view, node string) (types.Schema, [][]types.Value, error) {
+	v, err := s.eng.cat.View(view)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !v.XNF {
+		return nil, nil, fmt.Errorf("engine: %q is not an XNF view", view)
+	}
+	st, err := parser.ParseOne(v.Definition)
+	if err != nil {
+		return nil, nil, err
+	}
+	xq, ok := st.(*parser.XNFQuery)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: stored XNF view %q is not an XNF query", view)
+	}
+	box, err := s.builder().BuildXNF(xq)
+	if err != nil {
+		return nil, nil, err
+	}
+	co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(box.XNF)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := co.Node(node)
+	if n == nil {
+		return nil, nil, fmt.Errorf("engine: XNF view %q has no node %q", view, node)
+	}
+	rows := make([][]types.Value, len(n.Rows))
+	for i, r := range n.Rows {
+		rows[i] = r
+	}
+	return n.Schema, rows, nil
+}
+
+// selectStmt compiles and runs a SELECT through the full pipeline.
+func (s *Session) selectStmt(stmt *parser.SelectStmt) (*Result, error) {
+	box, err := s.builder().BuildSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockBoxTables(box, lock.Shared); err != nil {
+		return nil, err
+	}
+	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
+	plan, err := optimizer.CompileWith(box, s.eng.opts.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	rows, err := exec.Collect(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	schema := box.Out
+	if box.HiddenSort > 0 {
+		schema = schema[:len(schema)-box.HiddenSort]
+	}
+	return &Result{Schema: schema, Rows: rows, Stats: *ctx.Stats}, nil
+}
+
+// xnfQuery evaluates an XNF composite-object query (TAKE or DELETE).
+func (s *Session) xnfQuery(stmt *parser.XNFQuery) (*Result, error) {
+	box, err := s.builder().BuildXNF(stmt)
+	if err != nil {
+		return nil, err
+	}
+	mode := lock.Shared
+	if stmt.Delete {
+		mode = lock.Exclusive
+	}
+	if err := s.lockSpecTables(box.XNF, mode); err != nil {
+		return nil, err
+	}
+	ev := xnf.NewEvaluator(s, s.eng.opts.XNF)
+	if stmt.Delete {
+		n, err := ev.Delete(box.XNF)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: int64(n)}, nil
+	}
+	co, err := ev.Evaluate(box.XNF)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{CO: co}, nil
+}
+
+// lockBoxTables takes table locks for every base table under a box.
+func (s *Session) lockBoxTables(box *qgm.Box, mode lock.Mode) error {
+	var err error
+	seen := map[*qgm.Box]bool{}
+	var walk func(b *qgm.Box)
+	walk = func(b *qgm.Box) {
+		if b == nil || seen[b] || err != nil {
+			return
+		}
+		seen[b] = true
+		if b.Kind == qgm.KindBase {
+			err = s.lockTable(b.Table.Name, mode)
+			return
+		}
+		for _, q := range b.Quants {
+			walk(q.Input)
+		}
+		for _, in := range b.Inputs {
+			walk(in)
+		}
+	}
+	walk(box)
+	return err
+}
+
+// lockSpecTables locks the base tables under every node/edge of a spec.
+func (s *Session) lockSpecTables(spec *qgm.XNFSpec, mode lock.Mode) error {
+	for _, n := range spec.AllNodes() {
+		if n.Def != nil {
+			if err := s.lockBoxTables(n.Def, mode); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range spec.AllEdges() {
+		for _, u := range e.Using {
+			if err := s.lockBoxTables(u.Input, mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// explain renders compilation artifacts for a statement.
+func (s *Session) explain(stmt *parser.ExplainStmt, text string) (*Result, error) {
+	switch target := stmt.Target.(type) {
+	case *parser.SelectStmt:
+		box, err := s.builder().BuildSelect(target)
+		if err != nil {
+			return nil, err
+		}
+		before := box.Dump()
+		box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
+		after := box.Dump()
+		plan, err := optimizer.CompileWith(box, s.eng.opts.Optimizer)
+		if err != nil {
+			return nil, err
+		}
+		out := "-- QGM --\n" + before + "-- after rewrite --\n" + after + "-- plan --\n" + exec.Dump(plan)
+		return &Result{Explain: out}, nil
+	case *parser.XNFQuery:
+		box, err := s.builder().BuildXNF(target)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Explain: "-- QGM (XNF operator) --\n" + box.Dump()}, nil
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT and XNF queries")
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+	"sqlxnf/internal/wal"
+)
+
+// SnapshotWAL serializes the write-ahead log — the simulated durable medium
+// a crashed instance recovers from.
+func (e *Engine) SnapshotWAL() []byte { return e.log.Encode() }
+
+// Recover rebuilds a database from a WAL snapshot into a fresh engine:
+// analysis classifies transactions, then the winners' records replay in LSN
+// order (logical redo). Losers' effects never replay, which subsumes undo.
+// This is the recovery model the engine's logical WAL supports; the paper's
+// host inherits Starburst's page-oriented ARIES-style machinery, which is
+// behaviorally equivalent at the statement level.
+func Recover(data []byte, opts Options) (*Engine, error) {
+	log, err := wal.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	eng := New(opts)
+	records := log.Records()
+	analysis := wal.Analyze(records)
+	eng.recovering = true
+	defer func() { eng.recovering = false }()
+	s := eng.Session()
+	for _, rec := range records {
+		if !analysis.Committed[rec.Tx] {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecDDL:
+			if _, err := s.Exec(rec.Table); err != nil {
+				return nil, fmt.Errorf("engine: recovery of DDL %q: %v", rec.Table, err)
+			}
+		case wal.RecInsert:
+			t, err := eng.cat.Table(rec.Table)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recovery insert: %v", err)
+			}
+			if _, err := s.insertRowTx(t, rec.After); err != nil {
+				return nil, fmt.Errorf("engine: recovery insert into %s: %v", rec.Table, err)
+			}
+		case wal.RecDelete:
+			if err := s.recoverDelete(rec.Table, rec.Before); err != nil {
+				return nil, err
+			}
+		case wal.RecUpdate:
+			if err := s.recoverUpdate(rec.Table, rec.Before, rec.After); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Resume transaction ids after the highest seen.
+	var maxTx uint64
+	for _, rec := range records {
+		if rec.Tx > maxTx {
+			maxTx = rec.Tx
+		}
+	}
+	eng.nextTx = maxTx + 1
+	return eng, nil
+}
+
+// recoverDelete removes the first tuple matching the logged before-image.
+func (s *Session) recoverDelete(table string, before types.Row) error {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	var target storage.RID
+	found := false
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		if row.Equal(before) {
+			target = rid
+			found = true
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("engine: recovery delete: no tuple of %s matches %v", table, before)
+	}
+	return s.deleteRowTx(t, target)
+}
+
+// recoverUpdate rewrites the first tuple matching the logged before-image.
+func (s *Session) recoverUpdate(table string, before, after types.Row) error {
+	t, err := s.eng.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	var target storage.RID
+	found := false
+	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+		if row.Equal(before) {
+			target = rid
+			found = true
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("engine: recovery update: no tuple of %s matches %v", table, before)
+	}
+	_, err = s.updateRowTx(t, target, after)
+	return err
+}

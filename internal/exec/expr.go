@@ -1,0 +1,350 @@
+// Package exec implements the runtime query evaluator: compiled scalar
+// expressions over flat rows and the physical plan operators (scans,
+// filters, joins, grouping, sorting). Plans are produced by the optimizer
+// from QGM boxes — the paper's "query refinement" output — and pull rows
+// through the classic iterator interface.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlxnf/internal/types"
+)
+
+// Stats counts evaluator work; benches read it to report operator activity.
+type Stats struct {
+	RowsScanned  int64
+	RowsEmitted  int64
+	IndexProbes  int64
+	SubqueryRuns int64
+}
+
+// Context carries per-execution state: correlation parameters for subplans
+// and shared statistics.
+type Context struct {
+	Params []types.Value
+	Stats  *Stats
+}
+
+// NewContext returns a fresh execution context.
+func NewContext() *Context { return &Context{Stats: &Stats{}} }
+
+// Expr is a compiled scalar expression evaluated against one flat row.
+type Expr interface {
+	Eval(ctx *Context, row types.Row) (types.Value, error)
+}
+
+// Col reads column Idx of the row.
+type Col struct {
+	Idx int
+}
+
+// Eval implements Expr.
+func (c Col) Eval(_ *Context, row types.Row) (types.Value, error) {
+	if c.Idx < 0 || c.Idx >= len(row) {
+		return types.Null(), fmt.Errorf("exec: column %d out of range (row arity %d)", c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+// Const is a literal.
+type Const struct {
+	V types.Value
+}
+
+// Eval implements Expr.
+func (c Const) Eval(*Context, types.Row) (types.Value, error) { return c.V, nil }
+
+// ParamRef reads a correlation parameter slot.
+type ParamRef struct {
+	Idx int
+}
+
+// Eval implements Expr.
+func (p ParamRef) Eval(ctx *Context, _ types.Row) (types.Value, error) {
+	if ctx == nil || p.Idx >= len(ctx.Params) {
+		return types.Null(), fmt.Errorf("exec: parameter $%d unbound", p.Idx)
+	}
+	return ctx.Params[p.Idx], nil
+}
+
+// BinOp evaluates binary operators with SQL three-valued logic.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b BinOp) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	switch b.Op {
+	case "AND", "OR":
+		lt, err := evalTri(ctx, b.L, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		// Short circuit where 3VL allows.
+		if b.Op == "AND" && lt == types.False {
+			return types.False.Value(), nil
+		}
+		if b.Op == "OR" && lt == types.True {
+			return types.True.Value(), nil
+		}
+		rt, err := evalTri(ctx, b.R, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		if b.Op == "AND" {
+			return lt.And(rt).Value(), nil
+		}
+		return lt.Or(rt).Value(), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		lv, err := b.L.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		rv, err := b.R.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		t, err := types.CompareTri(b.Op, lv, rv)
+		if err != nil {
+			return types.Null(), err
+		}
+		return t.Value(), nil
+	case "LIKE":
+		lv, err := b.L.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		rv, err := b.R.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null(), nil
+		}
+		if lv.Kind() != types.KindString || rv.Kind() != types.KindString {
+			return types.Null(), fmt.Errorf("exec: LIKE requires strings")
+		}
+		return types.TriOf(likeMatch(lv.Str(), rv.Str())).Value(), nil
+	default:
+		lv, err := b.L.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		rv, err := b.R.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.Arith(b.Op, lv, rv)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one byte).
+func likeMatch(s, pat string) bool {
+	// Dynamic programming over bytes.
+	n, m := len(s), len(pat)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		p := pat[j]
+		next := make([]bool, n+1)
+		if p == '%' {
+			// next[i] true if any dp[k] for k<=i.
+			any := false
+			for i := 0; i <= n; i++ {
+				if dp[i] {
+					any = true
+				}
+				next[i] = any
+			}
+		} else {
+			for i := 1; i <= n; i++ {
+				if dp[i-1] && (p == '_' || s[i-1] == p) {
+					next[i] = true
+				}
+			}
+		}
+		dp = next
+	}
+	return dp[n]
+}
+
+// Not negates a boolean expression in 3VL.
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n Not) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	t, err := evalTri(ctx, n.E, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	return t.Not().Value(), nil
+}
+
+// Neg is arithmetic negation.
+type Neg struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n Neg) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	v, err := n.E.Eval(ctx, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	return types.Neg(v)
+}
+
+// IsNull tests nullness.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (e IsNull) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	v, err := e.E.Eval(ctx, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	r := v.IsNull()
+	if e.Negate {
+		r = !r
+	}
+	return types.NewBool(r), nil
+}
+
+// InList is E [NOT] IN (list) with SQL semantics: if no element matches and
+// any comparison was Unknown, the result is Unknown.
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (e InList) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	v, err := e.E.Eval(ctx, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	result := types.False
+	for _, le := range e.List {
+		lv, err := le.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		t, err := types.CompareTri("=", v, lv)
+		if err != nil {
+			return types.Null(), err
+		}
+		result = result.Or(t)
+		if result == types.True {
+			break
+		}
+	}
+	if e.Negate {
+		result = result.Not()
+	}
+	return result.Value(), nil
+}
+
+// ExistsOp evaluates [NOT] EXISTS over a subplan, binding correlation
+// parameters from the outer row.
+type ExistsOp struct {
+	Plan   Plan
+	Corr   []Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (e ExistsOp) Eval(ctx *Context, row types.Row) (types.Value, error) {
+	params := make([]types.Value, len(e.Corr))
+	for i, c := range e.Corr {
+		v, err := c.Eval(ctx, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		params[i] = v
+	}
+	sub := &Context{Params: params, Stats: ctx.Stats}
+	if ctx.Stats != nil {
+		ctx.Stats.SubqueryRuns++
+	}
+	if err := e.Plan.Open(sub); err != nil {
+		return types.Null(), err
+	}
+	defer e.Plan.Close()
+	_, ok, err := e.Plan.Next(sub)
+	if err != nil {
+		return types.Null(), err
+	}
+	if e.Negate {
+		ok = !ok
+	}
+	return types.NewBool(ok), nil
+}
+
+// evalTri evaluates a boolean expression into Tri (NULL → Unknown).
+func evalTri(ctx *Context, e Expr, row types.Row) (types.Tri, error) {
+	v, err := e.Eval(ctx, row)
+	if err != nil {
+		return types.Unknown, err
+	}
+	if v.IsNull() {
+		return types.Unknown, nil
+	}
+	if v.Kind() != types.KindBool {
+		return types.Unknown, fmt.Errorf("exec: predicate evaluated to %s, want boolean", v.Kind())
+	}
+	return types.TriOf(v.Bool()), nil
+}
+
+// EvalPred evaluates a predicate; only True passes (Unknown filters out).
+func EvalPred(ctx *Context, e Expr, row types.Row) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	t, err := evalTri(ctx, e, row)
+	if err != nil {
+		return false, err
+	}
+	return t == types.True, nil
+}
+
+// DumpExpr renders an expression for EXPLAIN output.
+func DumpExpr(e Expr) string {
+	switch x := e.(type) {
+	case Col:
+		return fmt.Sprintf("#%d", x.Idx)
+	case Const:
+		return x.V.SQLLiteral()
+	case ParamRef:
+		return fmt.Sprintf("$%d", x.Idx)
+	case BinOp:
+		return "(" + DumpExpr(x.L) + " " + x.Op + " " + DumpExpr(x.R) + ")"
+	case Not:
+		return "(NOT " + DumpExpr(x.E) + ")"
+	case Neg:
+		return "(-" + DumpExpr(x.E) + ")"
+	case IsNull:
+		if x.Negate {
+			return "(" + DumpExpr(x.E) + " IS NOT NULL)"
+		}
+		return "(" + DumpExpr(x.E) + " IS NULL)"
+	case InList:
+		var parts []string
+		for _, l := range x.List {
+			parts = append(parts, DumpExpr(l))
+		}
+		return "(" + DumpExpr(x.E) + " IN (" + strings.Join(parts, ",") + "))"
+	case ExistsOp:
+		return "EXISTS(subplan)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,927 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlxnf/internal/btree"
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// Plan is a physical operator in the iterator model.
+type Plan interface {
+	Schema() types.Schema
+	Open(ctx *Context) error
+	Next(ctx *Context) (types.Row, bool, error)
+	Close() error
+	// Explain renders one line describing the operator.
+	Explain() string
+	// Children returns input plans (for plan tree printing).
+	Children() []Plan
+}
+
+// Dump renders a plan tree.
+func Dump(p Plan) string {
+	var sb strings.Builder
+	var rec func(p Plan, depth int)
+	rec = func(p Plan, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(p.Explain())
+		sb.WriteString("\n")
+		for _, c := range p.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// SeqScan
+// ---------------------------------------------------------------------------
+
+// SeqScan reads every live row of a table. Rows materialize during Open so
+// buffer-pool I/O is attributed to the scan.
+type SeqScan struct {
+	Table *catalog.Table
+	rows  []types.Row
+	pos   int
+}
+
+// Schema implements Plan.
+func (s *SeqScan) Schema() types.Schema { return s.Table.Schema }
+
+// Open implements Plan.
+func (s *SeqScan) Open(ctx *Context) error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	return s.Table.Heap.Scan(s.Table.Tag, func(_ storage.RID, row types.Row) (bool, error) {
+		if ctx.Stats != nil {
+			ctx.Stats.RowsScanned++
+		}
+		s.rows = append(s.rows, row)
+		return false, nil
+	})
+}
+
+// Next implements Plan.
+func (s *SeqScan) Next(*Context) (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Plan.
+func (s *SeqScan) Close() error { s.rows = nil; return nil }
+
+// Explain implements Plan.
+func (s *SeqScan) Explain() string { return "SeqScan " + s.Table.Name }
+
+// Children implements Plan.
+func (s *SeqScan) Children() []Plan { return nil }
+
+// ---------------------------------------------------------------------------
+// IndexScan
+// ---------------------------------------------------------------------------
+
+// IndexScan probes a B+tree index. Bounds are expressions evaluated at Open
+// (they may reference correlation parameters). Nil bounds are unbounded.
+type IndexScan struct {
+	Table        *catalog.Table
+	Index        *catalog.Index
+	Lo, Hi       []Expr // values for a key prefix
+	LoInc, HiInc bool
+	rows         []types.Row
+	pos          int
+}
+
+// Schema implements Plan.
+func (s *IndexScan) Schema() types.Schema { return s.Table.Schema }
+
+// Open implements Plan.
+func (s *IndexScan) Open(ctx *Context) error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	evalBound := func(es []Expr) ([]byte, error) {
+		if es == nil {
+			return nil, nil
+		}
+		vals := make([]types.Value, len(es))
+		for i, e := range es {
+			v, err := e.Eval(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return types.EncodeKey(vals), nil
+	}
+	lo, err := evalBound(s.Lo)
+	if err != nil {
+		return err
+	}
+	hi, err := evalBound(s.Hi)
+	if err != nil {
+		return err
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.IndexProbes++
+	}
+	var rids []storage.RID
+	s.Index.Tree.Scan(lo, hi, s.LoInc, s.HiInc, func(key []byte, rid storage.RID) bool {
+		// Prefix semantics: when the bound covers only a key prefix, the
+		// encoded comparison naturally treats longer keys in range.
+		rids = append(rids, rid)
+		return true
+	})
+	for _, rid := range rids {
+		row, err := s.Table.Heap.Get(s.Table.Tag, rid)
+		if err != nil {
+			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", s.Index.Name, rid, err)
+		}
+		if ctx.Stats != nil {
+			ctx.Stats.RowsScanned++
+		}
+		s.rows = append(s.rows, row)
+	}
+	return nil
+}
+
+// Next implements Plan.
+func (s *IndexScan) Next(*Context) (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Plan.
+func (s *IndexScan) Close() error { s.rows = nil; return nil }
+
+// Explain implements Plan.
+func (s *IndexScan) Explain() string {
+	return fmt.Sprintf("IndexScan %s using %s", s.Table.Name, s.Index.Name)
+}
+
+// Children implements Plan.
+func (s *IndexScan) Children() []Plan { return nil }
+
+// PrefixUpper returns a hi bound key that covers all composites starting
+// with the given prefix (used for equality on a key prefix of a multi-column
+// index). Exposed for the optimizer.
+func PrefixUpper(prefix []byte) []byte {
+	out := append([]byte(nil), prefix...)
+	return append(out, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+}
+
+var _ = btree.ErrDuplicate // keep the import meaningful for doc reference
+
+// ---------------------------------------------------------------------------
+// Values and Materialized sources
+// ---------------------------------------------------------------------------
+
+// Values emits a fixed list of rows.
+type Values struct {
+	Out  types.Schema
+	Rows []types.Row
+	pos  int
+}
+
+// Schema implements Plan.
+func (v *Values) Schema() types.Schema { return v.Out }
+
+// Open implements Plan.
+func (v *Values) Open(*Context) error { v.pos = 0; return nil }
+
+// Next implements Plan.
+func (v *Values) Next(*Context) (types.Row, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	r := v.Rows[v.pos]
+	v.pos++
+	return r, true, nil
+}
+
+// Close implements Plan.
+func (v *Values) Close() error { return nil }
+
+// Explain implements Plan.
+func (v *Values) Explain() string { return fmt.Sprintf("Values (%d rows)", len(v.Rows)) }
+
+// Children implements Plan.
+func (v *Values) Children() []Plan { return nil }
+
+// ---------------------------------------------------------------------------
+// Filter, Project, Limit, Distinct
+// ---------------------------------------------------------------------------
+
+// Filter passes rows satisfying Pred.
+type Filter struct {
+	Child Plan
+	Pred  Expr
+}
+
+// Schema implements Plan.
+func (f *Filter) Schema() types.Schema { return f.Child.Schema() }
+
+// Open implements Plan.
+func (f *Filter) Open(ctx *Context) error { return f.Child.Open(ctx) }
+
+// Next implements Plan.
+func (f *Filter) Next(ctx *Context) (types.Row, bool, error) {
+	for {
+		row, ok, err := f.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := EvalPred(ctx, f.Pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Plan.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Explain implements Plan.
+func (f *Filter) Explain() string { return "Filter " + DumpExpr(f.Pred) }
+
+// Children implements Plan.
+func (f *Filter) Children() []Plan { return []Plan{f.Child} }
+
+// Project computes output expressions per row.
+type Project struct {
+	Child Plan
+	Exprs []Expr
+	Out   types.Schema
+}
+
+// Schema implements Plan.
+func (p *Project) Schema() types.Schema { return p.Out }
+
+// Open implements Plan.
+func (p *Project) Open(ctx *Context) error { return p.Child.Open(ctx) }
+
+// Next implements Plan.
+func (p *Project) Next(ctx *Context) (types.Row, bool, error) {
+	row, ok, err := p.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.RowsEmitted++
+	}
+	return out, true, nil
+}
+
+// Close implements Plan.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Explain implements Plan.
+func (p *Project) Explain() string { return fmt.Sprintf("Project %v", p.Out.Names()) }
+
+// Children implements Plan.
+func (p *Project) Children() []Plan { return []Plan{p.Child} }
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Plan
+	N     int64
+	seen  int64
+}
+
+// Schema implements Plan.
+func (l *Limit) Schema() types.Schema { return l.Child.Schema() }
+
+// Open implements Plan.
+func (l *Limit) Open(ctx *Context) error { l.seen = 0; return l.Child.Open(ctx) }
+
+// Next implements Plan.
+func (l *Limit) Next(ctx *Context) (types.Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Plan.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Explain implements Plan.
+func (l *Limit) Explain() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// Children implements Plan.
+func (l *Limit) Children() []Plan { return []Plan{l.Child} }
+
+// Distinct removes duplicate rows (NULL = NULL for this purpose).
+type Distinct struct {
+	Child Plan
+	seen  map[uint64][]types.Row
+}
+
+// Schema implements Plan.
+func (d *Distinct) Schema() types.Schema { return d.Child.Schema() }
+
+// Open implements Plan.
+func (d *Distinct) Open(ctx *Context) error {
+	d.seen = make(map[uint64][]types.Row)
+	return d.Child.Open(ctx)
+}
+
+// Next implements Plan.
+func (d *Distinct) Next(ctx *Context) (types.Row, bool, error) {
+	for {
+		row, ok, err := d.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h := row.Hash()
+		dup := false
+		for _, prev := range d.seen[h] {
+			if prev.Equal(row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, true, nil
+	}
+}
+
+// Close implements Plan.
+func (d *Distinct) Close() error { d.seen = nil; return d.Child.Close() }
+
+// Explain implements Plan.
+func (d *Distinct) Explain() string { return "Distinct" }
+
+// Children implements Plan.
+func (d *Distinct) Children() []Plan { return []Plan{d.Child} }
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+// NLJoin is a block nested-loops join: the right input materializes once,
+// then every left row scans it. Pred (optional) filters concatenated rows.
+type NLJoin struct {
+	Left, Right Plan
+	Pred        Expr
+	out         types.Schema
+	right       []types.Row
+	cur         types.Row
+	rpos        int
+}
+
+// NewNLJoin builds the join with a concatenated schema.
+func NewNLJoin(l, r Plan, pred Expr) *NLJoin {
+	return &NLJoin{Left: l, Right: r, Pred: pred, out: l.Schema().Concat(r.Schema())}
+}
+
+// Schema implements Plan.
+func (j *NLJoin) Schema() types.Schema { return j.out }
+
+// Open implements Plan.
+func (j *NLJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.right = j.right[:0]
+	for {
+		row, ok, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.right = append(j.right, row)
+	}
+	j.cur = nil
+	j.rpos = 0
+	return nil
+}
+
+// Next implements Plan.
+func (j *NLJoin) Next(ctx *Context) (types.Row, bool, error) {
+	for {
+		if j.cur == nil {
+			row, ok, err := j.Left.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = row
+			j.rpos = 0
+		}
+		for j.rpos < len(j.right) {
+			r := j.right[j.rpos]
+			j.rpos++
+			joined := make(types.Row, 0, len(j.cur)+len(r))
+			joined = append(joined, j.cur...)
+			joined = append(joined, r...)
+			pass, err := EvalPred(ctx, j.Pred, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return joined, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Plan.
+func (j *NLJoin) Close() error {
+	j.right = nil
+	if err := j.Left.Close(); err != nil {
+		j.Right.Close()
+		return err
+	}
+	return j.Right.Close()
+}
+
+// Explain implements Plan.
+func (j *NLJoin) Explain() string {
+	if j.Pred != nil {
+		return "NLJoin " + DumpExpr(j.Pred)
+	}
+	return "NLJoin (cross)"
+}
+
+// Children implements Plan.
+func (j *NLJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// HashJoin is an equi-join: build a hash table on the right input keyed by
+// RightKeys, probe with LeftKeys. Residual (optional) filters concatenated
+// rows for non-equi conjuncts.
+type HashJoin struct {
+	Left, Right         Plan
+	LeftKeys, RightKeys []Expr
+	Residual            Expr
+	out                 types.Schema
+	table               map[uint64][]types.Row
+	cur                 types.Row
+	bucket              []types.Row
+	bpos                int
+	curKeys             types.Row
+}
+
+// NewHashJoin builds the join with a concatenated schema.
+func NewHashJoin(l, r Plan, lk, rk []Expr, residual Expr) *HashJoin {
+	return &HashJoin{Left: l, Right: r, LeftKeys: lk, RightKeys: rk,
+		Residual: residual, out: l.Schema().Concat(r.Schema())}
+}
+
+// Schema implements Plan.
+func (j *HashJoin) Schema() types.Schema { return j.out }
+
+// Open implements Plan.
+func (j *HashJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]types.Row)
+	for {
+		row, ok, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keys, null, err := evalKeys(ctx, j.RightKeys, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := keys.Hash()
+		j.table[h] = append(j.table[h], row)
+	}
+	j.cur = nil
+	return nil
+}
+
+func evalKeys(ctx *Context, keys []Expr, row types.Row) (types.Row, bool, error) {
+	out := make(types.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		out[i] = v
+	}
+	return out, false, nil
+}
+
+// Next implements Plan.
+func (j *HashJoin) Next(ctx *Context) (types.Row, bool, error) {
+	for {
+		if j.cur == nil {
+			row, ok, err := j.Left.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			keys, null, err := evalKeys(ctx, j.LeftKeys, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if null {
+				continue
+			}
+			j.cur = row
+			j.curKeys = keys
+			j.bucket = j.table[keys.Hash()]
+			j.bpos = 0
+		}
+		for j.bpos < len(j.bucket) {
+			r := j.bucket[j.bpos]
+			j.bpos++
+			// Verify keys (hash collisions) then residual.
+			rkeys, null, err := evalKeys(ctx, j.RightKeys, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if null || !rkeys.Equal(j.curKeys) {
+				continue
+			}
+			joined := make(types.Row, 0, len(j.cur)+len(r))
+			joined = append(joined, j.cur...)
+			joined = append(joined, r...)
+			pass, err := EvalPred(ctx, j.Residual, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return joined, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Plan.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	if err := j.Left.Close(); err != nil {
+		j.Right.Close()
+		return err
+	}
+	return j.Right.Close()
+}
+
+// Explain implements Plan.
+func (j *HashJoin) Explain() string {
+	var parts []string
+	for i := range j.LeftKeys {
+		parts = append(parts, DumpExpr(j.LeftKeys[i])+"="+DumpExpr(j.RightKeys[i]))
+	}
+	return "HashJoin " + strings.Join(parts, " AND ")
+}
+
+// Children implements Plan.
+func (j *HashJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+// SortKey orders by an output column.
+type SortKey struct {
+	Idx  int
+	Desc bool
+}
+
+// Sort materializes and orders child output. NULLs sort first ascending.
+type Sort struct {
+	Child Plan
+	Keys  []SortKey
+	rows  []types.Row
+	pos   int
+}
+
+// Schema implements Plan.
+func (s *Sort) Schema() types.Schema { return s.Child.Schema() }
+
+// Open implements Plan.
+func (s *Sort) Open(ctx *Context) error {
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	s.pos = 0
+	for {
+		row, ok, err := s.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	var sortErr error
+	sort.SliceStable(s.rows, func(i, k int) bool {
+		for _, key := range s.Keys {
+			a, b := s.rows[i][key.Idx], s.rows[k][key.Idx]
+			c := compareNullsFirst(a, b, &sortErr)
+			if key.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+func compareNullsFirst(a, b types.Value, errOut *error) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, err := types.Compare(a, b)
+	if err != nil && *errOut == nil {
+		*errOut = err
+	}
+	return c
+}
+
+// Next implements Plan.
+func (s *Sort) Next(*Context) (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Plan.
+func (s *Sort) Close() error { s.rows = nil; return s.Child.Close() }
+
+// Explain implements Plan.
+func (s *Sort) Explain() string { return fmt.Sprintf("Sort %v", s.Keys) }
+
+// Children implements Plan.
+func (s *Sort) Children() []Plan { return []Plan{s.Child} }
+
+// ---------------------------------------------------------------------------
+// Grouping and aggregation
+// ---------------------------------------------------------------------------
+
+// AggKind mirrors qgm aggregate kinds at the physical level.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggDef is one aggregate: ArgIdx indexes the child row (-1 for COUNT(*)).
+type AggDef struct {
+	Kind     AggKind
+	ArgIdx   int
+	Distinct bool
+}
+
+// GroupAgg groups child rows by key columns and computes aggregates.
+// Output rows are key values followed by aggregate values. With no keys it
+// emits exactly one row (aggregates over the whole input, zero-row safe).
+type GroupAgg struct {
+	Child   Plan
+	KeyIdxs []int
+	Aggs    []AggDef
+	Out     types.Schema
+	groups  []types.Row
+	pos     int
+}
+
+// Schema implements Plan.
+func (g *GroupAgg) Schema() types.Schema { return g.Out }
+
+type aggState struct {
+	count int64
+	sum   types.Value
+	min   types.Value
+	max   types.Value
+	seen  map[uint64][]types.Value // DISTINCT tracking
+}
+
+// Open implements Plan.
+func (g *GroupAgg) Open(ctx *Context) error {
+	if err := g.Child.Open(ctx); err != nil {
+		return err
+	}
+	g.pos = 0
+	g.groups = g.groups[:0]
+	type group struct {
+		key    types.Row
+		states []*aggState
+	}
+	index := map[uint64][]*group{}
+	var order []*group
+	newGroup := func(key types.Row) *group {
+		gr := &group{key: key, states: make([]*aggState, len(g.Aggs))}
+		for i := range gr.states {
+			gr.states[i] = &aggState{sum: types.Null(), min: types.Null(), max: types.Null()}
+			if g.Aggs[i].Distinct {
+				gr.states[i].seen = map[uint64][]types.Value{}
+			}
+		}
+		order = append(order, gr)
+		return gr
+	}
+	for {
+		row, ok, err := g.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(types.Row, len(g.KeyIdxs))
+		for i, k := range g.KeyIdxs {
+			key[i] = row[k]
+		}
+		h := key.Hash()
+		var gr *group
+		for _, cand := range index[h] {
+			if cand.key.Equal(key) {
+				gr = cand
+				break
+			}
+		}
+		if gr == nil {
+			gr = newGroup(key)
+			index[h] = append(index[h], gr)
+		}
+		for i, def := range g.Aggs {
+			st := gr.states[i]
+			if def.Kind == AggCountStar {
+				st.count++
+				continue
+			}
+			v := row[def.ArgIdx]
+			if v.IsNull() {
+				continue
+			}
+			if def.Distinct {
+				vh := v.Hash()
+				dup := false
+				for _, prev := range st.seen[vh] {
+					if types.Equal(prev, v) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				st.seen[vh] = append(st.seen[vh], v)
+			}
+			st.count++
+			if st.sum.IsNull() {
+				st.sum = v
+			} else {
+				sum, err := types.Arith("+", st.sum, v)
+				if err != nil {
+					return err
+				}
+				st.sum = sum
+			}
+			if st.min.IsNull() {
+				st.min = v
+			} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
+				st.min = v
+			}
+			if st.max.IsNull() {
+				st.max = v
+			} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
+				st.max = v
+			}
+		}
+	}
+	if len(g.KeyIdxs) == 0 && len(order) == 0 {
+		newGroup(types.Row{})
+	}
+	for _, gr := range order {
+		out := make(types.Row, 0, len(gr.key)+len(g.Aggs))
+		out = append(out, gr.key...)
+		for i, def := range g.Aggs {
+			st := gr.states[i]
+			switch def.Kind {
+			case AggCount, AggCountStar:
+				out = append(out, types.NewInt(st.count))
+			case AggSum:
+				out = append(out, st.sum)
+			case AggAvg:
+				if st.count == 0 {
+					out = append(out, types.Null())
+				} else {
+					avg, err := types.Arith("/", types.NewFloat(st.sum.Float()), types.NewFloat(float64(st.count)))
+					if err != nil {
+						return err
+					}
+					out = append(out, avg)
+				}
+			case AggMin:
+				out = append(out, st.min)
+			case AggMax:
+				out = append(out, st.max)
+			}
+		}
+		g.groups = append(g.groups, out)
+	}
+	return nil
+}
+
+// Next implements Plan.
+func (g *GroupAgg) Next(*Context) (types.Row, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, false, nil
+	}
+	r := g.groups[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close implements Plan.
+func (g *GroupAgg) Close() error { g.groups = nil; return g.Child.Close() }
+
+// Explain implements Plan.
+func (g *GroupAgg) Explain() string {
+	return fmt.Sprintf("GroupAgg keys=%v aggs=%d", g.KeyIdxs, len(g.Aggs))
+}
+
+// Children implements Plan.
+func (g *GroupAgg) Children() []Plan { return []Plan{g.Child} }
+
+// Collect drains a plan into a row slice (convenience for engine and tests).
+func Collect(ctx *Context, p Plan) ([]types.Row, error) {
+	if err := p.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	var out []types.Row
+	for {
+		row, ok, err := p.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

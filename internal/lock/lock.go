@@ -1,0 +1,196 @@
+// Package lock implements a table-granularity shared/exclusive lock manager
+// with wait-for-graph deadlock detection. The paper's system inherits
+// Starburst's concurrency control unchanged; this package plays that role
+// for the engine, so SQL applications and XNF applications sharing the
+// database are isolated the same way.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrDeadlock is returned to a requester whose wait would close a cycle.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+type resource struct {
+	holders map[uint64]Mode // tx -> strongest mode held
+	waiters int
+}
+
+// Manager grants and releases locks. A transaction may upgrade S to X.
+type Manager struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	resources map[string]*resource
+	waitsFor  map[uint64]map[uint64]bool // requester -> blockers
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		resources: make(map[string]*resource),
+		waitsFor:  make(map[uint64]map[uint64]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// compatible reports whether tx can be granted mode on r right now.
+func compatible(r *resource, tx uint64, mode Mode) bool {
+	for holder, hm := range r.holders {
+		if holder == tx {
+			continue // upgrades checked against other holders only
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// blockers returns the transactions preventing the grant.
+func blockers(r *resource, tx uint64, mode Mode) []uint64 {
+	var out []uint64
+	for holder, hm := range r.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			out = append(out, holder)
+		}
+	}
+	return out
+}
+
+// wouldDeadlock checks whether adding edges tx->blockers closes a cycle in
+// the wait-for graph. Caller holds m.mu.
+func (m *Manager) wouldDeadlock(tx uint64, bs []uint64) bool {
+	// DFS from each blocker looking for tx.
+	seen := map[uint64]bool{}
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		if u == tx {
+			return true
+		}
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+		for v := range m.waitsFor[u] {
+			if dfs(v) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range bs {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lock acquires mode on res for tx, blocking until granted. It returns
+// ErrDeadlock when waiting would create a cycle; the caller is expected to
+// abort the transaction.
+func (m *Manager) Lock(tx uint64, res string, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.resources[res]
+	if !ok {
+		r = &resource{holders: map[uint64]Mode{}}
+		m.resources[res] = r
+	}
+	// Already hold a mode at least as strong?
+	if hm, held := r.holders[tx]; held && (hm == Exclusive || mode == Shared) {
+		return nil
+	}
+	for !compatible(r, tx, mode) {
+		bs := blockers(r, tx, mode)
+		if m.wouldDeadlock(tx, bs) {
+			return fmt.Errorf("%w: tx %d requesting %s on %q", ErrDeadlock, tx, mode, res)
+		}
+		if m.waitsFor[tx] == nil {
+			m.waitsFor[tx] = map[uint64]bool{}
+		}
+		for _, b := range bs {
+			m.waitsFor[tx][b] = true
+		}
+		r.waiters++
+		m.cond.Wait()
+		r.waiters--
+		delete(m.waitsFor, tx)
+	}
+	r.holders[tx] = mode
+	return nil
+}
+
+// TryLock attempts a non-blocking acquisition.
+func (m *Manager) TryLock(tx uint64, res string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.resources[res]
+	if !ok {
+		r = &resource{holders: map[uint64]Mode{}}
+		m.resources[res] = r
+	}
+	if hm, held := r.holders[tx]; held && (hm == Exclusive || mode == Shared) {
+		return true
+	}
+	if !compatible(r, tx, mode) {
+		return false
+	}
+	r.holders[tx] = mode
+	return true
+}
+
+// ReleaseAll drops every lock held by tx and wakes waiters.
+func (m *Manager) ReleaseAll(tx uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, r := range m.resources {
+		if _, held := r.holders[tx]; held {
+			delete(r.holders, tx)
+			if len(r.holders) == 0 && r.waiters == 0 {
+				delete(m.resources, name)
+			}
+		}
+	}
+	delete(m.waitsFor, tx)
+	m.cond.Broadcast()
+}
+
+// Holds reports whether tx currently holds at least mode on res.
+func (m *Manager) Holds(tx uint64, res string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.resources[res]
+	if !ok {
+		return false
+	}
+	hm, held := r.holders[tx]
+	if !held {
+		return false
+	}
+	return hm == Exclusive || mode == Shared
+}

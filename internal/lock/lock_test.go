@@ -1,0 +1,173 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "DEPT", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "DEPT", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "DEPT", Shared) || !m.Holds(2, "DEPT", Shared) {
+		t.Error("both readers should hold S")
+	}
+	if m.Holds(1, "DEPT", Exclusive) {
+		t.Error("S holder must not report X")
+	}
+}
+
+func TestExclusiveBlocksAndReleases(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "DEPT", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := m.Lock(2, "DEPT", Shared); err != nil {
+			t.Errorf("tx2 lock: %v", err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("S granted while X held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("S not granted after X release")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := NewManager()
+	if !m.TryLock(1, "T", Exclusive) {
+		t.Fatal("TryLock on free resource failed")
+	}
+	if m.TryLock(2, "T", Shared) {
+		t.Error("TryLock should fail against X")
+	}
+	// Re-entrant.
+	if !m.TryLock(1, "T", Shared) {
+		t.Error("holder's weaker TryLock should succeed")
+	}
+	m.ReleaseAll(1)
+	if !m.TryLock(2, "T", Shared) {
+		t.Error("TryLock after release failed")
+	}
+}
+
+func TestUpgradeSharedToExclusive(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "T", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole reader upgrades without blocking.
+	if err := m.Lock(1, "T", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "T", Exclusive) {
+		t.Error("upgrade lost")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "A", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "B", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		errCh <- m.Lock(1, "B", Exclusive) // blocks on tx2
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// tx2 requesting A would close the cycle: one of the two must get
+	// ErrDeadlock.
+	err2 := m.Lock(2, "A", Exclusive)
+	if err2 != nil {
+		if !errors.Is(err2, ErrDeadlock) {
+			t.Fatalf("unexpected error: %v", err2)
+		}
+		m.ReleaseAll(2) // victim aborts, tx1 proceeds
+	}
+	wg.Wait()
+	err1 := <-errCh
+	if err2 == nil && err1 == nil {
+		t.Fatal("deadlock not detected on either side")
+	}
+	if err1 != nil && !errors.Is(err1, ErrDeadlock) {
+		t.Fatalf("tx1 got unexpected error: %v", err1)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestConcurrentReadersWriterStress(t *testing.T) {
+	m := NewManager()
+	const writers, readers = 4, 16
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := m.Lock(tx, "CTR", Exclusive); err != nil {
+					t.Errorf("writer %d: %v", tx, err)
+					return
+				}
+				counter++
+				m.ReleaseAll(tx)
+			}
+		}(uint64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := m.Lock(tx, "CTR", Shared); err != nil {
+					t.Errorf("reader %d: %v", tx, err)
+					return
+				}
+				_ = counter
+				m.ReleaseAll(tx)
+			}
+		}(uint64(100 + r))
+	}
+	wg.Wait()
+	if counter != writers*50 {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, writers*50)
+	}
+}
+
+func TestReleaseAllIsIdempotent(t *testing.T) {
+	m := NewManager()
+	_ = m.Lock(1, "T", Shared)
+	m.ReleaseAll(1)
+	m.ReleaseAll(1) // no panic
+	if m.Holds(1, "T", Shared) {
+		t.Error("lock survived release")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,108 @@
+// Package lw90 implements the related-work baseline of [LW90]/[BW89]: the
+// "on-top" approach that instantiates objects from a relational database by
+// evaluating view queries per object — one query for the root set, then one
+// query per parent object per child relationship (acyclic select-project-
+// join views only, as that system model requires).
+//
+// The paper contrasts this with XNF's integrated, set-oriented extraction;
+// experiment E11 measures the difference.
+package lw90
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/types"
+)
+
+// ChildSpec describes one parent→child association of the object model.
+type ChildSpec struct {
+	Name string
+	Type *ObjectType
+	// FKCol is the child-table column holding the parent key.
+	FKCol string
+}
+
+// ObjectType is one node of the (acyclic) object model.
+type ObjectType struct {
+	Name     string
+	Table    string
+	KeyCol   string
+	Children []ChildSpec
+}
+
+// Object is one instantiated object with its nested children.
+type Object struct {
+	Type     string
+	Row      types.Row
+	Children map[string][]*Object
+}
+
+// Stats counts the queries issued — the cost driver the comparison exposes.
+type Stats struct {
+	Queries int64
+	Objects int64
+}
+
+// Instantiate materializes all objects of the root type matching filter
+// (a SQL predicate over the root table, empty for all), instantiating
+// children one parent at a time, exactly as the on-top approach does.
+func Instantiate(s *engine.Session, root *ObjectType, filter string) ([]*Object, *Stats, error) {
+	st := &Stats{}
+	q := "SELECT * FROM " + root.Table
+	if filter != "" {
+		q += " WHERE " + filter
+	}
+	r, err := s.Exec(q)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Queries++
+	var out []*Object
+	for _, row := range r.Rows {
+		obj, err := instantiateOne(s, root, row, r.Schema, st)
+		if err != nil {
+			return nil, st, err
+		}
+		out = append(out, obj)
+	}
+	return out, st, nil
+}
+
+func instantiateOne(s *engine.Session, t *ObjectType, row types.Row, schema types.Schema, st *Stats) (*Object, error) {
+	obj := &Object{Type: t.Name, Row: row, Children: map[string][]*Object{}}
+	st.Objects++
+	keyIdx := schema.Index(t.KeyCol)
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("lw90: type %s key column %q missing", t.Name, t.KeyCol)
+	}
+	key := row[keyIdx]
+	for _, cs := range t.Children {
+		q := fmt.Sprintf("SELECT * FROM %s WHERE %s = %s", cs.Type.Table, cs.FKCol, key.SQLLiteral())
+		r, err := s.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		st.Queries++
+		for _, crow := range r.Rows {
+			child, err := instantiateOne(s, cs.Type, crow, r.Schema, st)
+			if err != nil {
+				return nil, err
+			}
+			obj.Children[cs.Name] = append(obj.Children[cs.Name], child)
+		}
+	}
+	return obj, nil
+}
+
+// Count returns the total number of objects in a forest (tests).
+func Count(objs []*Object) int {
+	n := 0
+	for _, o := range objs {
+		n++
+		for _, cs := range o.Children {
+			n += Count(cs)
+		}
+	}
+	return n
+}

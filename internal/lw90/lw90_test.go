@@ -1,0 +1,59 @@
+package lw90
+
+import (
+	"testing"
+
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/workload"
+)
+
+func designModel() *ObjectType {
+	sub := &ObjectType{Name: "Sub", Table: "SUBCOMP", KeyCol: "sid"}
+	comp := &ObjectType{Name: "Component", Table: "COMPONENTS", KeyCol: "cid",
+		Children: []ChildSpec{{Name: "subs", Type: sub, FKCol: "scid"}}}
+	return &ObjectType{Name: "Design", Table: "DESIGNS", KeyCol: "did",
+		Children: []ChildSpec{{Name: "components", Type: comp, FKCol: "cdid"}}}
+}
+
+func TestInstantiateMatchesXNFExtraction(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := workload.DesignConfig{Designs: 20, CompsPerDesign: 3, SubsPerComp: 2, Seed: 11}
+	if _, err := workload.LoadDesign(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	objs, st, err := Instantiate(s, designModel(), "model = 'model-2' AND version = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One design, 3 components, 6 subcomponents = 10 objects.
+	if got := Count(objs); got != 10 {
+		t.Errorf("objects = %d, want 10", got)
+	}
+	// The on-top approach issues one query per parent object per child
+	// relationship: 1 (roots) + 1 (components of the design) + 3 (subs per
+	// component) = 5 queries.
+	if st.Queries != 5 {
+		t.Errorf("queries = %d, want 5", st.Queries)
+	}
+	// The XNF extraction computes the same content with one query per
+	// node/edge, independent of object count.
+	r, err := s.Exec(workload.WorkingSetQuery("model-2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := r.CO
+	if co.Size() != 10 {
+		t.Errorf("CO size = %d, want 10", co.Size())
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	s := engine.NewDefault().Session()
+	if _, _, err := Instantiate(s, &ObjectType{Name: "X", Table: "NOPE", KeyCol: "id"}, ""); err == nil {
+		t.Error("missing table should fail")
+	}
+	s.MustExec("CREATE TABLE T (a INT); INSERT INTO T VALUES (1)")
+	if _, _, err := Instantiate(s, &ObjectType{Name: "T", Table: "T", KeyCol: "nokey"}, ""); err == nil {
+		t.Error("missing key column should fail")
+	}
+}

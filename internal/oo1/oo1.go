@@ -1,0 +1,256 @@
+// Package oo1 implements the Cattell OO1 ("Object Operations, version 1")
+// benchmark the paper invokes for its headline claim: XNF cache navigation
+// improves over the regular SQL DBMS interface by orders of magnitude,
+// "comparable to the performance improvement of OODBMS over relational
+// DBMSs reported in Cattell's benchmark [Gr91]".
+//
+// OO1's database is a parts graph: N parts, each with exactly three
+// outgoing connections to other parts (90% to "nearby" parts, modeling
+// locality). Its three operations are Lookup (fetch 1000 random parts),
+// Traversal (7-level closure over connections from a random part), and
+// Insert (add 100 parts wired with 3 connections each).
+//
+// Two arms reproduce the paper's comparison:
+//   - SQL arm: every navigation step is a SQL query against the engine
+//     (index probe per step) — the "regular SQL DBMS interface".
+//   - XNF arm: the parts graph loads once as a composite object into the
+//     cache; navigation is pointer dereference.
+package oo1
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqlxnf/internal/cache"
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/types"
+)
+
+// Config sizes the OO1 database.
+type Config struct {
+	Parts int
+	Seed  int64
+}
+
+// DefaultConfig uses the small OO1 database scaled to laptop runs.
+func DefaultConfig() Config { return Config{Parts: 5000, Seed: 42} }
+
+// Load creates and populates PART and CONN.
+func Load(s *engine.Session, cfg Config) error {
+	ddl := `
+	CREATE TABLE PART (id INT NOT NULL PRIMARY KEY, ptype VARCHAR, x INT, y INT, build INT);
+	CREATE TABLE CONN (cfrom INT, cto INT, ctype VARCHAR, clength INT);
+	CREATE INDEX conn_from ON CONN (cfrom);
+	CREATE INDEX conn_to ON CONN (cto);
+	`
+	if _, err := s.Exec(ddl); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for id := 1; id <= cfg.Parts; id++ {
+		row := types.Row{
+			types.NewInt(int64(id)),
+			types.NewString(fmt.Sprintf("type-%d", rng.Intn(10))),
+			types.NewInt(int64(rng.Intn(100000))),
+			types.NewInt(int64(rng.Intn(100000))),
+			types.NewInt(int64(rng.Intn(10))),
+		}
+		if _, err := s.InsertRow("PART", row); err != nil {
+			return err
+		}
+	}
+	for id := 1; id <= cfg.Parts; id++ {
+		for c := 0; c < 3; c++ {
+			to := connectTarget(rng, id, cfg.Parts)
+			row := types.Row{
+				types.NewInt(int64(id)),
+				types.NewInt(int64(to)),
+				types.NewString(fmt.Sprintf("ctype-%d", rng.Intn(10))),
+				types.NewInt(int64(rng.Intn(1000))),
+			}
+			if _, err := s.InsertRow("CONN", row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// connectTarget picks a connection target with OO1's locality rule: 90% of
+// connections go to one of the "closest" parts (here: within ±50 ids).
+func connectTarget(rng *rand.Rand, from, parts int) int {
+	if rng.Float64() < 0.9 {
+		lo := from - 50
+		if lo < 1 {
+			lo = 1
+		}
+		hi := from + 50
+		if hi > parts {
+			hi = parts
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	return 1 + rng.Intn(parts)
+}
+
+// COQuery is the XNF constructor exposing the parts graph as a composite
+// object. Xroot anchors reachability (every part is a root tuple); Xpart
+// carries the connection structure as a cyclic relationship with
+// attributes, per the paper's recursive-CO machinery.
+const COQuery = `OUT OF
+	Xroot AS PART,
+	Xpart AS PART,
+	anchor AS (RELATE Xroot, Xpart WHERE Xroot.id = Xpart.id),
+	connects AS (RELATE Xpart AS src, Xpart AS dst
+		WITH ATTRIBUTES c.ctype, c.clength
+		USING CONN c
+		WHERE src.id = c.cfrom AND dst.id = c.cto)
+TAKE *`
+
+// LoadCache evaluates the CO and loads it into the navigation cache with a
+// key index on part id.
+func LoadCache(s *engine.Session) (*cache.Cache, error) {
+	r, err := s.Exec(COQuery)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.Load(s, r.CO)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Node("Xpart").BuildKeyIndex("id"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Result carries operation counts so callers can verify both arms do the
+// same work.
+type Result struct {
+	Visited int
+	Sum     int64
+}
+
+// TraverseCache performs the OO1 traversal (depth levels, following
+// outgoing connections, counting repeated visits as OO1 specifies) over
+// the pointer cache.
+func TraverseCache(c *cache.Cache, startID int, depth int) (Result, error) {
+	parts := c.Node("Xpart")
+	start, err := parts.Lookup("id", types.NewInt(int64(startID)))
+	if err != nil {
+		return Result{}, err
+	}
+	if len(start) == 0 {
+		return Result{}, fmt.Errorf("oo1: part %d not found", startID)
+	}
+	var res Result
+	var walk func(t *cache.Tuple, d int) error
+	walk = func(t *cache.Tuple, d int) error {
+		res.Visited++
+		res.Sum += t.MustValue("x").Int()
+		if d == 0 {
+			return nil
+		}
+		next, err := c.Related(t, "connects")
+		if err != nil {
+			return err
+		}
+		for _, nt := range next {
+			if err := walk(nt, d-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start[0], depth); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// TraverseSQL performs the same traversal issuing one SQL query per
+// navigation step — the regular-SQL arm of the comparison.
+func TraverseSQL(s *engine.Session, startID int, depth int) (Result, error) {
+	var res Result
+	var walk func(id int64, d int) error
+	walk = func(id int64, d int) error {
+		r, err := s.Exec(fmt.Sprintf("SELECT x FROM PART WHERE id = %d", id))
+		if err != nil {
+			return err
+		}
+		if len(r.Rows) == 0 {
+			return fmt.Errorf("oo1: part %d not found", id)
+		}
+		res.Visited++
+		res.Sum += r.Rows[0][0].Int()
+		if d == 0 {
+			return nil
+		}
+		conns, err := s.Exec(fmt.Sprintf("SELECT cto FROM CONN WHERE cfrom = %d", id))
+		if err != nil {
+			return err
+		}
+		for _, row := range conns.Rows {
+			if err := walk(row[0].Int(), d-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(int64(startID), depth); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// LookupCache fetches n random parts through the cache key index.
+func LookupCache(c *cache.Cache, rng *rand.Rand, parts, n int) (int64, error) {
+	node := c.Node("Xpart")
+	var sum int64
+	for i := 0; i < n; i++ {
+		id := 1 + rng.Intn(parts)
+		ts, err := node.Lookup("id", types.NewInt(int64(id)))
+		if err != nil {
+			return 0, err
+		}
+		if len(ts) > 0 {
+			sum += ts[0].MustValue("x").Int()
+		}
+	}
+	return sum, nil
+}
+
+// LookupSQL fetches n random parts with point queries.
+func LookupSQL(s *engine.Session, rng *rand.Rand, parts, n int) (int64, error) {
+	var sum int64
+	for i := 0; i < n; i++ {
+		id := 1 + rng.Intn(parts)
+		r, err := s.Exec(fmt.Sprintf("SELECT x FROM PART WHERE id = %d", id))
+		if err != nil {
+			return 0, err
+		}
+		if len(r.Rows) > 0 {
+			sum += r.Rows[0][0].Int()
+		}
+	}
+	return sum, nil
+}
+
+// InsertSQL performs the OO1 insert operation: n new parts, each wired with
+// three connections, through SQL.
+func InsertSQL(s *engine.Session, rng *rand.Rand, nextID, n, parts int) error {
+	for i := 0; i < n; i++ {
+		id := nextID + i
+		if _, err := s.Exec(fmt.Sprintf(
+			"INSERT INTO PART VALUES (%d, 'type-new', %d, %d, 0)", id, rng.Intn(100000), rng.Intn(100000))); err != nil {
+			return err
+		}
+		for c := 0; c < 3; c++ {
+			if _, err := s.Exec(fmt.Sprintf(
+				"INSERT INTO CONN VALUES (%d, %d, 'ctype-new', %d)", id, 1+rng.Intn(parts), rng.Intn(1000))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

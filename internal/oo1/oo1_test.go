@@ -1,0 +1,92 @@
+package oo1
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlxnf/internal/engine"
+)
+
+func TestLoadAndTraversalAgreement(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := Config{Parts: 200, Seed: 5}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Exec("SELECT COUNT(*) FROM PART")
+	if r.Rows[0][0].Int() != 200 {
+		t.Fatalf("parts = %v", r.Rows[0][0])
+	}
+	r, _ = s.Exec("SELECT COUNT(*) FROM CONN")
+	if r.Rows[0][0].Int() != 600 {
+		t.Fatalf("conns = %v", r.Rows[0][0])
+	}
+	c, err := LoadCache(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every part is reachable via the anchor.
+	if got := len(c.Node("Xpart").Tuples); got != 200 {
+		t.Fatalf("cached parts = %d", got)
+	}
+	// Both arms produce identical traversal results (same visits, same sum).
+	for _, start := range []int{1, 57, 133} {
+		rc, err := TraverseCache(c, start, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := TraverseSQL(s, start, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc != rs {
+			t.Errorf("start %d: cache=%+v sql=%+v", start, rc, rs)
+		}
+		// Depth-3 visits: 1 + 3 + 9 + 27 = 40 (counting repeats, OO1 style).
+		if rc.Visited != 40 {
+			t.Errorf("start %d visited %d, want 40", start, rc.Visited)
+		}
+	}
+}
+
+func TestLookupAgreement(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := Config{Parts: 100, Seed: 6}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCache(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LookupCache(c, rand.New(rand.NewSource(9)), cfg.Parts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LookupSQL(s, rand.New(rand.NewSource(9)), cfg.Parts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("lookup sums differ: %d vs %d", a, b)
+	}
+}
+
+func TestInsertSQL(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := Config{Parts: 50, Seed: 7}
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := InsertSQL(s, rand.New(rand.NewSource(1)), cfg.Parts+1, 10, cfg.Parts); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Exec("SELECT COUNT(*) FROM PART")
+	if r.Rows[0][0].Int() != 60 {
+		t.Errorf("parts after insert = %v", r.Rows[0][0])
+	}
+	r, _ = s.Exec("SELECT COUNT(*) FROM CONN")
+	if r.Rows[0][0].Int() != 180 {
+		t.Errorf("conns after insert = %v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,669 @@
+// Package optimizer compiles QGM boxes into executable plans: access-path
+// selection (sequential vs index scan), predicate pushdown to scans, greedy
+// join ordering under a cardinality model, hash joins for equality
+// predicates, and operator placement for grouping, distinct, order and
+// limit. It corresponds to the paper's "plan optimization and query
+// refinement" stages (Fig. 8); as the paper notes, handling of joins is the
+// heavily used part since parent/child relationships compute by joins.
+package optimizer
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
+)
+
+// Options toggles optimizer features (benches ablate them). The zero
+// value enables everything.
+type Options struct {
+	NoIndexes   bool
+	NoHashJoins bool
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options { return Options{} }
+
+// Selectivity constants of the textbook cost model.
+const (
+	selEquality = 0.05
+	selRange    = 0.30
+	selOther    = 0.50
+	defaultCard = 1000.0
+)
+
+// Compile lowers a box to a physical plan with default options.
+func Compile(box *qgm.Box) (exec.Plan, error) { return CompileWith(box, DefaultOptions()) }
+
+// CompileWith lowers a box to a physical plan.
+func CompileWith(box *qgm.Box, opt Options) (exec.Plan, error) {
+	c := &compiler{opt: opt}
+	return c.compileBox(box)
+}
+
+// CompileRowExpr compiles a scalar expression whose column references all
+// target one row (quantifier 0), e.g. UPDATE/DELETE predicates.
+func CompileRowExpr(e qgm.Expr) (exec.Expr, error) {
+	c := &compiler{opt: DefaultOptions()}
+	return c.compileExpr(e, map[int]int{0: 0})
+}
+
+// CompileConstExpr compiles an expression with no column references.
+func CompileConstExpr(e qgm.Expr) (exec.Expr, error) {
+	c := &compiler{opt: DefaultOptions()}
+	return c.compileExpr(e, map[int]int{})
+}
+
+type compiler struct {
+	opt Options
+}
+
+func (c *compiler) compileBox(box *qgm.Box) (exec.Plan, error) {
+	switch box.Kind {
+	case qgm.KindBase:
+		return &exec.SeqScan{Table: box.Table}, nil
+	case qgm.KindValues:
+		rows := make([]types.Row, len(box.ValueRows))
+		for i, r := range box.ValueRows {
+			rows[i] = types.Row(r)
+		}
+		return &exec.Values{Out: box.Out, Rows: rows}, nil
+	case qgm.KindSelect:
+		return c.compileSelect(box)
+	case qgm.KindGroup:
+		return c.compileGroup(box)
+	case qgm.KindXNF:
+		return nil, fmt.Errorf("optimizer: XNF box %q must pass through the XNF semantic rewrite first", box.Name)
+	default:
+		return nil, fmt.Errorf("optimizer: box kind %v not supported", box.Kind)
+	}
+}
+
+func (c *compiler) compileGroup(box *qgm.Box) (exec.Plan, error) {
+	if len(box.Quants) != 1 {
+		return nil, fmt.Errorf("optimizer: group box needs exactly one input")
+	}
+	child, err := c.compileBox(box.Quants[0].Input)
+	if err != nil {
+		return nil, err
+	}
+	g := &exec.GroupAgg{Child: child, Out: box.Out}
+	for _, k := range box.GroupBy {
+		cr, ok := k.(*qgm.ColRef)
+		if !ok || cr.Quant != 0 {
+			return nil, fmt.Errorf("optimizer: group key must be an input column")
+		}
+		g.KeyIdxs = append(g.KeyIdxs, cr.Col)
+	}
+	for _, a := range box.Aggs {
+		def := exec.AggDef{Distinct: a.Distinct, ArgIdx: -1}
+		switch a.Kind {
+		case qgm.AggCount:
+			def.Kind = exec.AggCount
+		case qgm.AggCountStar:
+			def.Kind = exec.AggCountStar
+		case qgm.AggSum:
+			def.Kind = exec.AggSum
+		case qgm.AggAvg:
+			def.Kind = exec.AggAvg
+		case qgm.AggMin:
+			def.Kind = exec.AggMin
+		case qgm.AggMax:
+			def.Kind = exec.AggMax
+		}
+		if a.Arg != nil {
+			cr, ok := a.Arg.(*qgm.ColRef)
+			if !ok || cr.Quant != 0 {
+				return nil, fmt.Errorf("optimizer: aggregate argument must be an input column")
+			}
+			def.ArgIdx = cr.Col
+		}
+		g.Aggs = append(g.Aggs, def)
+	}
+	return g, nil
+}
+
+// quantState tracks one quantifier during join planning.
+type quantState struct {
+	idx    int
+	plan   exec.Plan
+	schema types.Schema
+	card   float64
+	joined bool
+	isBase bool
+	box    *qgm.Box
+	pushed []qgm.Expr // single-quant conjuncts (in box numbering)
+}
+
+func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
+	conjuncts := qgm.Conjuncts(box.Pred)
+	nQ := len(box.Quants)
+
+	// Classify conjuncts.
+	var perQuant = make([][]qgm.Expr, nQ)
+	var joinConj []qgm.Expr
+	var residual []qgm.Expr
+	for _, cj := range conjuncts {
+		if exprHasExists(cj) {
+			residual = append(residual, cj)
+			continue
+		}
+		used := qgm.QuantsUsed(cj)
+		switch len(used) {
+		case 0:
+			residual = append(residual, cj)
+		case 1:
+			for q := range used {
+				perQuant[q] = append(perQuant[q], cj)
+			}
+		default:
+			joinConj = append(joinConj, cj)
+		}
+	}
+
+	// Build per-quant access paths.
+	states := make([]*quantState, nQ)
+	for qi, q := range box.Quants {
+		st := &quantState{idx: qi, box: q.Input, pushed: perQuant[qi]}
+		if q.Input.Kind == qgm.KindBase {
+			st.isBase = true
+			plan, card, err := c.baseAccessPath(q.Input, perQuant[qi])
+			if err != nil {
+				return nil, err
+			}
+			st.plan, st.card = plan, card
+			st.schema = q.Input.Out
+		} else {
+			sub, err := c.compileBox(q.Input)
+			if err != nil {
+				return nil, err
+			}
+			st.plan = sub
+			st.schema = q.Input.Out
+			st.card = defaultCard
+			for range perQuant[qi] {
+				st.card *= selOther
+			}
+			// Push single-quant conjuncts as a filter above the subplan.
+			if len(perQuant[qi]) > 0 {
+				pred, err := c.compilePredicateFor(perQuant[qi], map[int]int{qi: 0})
+				if err != nil {
+					return nil, err
+				}
+				st.plan = &exec.Filter{Child: st.plan, Pred: pred}
+			}
+		}
+		states[qi] = st
+	}
+
+	var plan exec.Plan
+	offsets := make(map[int]int)
+	var joinedSchema types.Schema
+	remaining := append([]qgm.Expr(nil), joinConj...)
+
+	if nQ == 0 {
+		return nil, fmt.Errorf("optimizer: select box %q has no quantifiers", box.Name)
+	}
+
+	// Seed with the smallest input.
+	first := 0
+	for i := 1; i < nQ; i++ {
+		if states[i].card < states[first].card {
+			first = i
+		}
+	}
+	plan = states[first].plan
+	joinedSchema = states[first].schema.Clone()
+	offsets[first] = 0
+	states[first].joined = true
+	curCard := states[first].card
+
+	for joinedCount := 1; joinedCount < nQ; joinedCount++ {
+		// Choose the next quantifier: prefer one connected by an equi-join
+		// conjunct, minimizing estimated output cardinality.
+		best := -1
+		bestCard := 0.0
+		bestConnected := false
+		for i, st := range states {
+			if st.joined {
+				continue
+			}
+			connected := false
+			for _, cj := range remaining {
+				if conjConnects(cj, offsets, i) {
+					connected = true
+					break
+				}
+			}
+			est := curCard * st.card
+			if connected {
+				est *= selEquality
+			}
+			if best == -1 || (connected && !bestConnected) ||
+				(connected == bestConnected && est < bestCard) {
+				best, bestCard, bestConnected = i, est, connected
+			}
+		}
+		st := states[best]
+
+		// Partition remaining join conjuncts into ones now evaluable.
+		var now []qgm.Expr
+		var later []qgm.Expr
+		for _, cj := range remaining {
+			if conjEvaluable(cj, offsets, best) {
+				now = append(now, cj)
+			} else {
+				later = append(later, cj)
+			}
+		}
+		remaining = later
+
+		// Offsets after this join: new quant appended at current width.
+		newOffsets := make(map[int]int, len(offsets)+1)
+		for k, v := range offsets {
+			newOffsets[k] = v
+		}
+		newOffsets[best] = len(joinedSchema)
+
+		// Split equalities usable as hash keys.
+		var leftKeys, rightKeys []exec.Expr
+		var residualJoin []qgm.Expr
+		for _, cj := range now {
+			l, r, ok := equiJoinSides(cj, offsets, best)
+			if ok && !c.opt.NoHashJoins {
+				lk, err := c.compileExpr(l, offsets)
+				if err != nil {
+					return nil, err
+				}
+				// Right side compiled against the new quant alone.
+				rk, err := c.compileExpr(r, map[int]int{best: 0})
+				if err != nil {
+					return nil, err
+				}
+				leftKeys = append(leftKeys, lk)
+				rightKeys = append(rightKeys, rk)
+			} else {
+				residualJoin = append(residualJoin, cj)
+			}
+		}
+		var resPred exec.Expr
+		if len(residualJoin) > 0 {
+			p, err := c.compilePredicateFor(residualJoin, newOffsets)
+			if err != nil {
+				return nil, err
+			}
+			resPred = p
+		}
+		if len(leftKeys) > 0 {
+			plan = exec.NewHashJoin(plan, st.plan, leftKeys, rightKeys, resPred)
+		} else {
+			plan = exec.NewNLJoin(plan, st.plan, resPred)
+		}
+		joinedSchema = joinedSchema.Concat(st.schema)
+		offsets = newOffsets
+		states[best].joined = true
+		curCard = bestCard
+		if curCard < 1 {
+			curCard = 1
+		}
+	}
+
+	// Residual predicates (Exists and constants) after all joins.
+	if len(residual) > 0 {
+		pred, err := c.compilePredicateFor(residual, offsets)
+		if err != nil {
+			return nil, err
+		}
+		plan = &exec.Filter{Child: plan, Pred: pred}
+	}
+
+	// Projection.
+	exprs := make([]exec.Expr, len(box.Head))
+	for i, h := range box.Head {
+		e, err := c.compileExpr(h.Expr, offsets)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+	}
+	plan = &exec.Project{Child: plan, Exprs: exprs, Out: box.Out}
+
+	if box.Distinct {
+		plan = &exec.Distinct{Child: plan}
+	}
+	if len(box.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(box.OrderBy))
+		for i, o := range box.OrderBy {
+			keys[i] = exec.SortKey{Idx: o.HeadIdx, Desc: o.Desc}
+		}
+		plan = &exec.Sort{Child: plan, Keys: keys}
+	}
+	if box.HiddenSort > 0 {
+		// Trim hidden sort columns after ordering.
+		n := len(box.Head) - box.HiddenSort
+		trim := make([]exec.Expr, n)
+		for i := range trim {
+			trim[i] = exec.Col{Idx: i}
+		}
+		plan = &exec.Project{Child: plan, Exprs: trim, Out: box.Out[:n].Clone()}
+	}
+	if box.Limit != nil {
+		plan = &exec.Limit{Child: plan, N: *box.Limit}
+	}
+	return plan, nil
+}
+
+// baseAccessPath picks an index or sequential scan for a base table given
+// its pushed conjuncts, returning the plan and estimated cardinality.
+func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, float64, error) {
+	t := base.Table
+	card := float64(t.Rows)
+	if card < 1 {
+		card = 1
+	}
+	var scan exec.Plan
+	usedConj := -1
+	if !c.opt.NoIndexes {
+		// Find an equality or range conjunct on the leading column of an
+		// index. Constants only (parameters resolve at Open, also fine).
+		for ci, cj := range pushed {
+			col, cmp, valExpr, ok := indexableConjunct(cj)
+			if !ok {
+				continue
+			}
+			for _, ix := range t.Indexes {
+				if t.Schema.Index(ix.Columns[0]) != col {
+					continue
+				}
+				ve, err := c.compileExpr(valExpr, nil)
+				if err != nil {
+					continue
+				}
+				is := &exec.IndexScan{Table: t, Index: ix}
+				switch cmp {
+				case "=":
+					is.Lo, is.Hi = []exec.Expr{ve}, []exec.Expr{ve}
+					is.LoInc, is.HiInc = true, true
+					if ix.Unique && len(ix.Columns) == 1 {
+						card = 1
+					} else {
+						card *= selEquality
+					}
+				case ">", ">=":
+					is.Lo = []exec.Expr{ve}
+					is.LoInc = cmp == ">="
+					card *= selRange
+				case "<", "<=":
+					is.Hi = []exec.Expr{ve}
+					is.HiInc = cmp == "<="
+					card *= selRange
+				default:
+					continue
+				}
+				scan = is
+				usedConj = ci
+				break
+			}
+			if scan != nil {
+				break
+			}
+		}
+	}
+	if scan == nil {
+		scan = &exec.SeqScan{Table: t}
+	}
+	// Remaining conjuncts become a filter; estimate their selectivity.
+	var rest []qgm.Expr
+	for i, cj := range pushed {
+		if i == usedConj {
+			continue
+		}
+		rest = append(rest, cj)
+		card *= conjSelectivity(cj)
+	}
+	if len(rest) > 0 {
+		pred, err := c.compilePredicateFor(rest, map[int]int{anyQuant(rest): 0})
+		if err != nil {
+			return nil, 0, err
+		}
+		scan = &exec.Filter{Child: scan, Pred: pred}
+	}
+	if card < 1 {
+		card = 1
+	}
+	return scan, card, nil
+}
+
+func anyQuant(conj []qgm.Expr) int {
+	for _, cj := range conj {
+		for q := range qgm.QuantsUsed(cj) {
+			return q
+		}
+	}
+	return 0
+}
+
+func conjSelectivity(cj qgm.Expr) float64 {
+	if b, ok := cj.(*qgm.Binary); ok {
+		switch b.Op {
+		case "=":
+			return selEquality
+		case "<", "<=", ">", ">=":
+			return selRange
+		}
+	}
+	return selOther
+}
+
+// indexableConjunct matches col <cmp> constant shapes.
+func indexableConjunct(cj qgm.Expr) (col int, cmp string, val qgm.Expr, ok bool) {
+	b, isBin := cj.(*qgm.Binary)
+	if !isBin {
+		return 0, "", nil, false
+	}
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return 0, "", nil, false
+	}
+	if cr, isCol := b.L.(*qgm.ColRef); isCol {
+		if isConstant(b.R) {
+			return cr.Col, b.Op, b.R, true
+		}
+	}
+	if cr, isCol := b.R.(*qgm.ColRef); isCol {
+		if isConstant(b.L) {
+			return cr.Col, flipCmp(b.Op), b.L, true
+		}
+	}
+	return 0, "", nil, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+func isConstant(e qgm.Expr) bool {
+	constant := true
+	qgm.WalkExpr(e, func(x qgm.Expr) bool {
+		switch x.(type) {
+		case *qgm.ColRef, *qgm.Exists:
+			constant = false
+		}
+		return constant
+	})
+	return constant
+}
+
+// conjConnects reports whether cj references quant q and only quants that
+// are already joined (plus q).
+func conjConnects(cj qgm.Expr, offsets map[int]int, q int) bool {
+	used := qgm.QuantsUsed(cj)
+	if !used[q] {
+		return false
+	}
+	for u := range used {
+		if u == q {
+			continue
+		}
+		if _, ok := offsets[u]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// conjEvaluable reports whether cj only references joined quants plus q.
+func conjEvaluable(cj qgm.Expr, offsets map[int]int, q int) bool {
+	for u := range qgm.QuantsUsed(cj) {
+		if u == q {
+			continue
+		}
+		if _, ok := offsets[u]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// equiJoinSides splits cj into (left side over joined quants, right side
+// over quant q) when cj is an equality usable as a hash-join key.
+func equiJoinSides(cj qgm.Expr, offsets map[int]int, q int) (l, r qgm.Expr, ok bool) {
+	b, isBin := cj.(*qgm.Binary)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	sideOf := func(e qgm.Expr) (onlyQ, onlyJoined bool) {
+		onlyQ, onlyJoined = true, true
+		for u := range qgm.QuantsUsed(e) {
+			if u != q {
+				onlyQ = false
+			}
+			if _, joined := offsets[u]; !joined {
+				onlyJoined = false
+			}
+		}
+		if len(qgm.QuantsUsed(e)) == 0 {
+			onlyQ, onlyJoined = false, false // constants make poor keys
+		}
+		return
+	}
+	lq, lj := sideOf(b.L)
+	rq, rj := sideOf(b.R)
+	switch {
+	case lj && rq:
+		return b.L, b.R, true
+	case rj && lq:
+		return b.R, b.L, true
+	default:
+		return nil, nil, false
+	}
+}
+
+func exprHasExists(e qgm.Expr) bool {
+	found := false
+	qgm.WalkExpr(e, func(x qgm.Expr) bool {
+		if _, ok := x.(*qgm.Exists); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// compilePredicateFor compiles a conjunct list under an offset mapping.
+func (c *compiler) compilePredicateFor(conj []qgm.Expr, offsets map[int]int) (exec.Expr, error) {
+	var out exec.Expr
+	for _, cj := range conj {
+		e, err := c.compileExpr(cj, offsets)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = exec.BinOp{Op: "AND", L: out, R: e}
+		}
+	}
+	return out, nil
+}
+
+// compileExpr lowers a QGM expression to an exec expression; offsets maps
+// quantifier index to flat row offset (nil for expressions with no columns).
+func (c *compiler) compileExpr(e qgm.Expr, offsets map[int]int) (exec.Expr, error) {
+	switch x := e.(type) {
+	case *qgm.ColRef:
+		off, ok := offsets[x.Quant]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: column %s references unjoined quantifier %d", x, x.Quant)
+		}
+		return exec.Col{Idx: off + x.Col}, nil
+	case *qgm.Const:
+		return exec.Const{V: x.Val}, nil
+	case *qgm.Param:
+		return exec.ParamRef{Idx: x.Idx}, nil
+	case *qgm.Binary:
+		l, err := c.compileExpr(x.L, offsets)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(x.R, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.BinOp{Op: x.Op, L: l, R: r}, nil
+	case *qgm.Unary:
+		inner, err := c.compileExpr(x.E, offsets)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return exec.Not{E: inner}, nil
+		}
+		return exec.Neg{E: inner}, nil
+	case *qgm.IsNull:
+		inner, err := c.compileExpr(x.E, offsets)
+		if err != nil {
+			return nil, err
+		}
+		return exec.IsNull{E: inner, Negate: x.Negate}, nil
+	case *qgm.InList:
+		inner, err := c.compileExpr(x.E, offsets)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]exec.Expr, len(x.List))
+		for i, l := range x.List {
+			if list[i], err = c.compileExpr(l, offsets); err != nil {
+				return nil, err
+			}
+		}
+		return exec.InList{E: inner, List: list, Negate: x.Negate}, nil
+	case *qgm.Exists:
+		sub, err := c.compileBox(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		corr := make([]exec.Expr, len(x.Corr))
+		for i, ce := range x.Corr {
+			if corr[i], err = c.compileExpr(ce, offsets); err != nil {
+				return nil, err
+			}
+		}
+		return exec.ExistsOp{Plan: sub, Corr: corr, Negate: x.Negate}, nil
+	default:
+		return nil, fmt.Errorf("optimizer: unsupported expression %T", e)
+	}
+}

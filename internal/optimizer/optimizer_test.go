@@ -1,0 +1,179 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/rewrite"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// fixture builds a catalog with two tables, an index, and some rows.
+func fixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	dept, err := cat.CreateTable("DEPT", types.Schema{
+		{Name: "dno", Kind: types.KindInt}, {Name: "loc", Kind: types.KindString},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := cat.CreateTable("EMP", types.Schema{
+		{Name: "eno", Kind: types.KindInt}, {Name: "edno", Kind: types.KindInt},
+		{Name: "sal", Kind: types.KindFloat},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixd, _ := cat.CreateIndex("dept_dno", "DEPT", []string{"dno"}, true)
+	ixe, _ := cat.CreateIndex("emp_edno", "EMP", []string{"edno"}, false)
+	insert := func(tbl *catalog.Table, ix *catalog.Index, rows []types.Row) {
+		for _, r := range rows {
+			rid, err := tbl.Heap.Insert(tbl.Tag, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, _ := ix.KeyFor(tbl.Schema, r)
+			_ = ix.Tree.Insert(key, rid)
+			tbl.Rows++
+		}
+	}
+	insert(dept, ixd, []types.Row{
+		{types.NewInt(1), types.NewString("NY")},
+		{types.NewInt(2), types.NewString("SF")},
+		{types.NewInt(3), types.NewString("NY")},
+	})
+	var emps []types.Row
+	for i := 0; i < 30; i++ {
+		emps = append(emps, types.Row{
+			types.NewInt(int64(100 + i)),
+			types.NewInt(int64(1 + i%3)),
+			types.NewFloat(float64(1000 + i*100)),
+		})
+	}
+	insert(emp, ixe, emps)
+	return cat
+}
+
+func compileSQL(t *testing.T, cat *catalog.Catalog, sql string, opt Options) exec.Plan {
+	t.Helper()
+	st, err := parser.ParseOne(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := qgm.NewBuilder(cat, nil).BuildSelect(st.(*parser.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box = rewrite.Rewrite(box, rewrite.DefaultOptions())
+	plan, err := CompileWith(box, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestIndexSelectionForPointQuery(t *testing.T) {
+	cat := fixture(t)
+	plan := compileSQL(t, cat, "SELECT * FROM DEPT WHERE dno = 2", DefaultOptions())
+	if !strings.Contains(exec.Dump(plan), "IndexScan DEPT") {
+		t.Errorf("point query should use the index:\n%s", exec.Dump(plan))
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil || len(rows) != 1 || rows[0][1].Str() != "SF" {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	// Ablation: no indexes → sequential scan.
+	plan = compileSQL(t, cat, "SELECT * FROM DEPT WHERE dno = 2", Options{NoIndexes: true})
+	if strings.Contains(exec.Dump(plan), "IndexScan") {
+		t.Error("NoIndexes must force SeqScan")
+	}
+}
+
+func TestRangeIndexScan(t *testing.T) {
+	cat := fixture(t)
+	plan := compileSQL(t, cat, "SELECT eno FROM EMP WHERE edno >= 3", DefaultOptions())
+	dump := exec.Dump(plan)
+	if !strings.Contains(dump, "IndexScan EMP") {
+		t.Errorf("range should use index:\n%s", dump)
+	}
+	rows, _ := exec.Collect(exec.NewContext(), plan)
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+}
+
+func TestHashJoinChosenForEquiJoin(t *testing.T) {
+	cat := fixture(t)
+	q := "SELECT d.loc, e.eno FROM DEPT d, EMP e WHERE d.dno = e.edno"
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	if !strings.Contains(exec.Dump(plan), "HashJoin") {
+		t.Errorf("equi-join should hash:\n%s", exec.Dump(plan))
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil || len(rows) != 30 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+	// Ablation agrees on results.
+	plan2 := compileSQL(t, cat, q, Options{NoHashJoins: true})
+	if strings.Contains(exec.Dump(plan2), "HashJoin") {
+		t.Error("NoHashJoins must avoid hash joins")
+	}
+	rows2, err := exec.Collect(exec.NewContext(), plan2)
+	if err != nil || len(rows2) != len(rows) {
+		t.Fatalf("NL rows = %d, %v", len(rows2), err)
+	}
+}
+
+func TestNonEquiJoinFallsBackToNL(t *testing.T) {
+	cat := fixture(t)
+	plan := compileSQL(t, cat,
+		"SELECT d.dno, e.eno FROM DEPT d, EMP e WHERE e.sal > d.dno * 1000", DefaultOptions())
+	if !strings.Contains(exec.Dump(plan), "NLJoin") {
+		t.Errorf("non-equi join should nest loops:\n%s", exec.Dump(plan))
+	}
+	if _, err := exec.Collect(exec.NewContext(), plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeWayJoinOrder(t *testing.T) {
+	cat := fixture(t)
+	// Self-join via dept: the planner must produce a connected join tree.
+	q := `SELECT d.loc, a.eno, b.eno FROM DEPT d, EMP a, EMP b
+	      WHERE d.dno = a.edno AND d.dno = b.edno AND a.eno < b.eno`
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each dept has 10 employees: C(10,2)=45 ordered pairs per dept.
+	if len(rows) != 3*45 {
+		t.Errorf("rows = %d, want 135", len(rows))
+	}
+}
+
+func TestCompileXNFBoxRejected(t *testing.T) {
+	if _, err := Compile(&qgm.Box{Kind: qgm.KindXNF, Name: "x"}); err == nil {
+		t.Error("raw XNF box must be rejected (needs semantic rewrite)")
+	}
+}
+
+func TestCompileRowExpr(t *testing.T) {
+	e, err := CompileRowExpr(&qgm.Binary{Op: ">",
+		L: &qgm.ColRef{Quant: 0, Col: 2, Name: "sal"},
+		R: &qgm.Const{Val: types.NewFloat(2000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := exec.EvalPred(exec.NewContext(), e,
+		types.Row{types.NewInt(1), types.NewInt(1), types.NewFloat(3000)})
+	if err != nil || !ok {
+		t.Fatalf("pred eval: %v %v", ok, err)
+	}
+}

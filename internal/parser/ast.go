@@ -1,0 +1,506 @@
+package parser
+
+import (
+	"strings"
+
+	"sqlxnf/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef names a column, optionally qualified: budget, d.budget.
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// String renders the reference.
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val types.Value
+}
+
+func (*Literal) exprNode() {}
+
+// String renders the literal.
+func (l *Literal) String() string { return l.Val.SQLLiteral() }
+
+// BinaryExpr covers arithmetic, comparison, and boolean connectives.
+type BinaryExpr struct {
+	Op   string // +,-,*,/,%,||,=,<>,<,<=,>,>=,AND,OR,LIKE
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// String renders the expression parenthesized.
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// UnaryExpr covers NOT and unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	E  Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// String renders the expression.
+func (u *UnaryExpr) String() string { return "(" + u.Op + " " + u.E.String() + ")" }
+
+// IsNullExpr is E IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+
+// InExpr is E [NOT] IN (value list).
+type InExpr struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*InExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *InExpr) String() string {
+	var parts []string
+	for _, x := range e.List {
+		parts = append(parts, x.String())
+	}
+	op := " IN "
+	if e.Negate {
+		op = " NOT IN "
+	}
+	return "(" + e.E.String() + op + "(" + strings.Join(parts, ", ") + "))"
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery) or [NOT] EXISTS path-expression.
+// Exactly one of Sub and Path is set.
+type ExistsExpr struct {
+	Sub    *SelectStmt
+	Path   *PathExpr
+	Negate bool
+}
+
+func (*ExistsExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *ExistsExpr) String() string {
+	inner := ""
+	if e.Sub != nil {
+		inner = "(" + e.Sub.String() + ")"
+	} else {
+		inner = e.Path.String()
+	}
+	if e.Negate {
+		return "(NOT EXISTS " + inner + ")"
+	}
+	return "(EXISTS " + inner + ")"
+}
+
+// FuncExpr is an aggregate or scalar function call. Star marks COUNT(*).
+// PathArg holds the path when the argument is a path expression, e.g.
+// COUNT(d->employment->projmanagement), which the paper treats as a table.
+type FuncExpr struct {
+	Name     string // upper-case: COUNT, SUM, AVG, MIN, MAX
+	Star     bool
+	Distinct bool
+	Args     []Expr
+	PathArg  *PathExpr
+}
+
+func (*FuncExpr) exprNode() {}
+
+// String renders the call.
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	if f.PathArg != nil {
+		return f.Name + "(" + f.PathArg.String() + ")"
+	}
+	var parts []string
+	for _, a := range f.Args {
+		parts = append(parts, a.String())
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+// PathStep is one hop of a path expression: a relationship or node name,
+// optionally qualified with a binding variable and predicate:
+// ->(Xemp e WHERE e.sal < 2000)->.
+type PathStep struct {
+	Name string
+	Var  string
+	Pred Expr
+}
+
+// String renders the step.
+func (s PathStep) String() string {
+	if s.Pred == nil && s.Var == "" {
+		return s.Name
+	}
+	out := "(" + s.Name
+	if s.Var != "" {
+		out += " " + s.Var
+	}
+	if s.Pred != nil {
+		out += " WHERE " + s.Pred.String()
+	}
+	return out + ")"
+}
+
+// PathExpr is a navigational path over a composite object's schema graph:
+// anchor->step->step->... The anchor is a tuple variable or a node name.
+// A path denotes a table (the set of reachable target tuples), so it may
+// appear wherever a table is expected and inside COUNT/EXISTS.
+type PathExpr struct {
+	Anchor string
+	Steps  []PathStep
+}
+
+func (*PathExpr) exprNode() {}
+
+// String renders the path.
+func (p *PathExpr) String() string {
+	parts := []string{p.Anchor}
+	for _, s := range p.Steps {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "->")
+}
+
+// ---------------------------------------------------------------------------
+// SQL statements
+// ---------------------------------------------------------------------------
+
+// Statement is any parsed statement.
+type Statement interface{ stmtNode() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	TypeName   string
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE name (cols...) [CLUSTER FAMILY f].
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+	Family  string
+}
+
+func (*CreateTableStmt) stmtNode() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (cols...).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndexStmt) stmtNode() {}
+
+// CreateViewStmt is CREATE VIEW name AS <select | xnf query>.
+// Exactly one of Select and XNF is set.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+	XNF    *XNFQuery
+	// Text is the definition body as written, stored in the catalog so views
+	// re-expand during compilation. ParseScript fills it from BodyOff.
+	Text    string
+	BodyOff int
+}
+
+func (*CreateViewStmt) stmtNode() {}
+
+// DropStmt is DROP TABLE/INDEX/VIEW name.
+type DropStmt struct {
+	Kind string // TABLE, INDEX, VIEW
+	Name string
+}
+
+func (*DropStmt) stmtNode() {}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...),(...) | SELECT ... .
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+func (*InsertStmt) stmtNode() {}
+
+// Assignment is col = expr in UPDATE SET.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE t [alias] SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmtNode() {}
+
+// DeleteStmt is DELETE FROM t [alias] [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+func (*DeleteStmt) stmtNode() {}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Star          bool   // SELECT *
+	StarQualifier string // SELECT t.*
+	Expr          Expr
+	Alias         string
+}
+
+// TableRef is one FROM item: a base table/view name with optional alias, or
+// a parenthesized derived table.
+type TableRef struct {
+	Table string
+	Alias string
+	Sub   *SelectStmt
+}
+
+// Binding returns the name this ref is known by in the query scope.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is the SELECT ... FROM ... WHERE ... query block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// String renders an approximation of the query (used in errors/EXPLAIN).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarQualifier != "":
+			b.WriteString(it.StarQualifier + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if f.Sub != nil {
+			b.WriteString("(" + f.Sub.String() + ")")
+		} else {
+			b.WriteString(f.Table)
+		}
+		if f.Alias != "" {
+			b.WriteString(" " + f.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+// BeginStmt, CommitStmt, RollbackStmt control transactions.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmtNode() {}
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmtNode() {}
+
+// RollbackStmt aborts the current transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmtNode() {}
+
+// ExplainStmt wraps a statement for plan display.
+type ExplainStmt struct {
+	Target Statement
+}
+
+func (*ExplainStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// XNF statements (the composite object constructor, §3 of the paper)
+// ---------------------------------------------------------------------------
+
+// RelAttr is one WITH ATTRIBUTES item of a RELATE clause.
+type RelAttr struct {
+	Name string // attribute name in the relationship's schema
+	Expr Expr
+}
+
+// RelateClause defines a relationship between a parent node and a child
+// node, optionally deriving attributes from USING base tables:
+//
+//	RELATE Xproj, Xemp WITH ATTRIBUTES ep.percentage USING EMPPROJ ep
+//	WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno
+type RelateClause struct {
+	Parent     string
+	ParentRole string // optional role name for cyclic relationships
+	Child      string
+	ChildRole  string
+	Attrs      []RelAttr
+	Using      []TableRef
+	Where      Expr
+}
+
+// XNFSource is one OUT OF item. Exactly one of Select, TableName, Relate,
+// ViewRef is set:
+//
+//	Xdept AS (SELECT * FROM DEPT WHERE loc='NY')   -- Select
+//	Xemp AS EMP                                     -- TableName (short form)
+//	employment AS (RELATE ...)                      -- Relate
+//	ALL_DEPS                                        -- ViewRef (XNF view)
+type XNFSource struct {
+	Name      string
+	Select    *SelectStmt
+	TableName string
+	Relate    *RelateClause
+	ViewRef   bool
+}
+
+// XNFRestriction is one WHERE item of an XNF query:
+//
+//	WHERE Xemp e SUCH THAT e.sal < 2000            -- node restriction
+//	WHERE employment (d, e) SUCH THAT e.sal < ...  -- edge restriction
+//	WHERE Xdept SUCH THAT loc = 'NY'               -- unbound node restriction
+type XNFRestriction struct {
+	Target string
+	Vars   []string // 0 or 1 for nodes; 2 for edges
+	Pred   Expr
+}
+
+// TakeItem is one structural-projection item: name, name(*), name(c1, c2).
+type TakeItem struct {
+	Name    string
+	AllCols bool
+	Cols    []string
+}
+
+// XNFQuery is the CO constructor:
+//
+//	OUT OF <sources> [WHERE <restrictions>] TAKE <items> | TAKE * | DELETE *
+type XNFQuery struct {
+	Sources      []XNFSource
+	Restrictions []XNFRestriction
+	TakeAll      bool
+	Take         []TakeItem
+	Delete       bool
+}
+
+func (*XNFQuery) stmtNode() {}
+
+// String renders a compact form for diagnostics.
+func (q *XNFQuery) String() string {
+	var b strings.Builder
+	b.WriteString("OUT OF ")
+	for i, s := range q.Sources {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Name)
+	}
+	if len(q.Restrictions) > 0 {
+		b.WriteString(" WHERE ...")
+	}
+	switch {
+	case q.Delete:
+		b.WriteString(" DELETE *")
+	case q.TakeAll:
+		b.WriteString(" TAKE *")
+	default:
+		b.WriteString(" TAKE ")
+		for i, t := range q.Take {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.Name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,272 @@
+// Package parser implements the lexer, AST, and recursive-descent parser
+// for the engine's SQL subset and all SQL/XNF extensions: the composite
+// object constructor (OUT OF ... TAKE), RELATE clauses with WITH ATTRIBUTES
+// and USING, node and edge restrictions (WHERE ... SUCH THAT), structural
+// projection, CO-level DELETE, and path expressions with qualified steps.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is one lexical unit with its source position (1-based line/col) and
+// byte offset into the source (used to slice statement and view-body text).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers keep original text
+	Line int
+	Col  int
+	Off  int
+}
+
+// String renders a token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the grammar (SQL subset plus XNF extensions).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DISTINCT": true, "ALL": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "TRUE": true, "FALSE": true, "IS": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true, "VIEW": true,
+	"DROP": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "PRIMARY": true, "KEY": true,
+	"JOIN": true, "INNER": true, "ON": true, "CLUSTER": true, "FAMILY": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "EXPLAIN": true,
+	"UNION": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	// XNF keywords.
+	"OUT": true, "OF": true, "TAKE": true, "RELATE": true, "SUCH": true,
+	"THAT": true, "WITH": true, "ATTRIBUTES": true, "USING": true,
+	"CONNECT": true, "DISCONNECT": true, "TO": true,
+}
+
+// Lexer tokenizes one statement string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case b == '/' && l.peekByteAt(1) == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peekByte() == '*' && l.peekByteAt(1) == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// Next returns the next token. Errors (unterminated strings, stray bytes)
+// surface as error returns with position info.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col, Off: l.pos}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	b := l.peekByte()
+	switch {
+	case isIdentStart(b):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			tok.Kind = TokKeyword
+			tok.Text = up
+		} else {
+			tok.Kind = TokIdent
+			tok.Text = text
+		}
+		return tok, nil
+	case b == '"': // quoted identifier, allows hyphens etc.
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return tok, fmt.Errorf("parser: unterminated quoted identifier at line %d", tok.Line)
+		}
+		tok.Kind = TokIdent
+		tok.Text = l.src[start:l.pos]
+		l.advance()
+		return tok, nil
+	case b >= '0' && b <= '9':
+		start := l.pos
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if c >= '0' && c <= '9' {
+				l.advance()
+			} else if c == '.' && !seenDot && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+				seenDot = true
+				l.advance()
+			} else {
+				break
+			}
+		}
+		// Exponent part.
+		if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+			save := l.pos
+			l.advance()
+			if l.peekByte() == '+' || l.peekByte() == '-' {
+				l.advance()
+			}
+			if l.peekByte() >= '0' && l.peekByte() <= '9' {
+				for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		tok.Kind = TokNumber
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	case b == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, fmt.Errorf("parser: unterminated string literal at line %d", tok.Line)
+			}
+			c := l.advance()
+			if c == '\'' {
+				if l.peekByte() == '\'' { // escaped quote
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(c)
+		}
+		tok.Kind = TokString
+		tok.Text = sb.String()
+		return tok, nil
+	default:
+		// Multi-byte operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "->", "<=", ">=", "<>", "!=", "||":
+			l.advance()
+			l.advance()
+			tok.Kind = TokOp
+			tok.Text = two
+			return tok, nil
+		}
+		switch b {
+		case '+', '-', '*', '/', '%', '(', ')', ',', '.', ';', '=', '<', '>':
+			l.advance()
+			tok.Kind = TokOp
+			tok.Text = string(b)
+			return tok, nil
+		}
+		return tok, fmt.Errorf("parser: unexpected character %q at line %d col %d", b, l.line, l.col)
+	}
+}
+
+// Tokenize returns all tokens including the trailing EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

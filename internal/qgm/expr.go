@@ -1,0 +1,286 @@
+// Package qgm implements the Query Graph Model, the engine's internal query
+// representation, mirroring Starburst's design that the paper builds on
+// (§4.3): queries are boxes (SELECT, GROUP BY, UNION, base tables, VALUES)
+// with heads describing output and bodies ranging quantifiers over other
+// boxes. The XNF composite-object constructor is one more box kind, exactly
+// as the paper adds an "XNF operator" to QGM; the XNF semantic rewrite later
+// translates it into plain SQL boxes.
+package qgm
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlxnf/internal/types"
+)
+
+// Expr is a resolved scalar expression over the quantifiers of a box.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColRef is a resolved column reference: quantifier index within the owning
+// box and column index within that quantifier's output schema.
+type ColRef struct {
+	Quant int
+	Col   int
+	Name  string // diagnostic name
+}
+
+func (*ColRef) exprNode() {}
+
+// String renders the reference as q<i>.<name>.
+func (c *ColRef) String() string { return fmt.Sprintf("q%d.%s", c.Quant, c.Name) }
+
+// Const is a literal.
+type Const struct {
+	Val types.Value
+}
+
+func (*Const) exprNode() {}
+
+// String renders the literal.
+func (c *Const) String() string { return c.Val.SQLLiteral() }
+
+// Binary is a binary operation (arithmetic, comparison, AND/OR, LIKE).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+// String renders the operation.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Unary is NOT or unary minus.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+func (*Unary) exprNode() {}
+
+// String renders the operation.
+func (u *Unary) String() string { return "(" + u.Op + " " + u.E.String() + ")" }
+
+// IsNull is E IS [NOT] NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (*IsNull) exprNode() {}
+
+// String renders the predicate.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+
+// InList is E [NOT] IN (list of scalar expressions).
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*InList) exprNode() {}
+
+// String renders the predicate.
+func (e *InList) String() string {
+	var parts []string
+	for _, x := range e.List {
+		parts = append(parts, x.String())
+	}
+	neg := ""
+	if e.Negate {
+		neg = " NOT"
+	}
+	return "(" + e.E.String() + neg + " IN (" + strings.Join(parts, ", ") + "))"
+}
+
+// Param is a correlation parameter inside a subquery box: it reads slot Idx
+// of the parameter environment supplied by the enclosing Exists evaluation.
+type Param struct {
+	Idx  int
+	Name string
+}
+
+func (*Param) exprNode() {}
+
+// String renders the parameter.
+func (p *Param) String() string { return fmt.Sprintf("$%d(%s)", p.Idx, p.Name) }
+
+// Exists is [NOT] EXISTS over a subquery box. Corr lists, per parameter
+// slot, the outer-scope expression whose value feeds the slot.
+type Exists struct {
+	Sub    *Box
+	Corr   []Expr // outer expressions, one per parameter slot of Sub
+	Negate bool
+}
+
+func (*Exists) exprNode() {}
+
+// String renders the predicate.
+func (e *Exists) String() string {
+	n := ""
+	if e.Negate {
+		n = "NOT "
+	}
+	return "(" + n + "EXISTS box:" + e.Sub.Name + ")"
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "AGG?"
+	}
+}
+
+// AggSpec is one aggregate computed by a Group box over its input rows.
+type AggSpec struct {
+	Kind     AggKind
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+// String renders the spec.
+func (a AggSpec) String() string {
+	if a.Kind == AggCountStar {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return a.Kind.String() + "(" + d + a.Arg.String() + ")"
+}
+
+// WalkExpr visits e and all children in preorder. The callback may return
+// false to prune descent.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Binary:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Unary:
+		WalkExpr(x.E, fn)
+	case *IsNull:
+		WalkExpr(x.E, fn)
+	case *InList:
+		WalkExpr(x.E, fn)
+		for _, l := range x.List {
+			WalkExpr(l, fn)
+		}
+	case *Exists:
+		for _, c := range x.Corr {
+			WalkExpr(c, fn)
+		}
+	}
+}
+
+// QuantsUsed returns the set of quantifier indexes referenced by e.
+func QuantsUsed(e Expr) map[int]bool {
+	out := map[int]bool{}
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColRef); ok {
+			out[c.Quant] = true
+		}
+		return true
+	})
+	return out
+}
+
+// Conjuncts splits a predicate on top-level ANDs.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// Conjoin ANDs a list of predicates (nil for empty).
+func Conjoin(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}
+
+// MapColRefs rewrites every ColRef via fn, returning a new expression tree.
+func MapColRefs(e Expr, fn func(*ColRef) Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColRef:
+		return fn(x)
+	case *Const, *Param:
+		return x
+	case *Binary:
+		return &Binary{Op: x.Op, L: MapColRefs(x.L, fn), R: MapColRefs(x.R, fn)}
+	case *Unary:
+		return &Unary{Op: x.Op, E: MapColRefs(x.E, fn)}
+	case *IsNull:
+		return &IsNull{E: MapColRefs(x.E, fn), Negate: x.Negate}
+	case *InList:
+		list := make([]Expr, len(x.List))
+		for i, l := range x.List {
+			list[i] = MapColRefs(l, fn)
+		}
+		return &InList{E: MapColRefs(x.E, fn), List: list, Negate: x.Negate}
+	case *Exists:
+		corr := make([]Expr, len(x.Corr))
+		for i, c := range x.Corr {
+			corr[i] = MapColRefs(c, fn)
+		}
+		return &Exists{Sub: x.Sub, Corr: corr, Negate: x.Negate}
+	default:
+		panic(fmt.Sprintf("qgm: MapColRefs: unknown expr %T", e))
+	}
+}

@@ -1,0 +1,275 @@
+// Package rewrite implements the query rewrite phase of the compilation
+// pipeline (paper §4.3, Fig. 8): QGM-to-QGM transformations applied before
+// plan optimization. The transformations mirror Starburst's rule set the
+// paper leans on — merging of views with queries (select merge), constant
+// folding, and trivial predicate simplification. The XNF semantic rewrite
+// (XNF operator → plain SQL operators) lives in the xnf package; this
+// package cleans up the boxes it produces, exactly as the paper describes:
+// "Any optimization of the resulting QGM can be deferred to the query
+// rewrite step, which takes care of merging query blocks or other
+// simplifications."
+package rewrite
+
+import (
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
+)
+
+// Options toggles individual rules (benches ablate them). The zero value
+// enables every rule.
+type Options struct {
+	NoMergeSelects  bool
+	NoFoldConstants bool
+}
+
+// DefaultOptions enables every rule.
+func DefaultOptions() Options { return Options{} }
+
+// Rewrite applies the enabled rules to the box tree until fixpoint.
+func Rewrite(box *qgm.Box, opt Options) *qgm.Box {
+	for i := 0; i < 16; i++ { // fixpoint with a safety bound
+		changed := false
+		if !opt.NoMergeSelects {
+			changed = mergeSelects(box) || changed
+		}
+		if !opt.NoFoldConstants {
+			changed = foldBox(box, map[*qgm.Box]bool{}) || changed
+		}
+		if !changed {
+			return box
+		}
+	}
+	return box
+}
+
+// mergeSelects inlines mergeable child select boxes into their parents:
+// a quantifier over a SELECT box with no distinct/order/limit/parameters
+// is replaced by that box's quantifiers, with column references remapped
+// through its head. This is how stored views vanish into the query.
+func mergeSelects(box *qgm.Box) bool {
+	changed := false
+	seen := map[*qgm.Box]bool{}
+	var walk func(b *qgm.Box)
+	walk = func(b *qgm.Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, q := range b.Quants {
+			walk(q.Input)
+		}
+		for _, in := range b.Inputs {
+			walk(in)
+		}
+		if b.Kind != qgm.KindSelect {
+			return
+		}
+		for qi := 0; qi < len(b.Quants); qi++ {
+			child := b.Quants[qi].Input
+			if !mergeable(child) {
+				continue
+			}
+			inlineQuant(b, qi, child)
+			changed = true
+			qi-- // re-examine the same position (now the child's first quant)
+		}
+	}
+	walk(box)
+	return changed
+}
+
+// mergeable reports whether a box can be inlined into its parent.
+func mergeable(b *qgm.Box) bool {
+	return b.Kind == qgm.KindSelect &&
+		!b.Distinct &&
+		len(b.OrderBy) == 0 &&
+		b.Limit == nil &&
+		b.NumParams == 0 &&
+		len(b.Quants) > 0
+}
+
+// inlineQuant splices child's quantifiers into parent at position qi,
+// rewriting all parent expressions.
+func inlineQuant(parent *qgm.Box, qi int, child *qgm.Box) {
+	nChild := len(child.Quants)
+	// New quantifier slice: before + child's + after.
+	quants := make([]*qgm.Quantifier, 0, len(parent.Quants)-1+nChild)
+	quants = append(quants, parent.Quants[:qi]...)
+	quants = append(quants, child.Quants...)
+	quants = append(quants, parent.Quants[qi+1:]...)
+
+	// remap rewrites a parent expression: references to quant qi route
+	// through child's head (whose ColRefs shift by qi); references beyond
+	// qi shift by nChild-1.
+	remap := func(e qgm.Expr) qgm.Expr {
+		return qgm.MapColRefs(e, func(c *qgm.ColRef) qgm.Expr {
+			switch {
+			case c.Quant < qi:
+				return c
+			case c.Quant == qi:
+				h := child.Head[c.Col].Expr
+				// Shift the child expression's quant indexes by qi.
+				return qgm.MapColRefs(h, func(cc *qgm.ColRef) qgm.Expr {
+					return &qgm.ColRef{Quant: cc.Quant + qi, Col: cc.Col, Name: cc.Name}
+				})
+			default:
+				return &qgm.ColRef{Quant: c.Quant + nChild - 1, Col: c.Col, Name: c.Name}
+			}
+		})
+	}
+
+	for i := range parent.Head {
+		parent.Head[i].Expr = remap(parent.Head[i].Expr)
+	}
+	parent.Pred = remap(parent.Pred)
+	for i := range parent.GroupBy {
+		parent.GroupBy[i] = remap(parent.GroupBy[i])
+	}
+	for i := range parent.Aggs {
+		if parent.Aggs[i].Arg != nil {
+			parent.Aggs[i].Arg = remap(parent.Aggs[i].Arg)
+		}
+	}
+	// Child predicate: shift its quant indexes by qi and conjoin.
+	if child.Pred != nil {
+		shifted := qgm.MapColRefs(child.Pred, func(c *qgm.ColRef) qgm.Expr {
+			return &qgm.ColRef{Quant: c.Quant + qi, Col: c.Col, Name: c.Name}
+		})
+		parent.Pred = qgm.Conjoin([]qgm.Expr{parent.Pred, shifted})
+	}
+	parent.Quants = quants
+}
+
+// foldBox folds constant subexpressions everywhere in the tree.
+func foldBox(b *qgm.Box, seen map[*qgm.Box]bool) bool {
+	if b == nil || seen[b] {
+		return false
+	}
+	seen[b] = true
+	changed := false
+	fold := func(e qgm.Expr) qgm.Expr {
+		out, c := foldExpr(e)
+		changed = changed || c
+		return out
+	}
+	if b.Pred != nil {
+		b.Pred = fold(b.Pred)
+	}
+	for i := range b.Head {
+		b.Head[i].Expr = fold(b.Head[i].Expr)
+	}
+	for _, q := range b.Quants {
+		changed = foldBox(q.Input, seen) || changed
+	}
+	for _, in := range b.Inputs {
+		changed = foldBox(in, seen) || changed
+	}
+	return changed
+}
+
+// foldExpr evaluates constant subtrees. It never folds across errors
+// (division by zero etc. stay for runtime).
+func foldExpr(e qgm.Expr) (qgm.Expr, bool) {
+	switch x := e.(type) {
+	case *qgm.Binary:
+		l, lc := foldExpr(x.L)
+		r, rc := foldExpr(x.R)
+		out := &qgm.Binary{Op: x.Op, L: l, R: r}
+		lcst, lok := l.(*qgm.Const)
+		rcst, rok := r.(*qgm.Const)
+		if lok && rok {
+			if v, ok := evalConstBinary(x.Op, lcst.Val, rcst.Val); ok {
+				return &qgm.Const{Val: v}, true
+			}
+		}
+		// TRUE AND p → p; FALSE OR p → p.
+		if lok && lcst.Val.Kind() == types.KindBool {
+			if x.Op == "AND" && lcst.Val.Bool() {
+				return r, true
+			}
+			if x.Op == "OR" && !lcst.Val.Bool() {
+				return r, true
+			}
+		}
+		if rok && rcst.Val.Kind() == types.KindBool {
+			if x.Op == "AND" && rcst.Val.Bool() {
+				return l, true
+			}
+			if x.Op == "OR" && !rcst.Val.Bool() {
+				return l, true
+			}
+		}
+		return out, lc || rc
+	case *qgm.Unary:
+		inner, c := foldExpr(x.E)
+		if cst, ok := inner.(*qgm.Const); ok {
+			switch x.Op {
+			case "-":
+				if v, err := types.Neg(cst.Val); err == nil {
+					return &qgm.Const{Val: v}, true
+				}
+			case "NOT":
+				if cst.Val.Kind() == types.KindBool {
+					return &qgm.Const{Val: types.NewBool(!cst.Val.Bool())}, true
+				}
+			}
+		}
+		return &qgm.Unary{Op: x.Op, E: inner}, c
+	case *qgm.IsNull:
+		inner, c := foldExpr(x.E)
+		if cst, ok := inner.(*qgm.Const); ok {
+			r := cst.Val.IsNull()
+			if x.Negate {
+				r = !r
+			}
+			return &qgm.Const{Val: types.NewBool(r)}, true
+		}
+		return &qgm.IsNull{E: inner, Negate: x.Negate}, c
+	case *qgm.InList:
+		inner, c := foldExpr(x.E)
+		list := make([]qgm.Expr, len(x.List))
+		for i, l := range x.List {
+			var lc bool
+			list[i], lc = foldExpr(l)
+			c = c || lc
+		}
+		return &qgm.InList{E: inner, List: list, Negate: x.Negate}, c
+	default:
+		return e, false
+	}
+}
+
+func evalConstBinary(op string, a, b types.Value) (types.Value, bool) {
+	switch op {
+	case "AND", "OR":
+		ta, tb := triOfVal(a), triOfVal(b)
+		if op == "AND" {
+			return ta.And(tb).Value(), true
+		}
+		return ta.Or(tb).Value(), true
+	case "=", "<>", "<", "<=", ">", ">=":
+		t, err := types.CompareTri(op, a, b)
+		if err != nil {
+			return types.Null(), false
+		}
+		return t.Value(), true
+	case "LIKE":
+		return types.Null(), false // left to runtime
+	default:
+		v, err := types.Arith(op, a, b)
+		if err != nil {
+			return types.Null(), false
+		}
+		return v, true
+	}
+}
+
+func triOfVal(v types.Value) types.Tri {
+	if v.IsNull() {
+		return types.Unknown
+	}
+	if v.Kind() == types.KindBool {
+		return types.TriOf(v.Bool())
+	}
+	return types.Unknown
+}

@@ -1,0 +1,142 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+func buildBox(t *testing.T, ddlTables map[string]types.Schema, sql string) (*qgm.Box, *catalog.Catalog) {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 16))
+	for name, schema := range ddlTables {
+		if _, err := cat.CreateTable(name, schema, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := parser.ParseOne(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := qgm.NewBuilder(cat, nil).BuildSelect(st.(*parser.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return box, cat
+}
+
+func deptEmp() map[string]types.Schema {
+	return map[string]types.Schema{
+		"DEPT": {{Name: "dno", Kind: types.KindInt}, {Name: "loc", Kind: types.KindString}},
+		"EMP":  {{Name: "eno", Kind: types.KindInt}, {Name: "edno", Kind: types.KindInt}, {Name: "sal", Kind: types.KindFloat}},
+	}
+}
+
+func TestMergeSelectsInlinesDerivedTable(t *testing.T) {
+	box, _ := buildBox(t, deptEmp(),
+		"SELECT d.dno FROM (SELECT dno FROM DEPT WHERE loc = 'NY') d WHERE d.dno > 1")
+	before := countSelectBoxes(box)
+	out := Rewrite(box, DefaultOptions())
+	after := countSelectBoxes(out)
+	if after >= before {
+		t.Errorf("merge did not reduce select boxes: %d -> %d", before, after)
+	}
+	// The merged box ranges directly over the base table with the conjoined
+	// predicate.
+	if len(out.Quants) != 1 || out.Quants[0].Input.Kind != qgm.KindBase {
+		t.Fatalf("merged shape: %s", out.Dump())
+	}
+	pred := out.Pred.String()
+	if !strings.Contains(pred, "loc") || !strings.Contains(pred, "dno") {
+		t.Errorf("merged predicate = %s", pred)
+	}
+}
+
+func TestMergeSkipsDistinctAndLimit(t *testing.T) {
+	box, _ := buildBox(t, deptEmp(),
+		"SELECT d.dno FROM (SELECT DISTINCT dno FROM DEPT) d")
+	out := Rewrite(box, DefaultOptions())
+	if out.Quants[0].Input.Kind != qgm.KindSelect {
+		t.Error("DISTINCT subquery must not merge")
+	}
+	box2, _ := buildBox(t, deptEmp(),
+		"SELECT d.dno FROM (SELECT dno FROM DEPT LIMIT 3) d")
+	out2 := Rewrite(box2, DefaultOptions())
+	if out2.Quants[0].Input.Kind != qgm.KindSelect {
+		t.Error("LIMIT subquery must not merge")
+	}
+}
+
+func TestMergePreservesSemantics(t *testing.T) {
+	// Expression head in the child: parent refs route through it.
+	box, _ := buildBox(t, deptEmp(),
+		"SELECT x.double FROM (SELECT sal * 2 AS double FROM EMP WHERE sal > 10) x WHERE x.double < 100")
+	out := Rewrite(box, DefaultOptions())
+	if len(out.Quants) != 1 || out.Quants[0].Input.Kind != qgm.KindBase {
+		t.Fatalf("not merged: %s", out.Dump())
+	}
+	s := out.Pred.String()
+	// x.double < 100 must have become (sal*2) < 100 over the base quant.
+	if !strings.Contains(s, "* 2") {
+		t.Errorf("pred after remap = %s", s)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	box, _ := buildBox(t, deptEmp(),
+		"SELECT eno FROM EMP WHERE 1 + 1 = 2 AND sal > 2 * 3")
+	out := Rewrite(box, DefaultOptions())
+	s := out.Pred.String()
+	// TRUE AND p → p; 2*3 → 6.
+	if strings.Contains(s, "1 + 1") || strings.Contains(s, "2 * 3") {
+		t.Errorf("folding missed: %s", s)
+	}
+	if !strings.Contains(s, "6") {
+		t.Errorf("folded constant missing: %s", s)
+	}
+}
+
+func TestFoldingKeepsRuntimeErrors(t *testing.T) {
+	box, _ := buildBox(t, deptEmp(), "SELECT eno FROM EMP WHERE sal > 1 / 0")
+	out := Rewrite(box, DefaultOptions())
+	if !strings.Contains(out.Pred.String(), "/") {
+		t.Error("division by zero must not fold away")
+	}
+}
+
+func TestRewriteDisabledOptions(t *testing.T) {
+	box, _ := buildBox(t, deptEmp(),
+		"SELECT d.dno FROM (SELECT dno FROM DEPT) d WHERE 1 = 1")
+	out := Rewrite(box, Options{NoMergeSelects: true, NoFoldConstants: true})
+	if out.Quants[0].Input.Kind != qgm.KindSelect {
+		t.Error("merge ran despite NoMergeSelects")
+	}
+	if !strings.Contains(out.Pred.String(), "1 = 1") {
+		t.Error("folding ran despite NoFoldConstants")
+	}
+}
+
+func countSelectBoxes(b *qgm.Box) int {
+	seen := map[*qgm.Box]bool{}
+	n := 0
+	var walk func(*qgm.Box)
+	walk = func(b *qgm.Box) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		if b.Kind == qgm.KindSelect {
+			n++
+		}
+		for _, q := range b.Quants {
+			walk(q.Input)
+		}
+	}
+	walk(b)
+	return n
+}

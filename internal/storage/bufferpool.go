@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts buffer-pool activity.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list; nil while pinned
+}
+
+// BufferPool caches disk pages with pin counting and LRU replacement.
+// A pinned page is never evicted; Unpin with dirty=true schedules a
+// write-back on eviction or flush.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   *Disk
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // of PageID, front = most recent
+	stats  PoolStats
+}
+
+// NewBufferPool creates a pool of the given capacity (in pages) over disk.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Disk exposes the underlying device (for stats in benches).
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// Fetch pins the page and returns it, reading from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pinLocked(f)
+		return &Page{ID: id, Data: f.data}, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.Read(id, f.data); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return &Page{ID: id, Data: f.data}, nil
+}
+
+// NewPage allocates a fresh disk page, pins it, and formats it as an empty
+// slotted page.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id := bp.disk.Allocate()
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	p := &Page{ID: id, Data: f.data}
+	p.Init()
+	f.dirty = true
+	return p, nil
+}
+
+// allocFrameLocked finds room for a new pinned frame, evicting if needed.
+func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	for len(bp.frames) >= bp.cap {
+		if bp.lru.Len() == 0 {
+			return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.cap)
+		}
+		victim := bp.lru.Remove(bp.lru.Back()).(PageID)
+		vf := bp.frames[victim]
+		vf.elem = nil
+		if vf.dirty {
+			if err := bp.disk.Write(victim, vf.data); err != nil {
+				return nil, err
+			}
+		}
+		delete(bp.frames, victim)
+		bp.stats.Evictions++
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) pinLocked(f *frame) {
+	f.pins++
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+}
+
+// Unpin releases one pin; dirty marks the page modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin of unpinned page %d", id))
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = bp.lru.PushFront(id)
+	}
+}
+
+// FlushAll writes every dirty frame back to disk (pages stay cached).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.Write(id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll flushes and then empties the cache. Benches use it to measure
+// cold-buffer I/O.
+func (bp *BufferPool) DropAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropAll with page %d still pinned", id)
+		}
+		if f.dirty {
+			if err := bp.disk.Write(id, f.data); err != nil {
+				return err
+			}
+		}
+	}
+	bp.frames = make(map[PageID]*frame, bp.cap)
+	bp.lru.Init()
+	return nil
+}
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// PinnedCount reports how many frames are currently pinned (for leak tests).
+func (bp *BufferPool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,328 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sqlxnf/internal/types"
+)
+
+// RID locates a tuple: page id plus slot number.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// NilRID is the zero RID used as "no location".
+var NilRID = RID{Page: InvalidPage}
+
+// Valid reports whether the RID points at a page.
+func (r RID) Valid() bool { return r.Page != InvalidPage }
+
+// String renders the RID as page:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Heap is a chain of slotted pages storing encoded rows. Several tables may
+// share one heap (a cluster family); each cell is prefixed with the owning
+// table's tag so per-table scans can filter. InsertNear places a tuple on
+// (or close to) the page of a related tuple, which is how composite-object
+// clustering co-locates parents with their children.
+type Heap struct {
+	bp    *BufferPool
+	first PageID
+	last  PageID // append hint; rediscovered on open
+}
+
+// CreateHeap allocates an empty heap.
+func CreateHeap(bp *BufferPool) (*Heap, error) {
+	p, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	id := p.ID
+	bp.Unpin(id, true)
+	return &Heap{bp: bp, first: id, last: id}, nil
+}
+
+// OpenHeap attaches to an existing heap rooted at first.
+func OpenHeap(bp *BufferPool, first PageID) (*Heap, error) {
+	h := &Heap{bp: bp, first: first, last: first}
+	// Walk to the tail so appends go to the end.
+	id := first
+	for {
+		p, err := bp.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		next := p.Next()
+		bp.Unpin(id, false)
+		if next == InvalidPage {
+			break
+		}
+		id = next
+	}
+	h.last = id
+	return h, nil
+}
+
+// FirstPage returns the root page id (persisted in the catalog).
+func (h *Heap) FirstPage() PageID { return h.first }
+
+// encodeCell prefixes the row encoding with the owner tag.
+func encodeCell(tag uint32, row types.Row) []byte {
+	buf := binary.AppendUvarint(nil, uint64(tag))
+	return row.Encode(buf)
+}
+
+// decodeCell splits a cell into tag and row.
+func decodeCell(cell []byte) (uint32, types.Row, error) {
+	tag, n := binary.Uvarint(cell)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: corrupt cell tag")
+	}
+	row, _, err := types.DecodeRow(cell[n:])
+	return uint32(tag), row, err
+}
+
+// Insert appends the row (owned by tag) and returns its RID.
+func (h *Heap) Insert(tag uint32, row types.Row) (RID, error) {
+	cell := encodeCell(tag, row)
+	if len(cell) > PageSize-pageHeaderSize-slotSize {
+		return NilRID, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(cell))
+	}
+	// Try the tail page first.
+	p, err := h.bp.Fetch(h.last)
+	if err != nil {
+		return NilRID, err
+	}
+	if slot, ok := p.InsertCell(cell); ok {
+		rid := RID{Page: p.ID, Slot: uint16(slot)}
+		h.bp.Unpin(p.ID, true)
+		return rid, nil
+	}
+	// Tail full: chain a new page.
+	np, err := h.bp.NewPage()
+	if err != nil {
+		h.bp.Unpin(p.ID, false)
+		return NilRID, err
+	}
+	p.SetNext(np.ID)
+	h.bp.Unpin(p.ID, true)
+	slot, ok := np.InsertCell(cell)
+	if !ok {
+		h.bp.Unpin(np.ID, true)
+		return NilRID, fmt.Errorf("storage: fresh page cannot hold %d-byte row", len(cell))
+	}
+	rid := RID{Page: np.ID, Slot: uint16(slot)}
+	h.last = np.ID
+	h.bp.Unpin(np.ID, true)
+	return rid, nil
+}
+
+// InsertOnFreshPage places the row on a newly allocated page at the end of
+// the chain. Cluster-family loaders use it to give each composite-object
+// root its own page neighborhood, which children then fill via InsertNear.
+func (h *Heap) InsertOnFreshPage(tag uint32, row types.Row) (RID, error) {
+	cell := encodeCell(tag, row)
+	if len(cell) > PageSize-pageHeaderSize-slotSize {
+		return NilRID, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(cell))
+	}
+	tail, err := h.bp.Fetch(h.last)
+	if err != nil {
+		return NilRID, err
+	}
+	np, err := h.bp.NewPage()
+	if err != nil {
+		h.bp.Unpin(tail.ID, false)
+		return NilRID, err
+	}
+	tail.SetNext(np.ID)
+	h.bp.Unpin(tail.ID, true)
+	slot, ok := np.InsertCell(cell)
+	if !ok {
+		h.bp.Unpin(np.ID, true)
+		return NilRID, fmt.Errorf("storage: fresh page cannot hold %d-byte row", len(cell))
+	}
+	rid := RID{Page: np.ID, Slot: uint16(slot)}
+	h.last = np.ID
+	h.bp.Unpin(np.ID, true)
+	return rid, nil
+}
+
+// InsertNear tries to place the row on the same page as near — the cluster
+// placement policy. When that page is full it falls back to a normal append.
+func (h *Heap) InsertNear(tag uint32, near RID, row types.Row) (RID, error) {
+	if !near.Valid() {
+		return h.Insert(tag, row)
+	}
+	cell := encodeCell(tag, row)
+	p, err := h.bp.Fetch(near.Page)
+	if err != nil {
+		return NilRID, err
+	}
+	if slot, ok := p.InsertCell(cell); ok {
+		rid := RID{Page: p.ID, Slot: uint16(slot)}
+		h.bp.Unpin(p.ID, true)
+		return rid, nil
+	}
+	h.bp.Unpin(p.ID, false)
+	return h.Insert(tag, row)
+}
+
+// Get fetches the row at rid, verifying the owner tag.
+func (h *Heap) Get(tag uint32, rid RID) (types.Row, error) {
+	p, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(rid.Page, false)
+	cell, err := p.Cell(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	ctag, row, err := decodeCell(cell)
+	if err != nil {
+		return nil, err
+	}
+	if ctag != tag {
+		return nil, fmt.Errorf("storage: rid %v belongs to table tag %d, not %d", rid, ctag, tag)
+	}
+	return row, nil
+}
+
+// Update rewrites the row at rid. When the new image no longer fits on the
+// page the tuple moves and the new RID is returned; callers must fix
+// secondary structures that reference the old RID.
+func (h *Heap) Update(tag uint32, rid RID, row types.Row) (RID, error) {
+	cell := encodeCell(tag, row)
+	p, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return NilRID, err
+	}
+	// Verify ownership before overwriting.
+	old, err := p.Cell(int(rid.Slot))
+	if err != nil {
+		h.bp.Unpin(rid.Page, false)
+		return NilRID, err
+	}
+	if ctag, _, derr := decodeCell(old); derr != nil || ctag != tag {
+		h.bp.Unpin(rid.Page, false)
+		if derr != nil {
+			return NilRID, derr
+		}
+		return NilRID, fmt.Errorf("storage: update of rid %v owned by tag %d, not %d", rid, ctag, tag)
+	}
+	ok, err := p.UpdateCell(int(rid.Slot), cell)
+	if err != nil {
+		h.bp.Unpin(rid.Page, false)
+		return NilRID, err
+	}
+	if ok {
+		h.bp.Unpin(rid.Page, true)
+		return rid, nil
+	}
+	// Move: delete here, insert elsewhere.
+	if err := p.DeleteCell(int(rid.Slot)); err != nil {
+		h.bp.Unpin(rid.Page, false)
+		return NilRID, err
+	}
+	h.bp.Unpin(rid.Page, true)
+	return h.Insert(tag, row)
+}
+
+// Delete removes the tuple at rid.
+func (h *Heap) Delete(tag uint32, rid RID) error {
+	p, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	cell, err := p.Cell(int(rid.Slot))
+	if err != nil {
+		h.bp.Unpin(rid.Page, false)
+		return err
+	}
+	ctag, _, err := decodeCell(cell)
+	if err != nil {
+		h.bp.Unpin(rid.Page, false)
+		return err
+	}
+	if ctag != tag {
+		h.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("storage: delete of rid %v owned by tag %d, not %d", rid, ctag, tag)
+	}
+	err = p.DeleteCell(int(rid.Slot))
+	h.bp.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// Scan visits every live row owned by tag in physical order. The callback
+// returns stop=true to end the scan early.
+func (h *Heap) Scan(tag uint32, fn func(rid RID, row types.Row) (stop bool, err error)) error {
+	return h.scan(func(rid RID, ctag uint32, row types.Row) (bool, error) {
+		if ctag != tag {
+			return false, nil
+		}
+		return fn(rid, row)
+	})
+}
+
+// ScanAll visits every live row of every owner, exposing the tag. The cache
+// loader uses it to consume heterogeneous answer streams.
+func (h *Heap) ScanAll(fn func(rid RID, tag uint32, row types.Row) (stop bool, err error)) error {
+	return h.scan(fn)
+}
+
+func (h *Heap) scan(fn func(rid RID, tag uint32, row types.Row) (bool, error)) error {
+	id := h.first
+	for id != InvalidPage {
+		p, err := h.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		var stop bool
+		err = p.LiveCells(func(slot int, cell []byte) error {
+			tag, row, derr := decodeCell(cell)
+			if derr != nil {
+				return derr
+			}
+			s, ferr := fn(RID{Page: id, Slot: uint16(slot)}, tag, row)
+			if ferr != nil {
+				return ferr
+			}
+			if s {
+				stop = true
+				return errStopScan
+			}
+			return nil
+		})
+		next := p.Next()
+		h.bp.Unpin(id, false)
+		if err != nil && err != errStopScan {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+var errStopScan = fmt.Errorf("storage: stop scan sentinel")
+
+// PageCount walks the chain and returns the number of pages in the heap.
+func (h *Heap) PageCount() (int, error) {
+	n := 0
+	id := h.first
+	for id != InvalidPage {
+		p, err := h.bp.Fetch(id)
+		if err != nil {
+			return 0, err
+		}
+		next := p.Next()
+		h.bp.Unpin(id, false)
+		n++
+		id = next
+	}
+	return n, nil
+}

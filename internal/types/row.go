@@ -1,0 +1,221 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row is one tuple: a slice of values positionally matched to a Schema.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (values are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two rows are value-wise Equal (NULL = NULL).
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !Equal(r[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of all values in the row.
+func (r Row) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range r {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the row as a parenthesized value list.
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// Value tags used by the binary row codec.
+const (
+	tagNull   byte = 0
+	tagInt    byte = 1
+	tagFloat  byte = 2
+	tagString byte = 3
+	tagTrue   byte = 4
+	tagFalse  byte = 5
+)
+
+// Encode appends a compact binary encoding of the row to dst and returns the
+// extended slice. The encoding is self-describing (kind tags) so rows of
+// heterogeneous shape can share a page, which the XNF answer stream needs.
+func (r Row) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		switch v.kind {
+		case KindNull:
+			dst = append(dst, tagNull)
+		case KindInt:
+			dst = append(dst, tagInt)
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			dst = append(dst, tagFloat)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindString:
+			dst = append(dst, tagString)
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case KindBool:
+			if v.i != 0 {
+				dst = append(dst, tagTrue)
+			} else {
+				dst = append(dst, tagFalse)
+			}
+		}
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes Encode would emit for the row.
+func (r Row) EncodedSize() int {
+	n := uvarintLen(uint64(len(r)))
+	for _, v := range r {
+		switch v.kind {
+		case KindNull, KindBool:
+			n++
+		case KindInt:
+			n += 1 + varintLen(v.i)
+		case KindFloat:
+			n += 1 + 8
+		case KindString:
+			n += 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+		}
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// DecodeRow parses a row previously produced by Encode. It returns the row
+// and the number of bytes consumed.
+func DecodeRow(src []byte) (Row, int, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("types: corrupt row header")
+	}
+	pos := used
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(src) {
+			return nil, 0, fmt.Errorf("types: truncated row at value %d", i)
+		}
+		tag := src[pos]
+		pos++
+		switch tag {
+		case tagNull:
+			row = append(row, Null())
+		case tagInt:
+			v, u := binary.Varint(src[pos:])
+			if u <= 0 {
+				return nil, 0, fmt.Errorf("types: corrupt int at value %d", i)
+			}
+			pos += u
+			row = append(row, NewInt(v))
+		case tagFloat:
+			if pos+8 > len(src) {
+				return nil, 0, fmt.Errorf("types: truncated float at value %d", i)
+			}
+			bits := binary.LittleEndian.Uint64(src[pos:])
+			pos += 8
+			row = append(row, NewFloat(math.Float64frombits(bits)))
+		case tagString:
+			l, u := binary.Uvarint(src[pos:])
+			if u <= 0 {
+				return nil, 0, fmt.Errorf("types: corrupt string length at value %d", i)
+			}
+			pos += u
+			if pos+int(l) > len(src) {
+				return nil, 0, fmt.Errorf("types: truncated string at value %d", i)
+			}
+			row = append(row, NewString(string(src[pos:pos+int(l)])))
+			pos += int(l)
+		case tagTrue:
+			row = append(row, NewBool(true))
+		case tagFalse:
+			row = append(row, NewBool(false))
+		default:
+			return nil, 0, fmt.Errorf("types: unknown value tag %d", tag)
+		}
+	}
+	return row, pos, nil
+}
+
+// EncodeKey produces an order-preserving byte encoding of a row prefix, used
+// as B+tree keys: bytewise comparison of encoded keys matches row ordering
+// (NULLs first, then by value; numerics normalized to float ordering).
+func EncodeKey(vals []Value) []byte {
+	var dst []byte
+	for _, v := range vals {
+		switch v.kind {
+		case KindNull:
+			dst = append(dst, 0x00)
+		case KindInt, KindFloat:
+			dst = append(dst, 0x01)
+			bits := math.Float64bits(v.Float())
+			// Flip for order preservation: positive floats get the sign bit
+			// set; negative floats are fully complemented.
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits |= 1 << 63
+			}
+			dst = binary.BigEndian.AppendUint64(dst, bits)
+		case KindString:
+			dst = append(dst, 0x02)
+			// Escape 0x00 as 0x00 0xFF so the 0x00 0x01 terminator sorts
+			// before any continuation.
+			for i := 0; i < len(v.s); i++ {
+				b := v.s[i]
+				if b == 0x00 {
+					dst = append(dst, 0x00, 0xFF)
+				} else {
+					dst = append(dst, b)
+				}
+			}
+			dst = append(dst, 0x00, 0x01)
+		case KindBool:
+			dst = append(dst, 0x03, byte(v.i))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,93 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func deptSchema() Schema {
+	return Schema{
+		{Name: "dno", Kind: KindInt, NotNull: true},
+		{Name: "dname", Kind: KindString},
+		{Name: "budget", Kind: KindFloat},
+	}
+}
+
+func TestSchemaIndexCaseInsensitive(t *testing.T) {
+	s := deptSchema()
+	if s.Index("DNO") != 0 || s.Index("Dname") != 1 || s.Index("budget") != 2 {
+		t.Errorf("Index lookups failed: %d %d %d", s.Index("DNO"), s.Index("Dname"), s.Index("budget"))
+	}
+	if s.Index("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if !s.Has("dno") || s.Has("nope") {
+		t.Error("Has broken")
+	}
+}
+
+func TestSchemaNamesCloneConcat(t *testing.T) {
+	s := deptSchema()
+	names := s.Names()
+	if strings.Join(names, ",") != "dno,dname,budget" {
+		t.Errorf("Names = %v", names)
+	}
+	c := s.Clone()
+	c[0].Name = "changed"
+	if s[0].Name != "dno" {
+		t.Error("Clone aliases backing array")
+	}
+	j := s.Concat(Schema{{Name: "eno", Kind: KindInt}})
+	if len(j) != 4 || j[3].Name != "eno" {
+		t.Errorf("Concat = %v", j)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := deptSchema()
+	ok := Row{NewInt(1), NewString("toys"), NewFloat(100)}
+	if err := s.Validate(ok); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	// Numeric widening accepted.
+	if err := s.Validate(Row{NewInt(1), NewString("x"), NewInt(7)}); err != nil {
+		t.Errorf("int into float column should validate: %v", err)
+	}
+	// NULL in nullable column fine, in NOT NULL column not.
+	if err := s.Validate(Row{NewInt(1), Null(), Null()}); err != nil {
+		t.Errorf("nullable NULLs rejected: %v", err)
+	}
+	if err := s.Validate(Row{Null(), NewString("x"), NewFloat(1)}); err == nil {
+		t.Error("NULL in NOT NULL column should fail")
+	}
+	// Arity mismatch.
+	if err := s.Validate(Row{NewInt(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Kind mismatch.
+	if err := s.Validate(Row{NewString("x"), NewString("y"), NewFloat(1)}); err == nil {
+		t.Error("string in int column should fail")
+	}
+}
+
+func TestSchemaCoerceRow(t *testing.T) {
+	s := deptSchema()
+	r, err := s.CoerceRow(Row{NewInt(1), NewString("x"), NewInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[2].Kind() != KindFloat || r[2].Float() != 5 {
+		t.Errorf("budget not widened: %v", r[2])
+	}
+	if _, err := s.CoerceRow(Row{Null(), NewString("x"), NewInt(5)}); err == nil {
+		t.Error("CoerceRow must still validate")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := Schema{{Name: "a", Kind: KindInt, NotNull: true}, {Name: "b", Kind: KindString}}
+	want := "(a INTEGER NOT NULL, b VARCHAR)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

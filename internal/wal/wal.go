@@ -1,0 +1,273 @@
+// Package wal provides the write-ahead log used for transaction rollback
+// and crash recovery. The log is logical: records carry table names, RIDs
+// and before/after row images, and the engine replays them (repeat history,
+// then undo losers). This mirrors the paper's position that XNF reuses the
+// host DBMS's transaction and recovery components unchanged.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// LSN is a log sequence number; the first record gets LSN 1.
+type LSN uint64
+
+// RecType enumerates log record types.
+type RecType uint8
+
+// Log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecCheckpoint
+	// RecDDL logs a schema-changing statement; Table holds the statement
+	// text, replayed verbatim during recovery.
+	RecDDL
+)
+
+// String names the record type.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	case RecDDL:
+		return "DDL"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry. Insert carries After; Delete carries Before;
+// Update carries both (and NewRID when the tuple moved).
+type Record struct {
+	LSN    LSN
+	Tx     uint64
+	Type   RecType
+	Table  string
+	RID    storage.RID
+	NewRID storage.RID
+	Before types.Row
+	After  types.Row
+}
+
+// Log is an append-only in-memory log with stable LSNs. A file-backed
+// variant would add fsync; the recovery protocol is identical.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	next    LSN
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{next: 1} }
+
+// Append assigns the next LSN and stores the record.
+func (l *Log) Append(rec Record) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.LSN = l.next
+	l.next++
+	l.records = append(l.records, rec)
+	return rec.LSN
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a snapshot of the log contents in LSN order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// TxRecords returns the records of one transaction in LSN order.
+func (l *Log) TxRecords(tx uint64) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.records {
+		if r.Tx == tx {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Truncate discards records with LSN <= upTo (after a checkpoint).
+func (l *Log) Truncate(upTo LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.records) && l.records[i].LSN <= upTo {
+		i++
+	}
+	l.records = append([]Record(nil), l.records[i:]...)
+}
+
+// Analysis scans the log and classifies transactions.
+type Analysis struct {
+	Committed map[uint64]bool
+	Aborted   map[uint64]bool
+	InFlight  map[uint64]bool // losers: began but neither committed nor aborted
+}
+
+// Analyze performs the recovery analysis pass.
+func Analyze(records []Record) Analysis {
+	a := Analysis{
+		Committed: map[uint64]bool{},
+		Aborted:   map[uint64]bool{},
+		InFlight:  map[uint64]bool{},
+	}
+	for _, r := range records {
+		switch r.Type {
+		case RecBegin:
+			a.InFlight[r.Tx] = true
+		case RecCommit:
+			delete(a.InFlight, r.Tx)
+			a.Committed[r.Tx] = true
+		case RecAbort:
+			delete(a.InFlight, r.Tx)
+			a.Aborted[r.Tx] = true
+		}
+	}
+	return a
+}
+
+// Encode serializes the whole log to bytes (the simulated durable medium).
+func (l *Log) Encode() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.records)))
+	buf = binary.AppendUvarint(buf, uint64(l.next))
+	for _, r := range l.records {
+		buf = binary.AppendUvarint(buf, uint64(r.LSN))
+		buf = binary.AppendUvarint(buf, r.Tx)
+		buf = append(buf, byte(r.Type))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Table)))
+		buf = append(buf, r.Table...)
+		buf = binary.AppendUvarint(buf, uint64(r.RID.Page))
+		buf = binary.AppendUvarint(buf, uint64(r.RID.Slot))
+		buf = binary.AppendUvarint(buf, uint64(r.NewRID.Page))
+		buf = binary.AppendUvarint(buf, uint64(r.NewRID.Slot))
+		buf = appendOptRow(buf, r.Before)
+		buf = appendOptRow(buf, r.After)
+	}
+	return buf
+}
+
+func appendOptRow(buf []byte, r types.Row) []byte {
+	if r == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return r.Encode(buf)
+}
+
+// Decode reconstructs a log from Encode's output.
+func Decode(data []byte) (*Log, error) {
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: corrupt log at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	n, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	next, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{next: LSN(next)}
+	for i := uint64(0); i < n; i++ {
+		var r Record
+		lsn, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.LSN = LSN(lsn)
+		if r.Tx, err = readUvarint(); err != nil {
+			return nil, err
+		}
+		if pos >= len(data) {
+			return nil, fmt.Errorf("wal: truncated record %d", i)
+		}
+		r.Type = RecType(data[pos])
+		pos++
+		tl, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(tl) > len(data) {
+			return nil, fmt.Errorf("wal: truncated table name in record %d", i)
+		}
+		r.Table = string(data[pos : pos+int(tl)])
+		pos += int(tl)
+		vals := make([]uint64, 4)
+		for j := range vals {
+			if vals[j], err = readUvarint(); err != nil {
+				return nil, err
+			}
+		}
+		r.RID = storage.RID{Page: storage.PageID(vals[0]), Slot: uint16(vals[1])}
+		r.NewRID = storage.RID{Page: storage.PageID(vals[2]), Slot: uint16(vals[3])}
+		if r.Before, err = readOptRow(data, &pos); err != nil {
+			return nil, err
+		}
+		if r.After, err = readOptRow(data, &pos); err != nil {
+			return nil, err
+		}
+		l.records = append(l.records, r)
+	}
+	return l, nil
+}
+
+func readOptRow(data []byte, pos *int) (types.Row, error) {
+	if *pos >= len(data) {
+		return nil, fmt.Errorf("wal: truncated row flag")
+	}
+	flag := data[*pos]
+	*pos++
+	if flag == 0 {
+		return nil, nil
+	}
+	row, used, err := types.DecodeRow(data[*pos:])
+	if err != nil {
+		return nil, err
+	}
+	*pos += used
+	return row, nil
+}

@@ -1,0 +1,260 @@
+// Package workload generates the synthetic databases the experiments run
+// on: the paper's company database in both representations of Fig. 2
+// (implicit foreign keys and explicit link tables), optionally laid out
+// with composite-object clustering, and a design database modeling the
+// introduction's engineering working-set scenario (gigabyte-class design
+// repositories from which applications extract 1-in-10⁴ working sets).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// CompanyConfig sizes the company database.
+type CompanyConfig struct {
+	Departments  int
+	EmpsPerDept  int
+	ProjsPerDept int
+	SkillsPerEmp int
+	// LinkTable switches to the CDB2 representation: DEPTEMP holds the
+	// EMPLOYMENT relationship instead of EMP.edno.
+	LinkTable bool
+	// Clustered co-locates each department's employees and projects with
+	// the department tuple (cluster family + placement hints).
+	Clustered bool
+	// Scatter inserts employees/projects/skills in shuffled global order,
+	// modeling an aged database where related tuples arrived at different
+	// times. Composite-object clustering still co-locates them (placement
+	// follows the parent, not insertion time); a per-table layout scatters.
+	Scatter bool
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// DefaultCompany returns a mid-size configuration.
+func DefaultCompany() CompanyConfig {
+	return CompanyConfig{Departments: 50, EmpsPerDept: 20, ProjsPerDept: 5, SkillsPerEmp: 2, Seed: 1}
+}
+
+// LoadCompany creates and populates the company schema on the session's
+// engine. It returns the number of tuples loaded.
+func LoadCompany(s *engine.Session, cfg CompanyConfig) (int, error) {
+	family := ""
+	if cfg.Clustered {
+		family = "CLUSTER FAMILY orgunit"
+	}
+	ddl := fmt.Sprintf(`
+	CREATE TABLE DEPT (dno INT NOT NULL PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget FLOAT, dmgrno INT) %s;
+	CREATE TABLE EMP (eno INT NOT NULL PRIMARY KEY, ename VARCHAR, sal FLOAT, descr VARCHAR, edno INT) %s;
+	CREATE TABLE PROJ (pno INT NOT NULL PRIMARY KEY, pname VARCHAR, budget FLOAT, pdno INT, pmgrno INT) %s;
+	CREATE TABLE SKILLS (sno INT NOT NULL PRIMARY KEY, sname VARCHAR, esno INT);
+	CREATE INDEX emp_edno ON EMP (edno);
+	CREATE INDEX proj_pdno ON PROJ (pdno);
+	`, family, family, family)
+	if cfg.LinkTable {
+		ddl += "CREATE TABLE DEPTEMP (dedno INT, deeno INT);\nCREATE INDEX de_dno ON DEPTEMP (dedno);\n"
+	}
+	if _, err := s.Exec(ddl); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	locs := []string{"NY", "SF", "LA", "CHI", "BOS"}
+	n := 0
+	eno := 1000
+	pno := 5000
+	sno := 90000
+
+	// Departments load first; dependent tuples queue up and then insert,
+	// either in generation order or shuffled (Scatter).
+	type pending struct {
+		table string
+		dept  int // for clustering hints
+		row   types.Row
+	}
+	deptRIDs := map[int]storage.RID{}
+	var queue []pending
+	for d := 1; d <= cfg.Departments; d++ {
+		deptRow := types.Row{
+			types.NewInt(int64(d)),
+			types.NewString(fmt.Sprintf("dept-%d", d)),
+			types.NewString(locs[rng.Intn(len(locs))]),
+			types.NewFloat(float64(100000 + rng.Intn(900000))),
+			types.NewInt(int64(eno + 1)), // manager is the first employee
+		}
+		var rid storage.RID
+		var err error
+		if cfg.Clustered {
+			// Each organizational unit anchors its own page neighborhood.
+			rid, err = s.InsertRowOnFreshPage("DEPT", deptRow)
+		} else {
+			rid, err = s.InsertRow("DEPT", deptRow)
+		}
+		if err != nil {
+			return n, err
+		}
+		deptRIDs[d] = rid
+		n++
+		for i := 0; i < cfg.EmpsPerDept; i++ {
+			eno++
+			edno := types.Value(types.NewInt(int64(d)))
+			if cfg.LinkTable {
+				edno = types.Null()
+			}
+			queue = append(queue, pending{"EMP", d, types.Row{
+				types.NewInt(int64(eno)),
+				types.NewString(fmt.Sprintf("emp-%d", eno)),
+				types.NewFloat(float64(1000 + rng.Intn(4000))),
+				types.NewString(pick(rng, "staff", "manager", "contractor")),
+				edno,
+			}})
+			if cfg.LinkTable {
+				queue = append(queue, pending{"DEPTEMP", d, types.Row{
+					types.NewInt(int64(d)), types.NewInt(int64(eno)),
+				}})
+			}
+			for k := 0; k < cfg.SkillsPerEmp; k++ {
+				sno++
+				queue = append(queue, pending{"SKILLS", d, types.Row{
+					types.NewInt(int64(sno)),
+					types.NewString(fmt.Sprintf("skill-%d", sno%37)),
+					types.NewInt(int64(eno)),
+				}})
+			}
+		}
+		for i := 0; i < cfg.ProjsPerDept; i++ {
+			pno++
+			queue = append(queue, pending{"PROJ", d, types.Row{
+				types.NewInt(int64(pno)),
+				types.NewString(fmt.Sprintf("proj-%d", pno)),
+				types.NewFloat(float64(10000 + rng.Intn(90000))),
+				types.NewInt(int64(d)),
+				types.NewInt(int64(eno - rng.Intn(cfg.EmpsPerDept))),
+			}})
+		}
+	}
+	if cfg.Scatter {
+		rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	}
+	for _, p := range queue {
+		var err error
+		if cfg.Clustered && p.table != "DEPTEMP" && p.table != "SKILLS" {
+			_, err = s.InsertRowNear(p.table, deptRIDs[p.dept], p.row)
+		} else {
+			_, err = s.InsertRow(p.table, p.row)
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func pick(rng *rand.Rand, opts ...string) string { return opts[rng.Intn(len(opts))] }
+
+// CompanyCOQuery returns the XNF constructor for the company organizational
+// unit (Fig. 1) restricted to one department number, in the representation
+// matching cfg.
+func CompanyCOQuery(cfg CompanyConfig, dno int) string {
+	employment := "employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)"
+	if cfg.LinkTable {
+		employment = `employment AS (RELATE Xdept, Xemp USING DEPTEMP de
+			WHERE Xdept.dno = de.dedno AND Xemp.eno = de.deeno)`
+	}
+	return fmt.Sprintf(`OUT OF
+		Xdept AS (SELECT * FROM DEPT WHERE dno = %d),
+		Xemp AS EMP,
+		Xproj AS PROJ,
+		Xskills AS SKILLS,
+		%s,
+		ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno),
+		empproperty AS (RELATE Xemp, Xskills WHERE Xemp.eno = Xskills.esno)
+	TAKE *`, dno, employment)
+}
+
+// DesignConfig sizes the design database of the introduction's scenario.
+type DesignConfig struct {
+	Designs        int // number of (model, version) designs
+	CompsPerDesign int
+	SubsPerComp    int
+	Seed           int64
+}
+
+// DefaultDesign returns a configuration where extracting one design selects
+// roughly 1 tuple in 10^4 when Designs is 10000.
+func DefaultDesign() DesignConfig {
+	return DesignConfig{Designs: 2000, CompsPerDesign: 8, SubsPerComp: 4, Seed: 7}
+}
+
+// LoadDesign creates and populates the design schema: DESIGNS with
+// versioned models, COMPONENTS per design, SUBCOMP per component.
+func LoadDesign(s *engine.Session, cfg DesignConfig) (int, error) {
+	ddl := `
+	CREATE TABLE DESIGNS (did INT NOT NULL PRIMARY KEY, model VARCHAR, version INT, author VARCHAR);
+	CREATE TABLE COMPONENTS (cid INT NOT NULL PRIMARY KEY, cdid INT, kind VARCHAR, weight FLOAT);
+	CREATE TABLE SUBCOMP (sid INT NOT NULL PRIMARY KEY, scid INT, payload VARCHAR);
+	CREATE INDEX comp_did ON COMPONENTS (cdid);
+	CREATE INDEX sub_cid ON SUBCOMP (scid);
+	CREATE INDEX design_model ON DESIGNS (model);
+	`
+	if _, err := s.Exec(ddl); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 0
+	cid, sid := 0, 0
+	for d := 0; d < cfg.Designs; d++ {
+		if _, err := s.InsertRow("DESIGNS", types.Row{
+			types.NewInt(int64(d)),
+			types.NewString(fmt.Sprintf("model-%d", d/4)), // 4 versions per model
+			types.NewInt(int64(d % 4)),
+			types.NewString(fmt.Sprintf("author-%d", rng.Intn(40))),
+		}); err != nil {
+			return n, err
+		}
+		n++
+		for c := 0; c < cfg.CompsPerDesign; c++ {
+			cid++
+			if _, err := s.InsertRow("COMPONENTS", types.Row{
+				types.NewInt(int64(cid)),
+				types.NewInt(int64(d)),
+				types.NewString(pick(rng, "wing", "spar", "rib", "panel")),
+				types.NewFloat(rng.Float64() * 100),
+			}); err != nil {
+				return n, err
+			}
+			n++
+			for x := 0; x < cfg.SubsPerComp; x++ {
+				sid++
+				if _, err := s.InsertRow("SUBCOMP", types.Row{
+					types.NewInt(int64(sid)),
+					types.NewInt(int64(cid)),
+					types.NewString(fmt.Sprintf("payload-%d", sid%101)),
+				}); err != nil {
+					return n, err
+				}
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// WorkingSetQuery extracts the working set of one (model, version): the
+// design with its components and subcomponents — the paper's working-set
+// extraction (intro: "a particular version of a document or a wing of an
+// aircraft for a particular model and version").
+func WorkingSetQuery(model string, version int) string {
+	return fmt.Sprintf(`OUT OF
+		Xdesign AS (SELECT * FROM DESIGNS WHERE model = '%s' AND version = %d),
+		Xcomp AS COMPONENTS,
+		Xsub AS SUBCOMP,
+		hascomp AS (RELATE Xdesign, Xcomp WHERE Xdesign.did = Xcomp.cdid),
+		hassub AS (RELATE Xcomp, Xsub WHERE Xcomp.cid = Xsub.scid)
+	TAKE *`, model, version)
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"sqlxnf/internal/engine"
+)
+
+func TestLoadCompanyFKRepresentation(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := CompanyConfig{Departments: 5, EmpsPerDept: 4, ProjsPerDept: 2, SkillsPerEmp: 1, Seed: 1}
+	n, err := LoadCompany(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 + 5*4 + 5*2 + 5*4*1
+	if n != want {
+		t.Errorf("loaded %d tuples, want %d", n, want)
+	}
+	r, _ := s.Exec("SELECT COUNT(*) FROM EMP")
+	if r.Rows[0][0].Int() != 20 {
+		t.Errorf("emp count = %v", r.Rows[0][0])
+	}
+	// The Fig. 1 CO extracts one organizational unit.
+	res, err := s.Exec(CompanyCOQuery(cfg, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := res.CO
+	if len(co.Node("Xdept").Rows) != 1 {
+		t.Fatalf("Xdept = %d", len(co.Node("Xdept").Rows))
+	}
+	if len(co.Node("Xemp").Rows) != 4 || len(co.Node("Xproj").Rows) != 2 {
+		t.Errorf("working set: emps=%d projs=%d", len(co.Node("Xemp").Rows), len(co.Node("Xproj").Rows))
+	}
+	if len(co.Node("Xskills").Rows) != 4 {
+		t.Errorf("skills = %d", len(co.Node("Xskills").Rows))
+	}
+}
+
+func TestLoadCompanyLinkTableRepresentation(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := CompanyConfig{Departments: 3, EmpsPerDept: 4, ProjsPerDept: 1, SkillsPerEmp: 0, Seed: 2, LinkTable: true}
+	if _, err := LoadCompany(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Exec("SELECT COUNT(*) FROM DEPTEMP")
+	if r.Rows[0][0].Int() != 12 {
+		t.Errorf("link rows = %v", r.Rows[0][0])
+	}
+	// Fig. 2: the same CO abstraction from the explicit representation.
+	res, err := s.Exec(CompanyCOQuery(cfg, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.CO.Node("Xemp").Rows); got != 4 {
+		t.Errorf("emps via link table = %d", got)
+	}
+	if res.CO.Edge("employment").LinkTable != "DEPTEMP" {
+		t.Error("link provenance missing")
+	}
+}
+
+func TestRepresentationIndependenceSameCO(t *testing.T) {
+	// Fig. 2's point: the two representations yield the same abstraction.
+	load := func(link bool) map[string]int {
+		s := engine.NewDefault().Session()
+		cfg := CompanyConfig{Departments: 4, EmpsPerDept: 3, ProjsPerDept: 2, SkillsPerEmp: 1, Seed: 9, LinkTable: link}
+		if _, err := LoadCompany(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Exec(CompanyCOQuery(cfg, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int{}
+		for _, n := range res.CO.Nodes {
+			out[n.Name] = len(n.Rows)
+		}
+		for _, e := range res.CO.Edges {
+			out[e.Name] = len(e.Conns)
+		}
+		return out
+	}
+	a, b := load(false), load(true)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("representation mismatch at %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestClusteredLayoutCoLocates(t *testing.T) {
+	mk := func(clustered bool) (int64, int64) {
+		e := engine.New(engine.Options{BufferPoolPages: 8}) // tiny pool → cold reads
+		s := e.Session()
+		cfg := CompanyConfig{Departments: 40, EmpsPerDept: 10, ProjsPerDept: 3, SkillsPerEmp: 0, Seed: 3, Clustered: clustered}
+		if _, err := LoadCompany(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BufferPool().DropAll(); err != nil {
+			t.Fatal(err)
+		}
+		e.Disk().ResetStats()
+		// Extract one organizational unit.
+		if _, err := s.Exec(CompanyCOQuery(cfg, 17)); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Disk().Stats()
+		return st.Reads, st.Writes
+	}
+	clusteredReads, _ := mk(true)
+	unclusteredReads, _ := mk(false)
+	// Both extract the same CO; clustering should not read more.
+	if clusteredReads > unclusteredReads {
+		t.Errorf("clustered extraction reads %d pages, unclustered %d", clusteredReads, unclusteredReads)
+	}
+}
+
+func TestLoadDesignAndWorkingSet(t *testing.T) {
+	s := engine.NewDefault().Session()
+	cfg := DesignConfig{Designs: 40, CompsPerDesign: 3, SubsPerComp: 2, Seed: 4}
+	n, err := LoadDesign(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40 + 40*3 + 40*3*2
+	if n != want {
+		t.Errorf("loaded %d, want %d", n, want)
+	}
+	res, err := s.Exec(WorkingSetQuery("model-3", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := res.CO
+	if len(co.Node("Xdesign").Rows) != 1 {
+		t.Fatalf("designs = %d", len(co.Node("Xdesign").Rows))
+	}
+	if len(co.Node("Xcomp").Rows) != 3 || len(co.Node("Xsub").Rows) != 6 {
+		t.Errorf("working set: comps=%d subs=%d", len(co.Node("Xcomp").Rows), len(co.Node("Xsub").Rows))
+	}
+	// Selectivity: one design out of 40 → the extraction's answer is a
+	// small fraction of the database, the paper's working-set pattern.
+	if co.Size() >= n/4 {
+		t.Errorf("working set of %d tuples is not selective against %d", co.Size(), n)
+	}
+}

@@ -1,0 +1,1207 @@
+package xnf
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// Evaluator materializes composite objects from XNF specs.
+type Evaluator struct {
+	host Host
+	opts Options
+	// Stats counts evaluator work for the benches.
+	Stats EvalStats
+}
+
+// EvalStats counts evaluation work.
+type EvalStats struct {
+	NodeQueries     int64
+	EdgeQueries     int64
+	InlineEdges     int64 // edges resolved during topological extraction
+	RecomputedNodes int64 // extra node derivations when CSE is off
+	FixpointRounds  int64
+}
+
+// NewEvaluator returns an evaluator bound to a host.
+func NewEvaluator(host Host, opts Options) *Evaluator {
+	return &Evaluator{host: host, opts: opts}
+}
+
+// gnode is a candidate component table during evaluation.
+type gnode struct {
+	name      string
+	schema    types.Schema
+	rows      []types.Row
+	rids      []storage.RID
+	baseTable string
+	colMap    []int
+	alive     []bool
+}
+
+// gedge is a candidate relationship during evaluation.
+type gedge struct {
+	name       string
+	parent     string
+	child      string
+	parentRole string
+	childRole  string
+	attrSchema types.Schema
+	conns      []Conn
+	alive      []bool
+	fkParent   string
+	fkChild    string
+	linkTable  string
+	linkPCol   string
+	linkCCol   string
+	linkPKey   string
+	linkCKey   string
+}
+
+// egraph is the candidate instance graph of one composition level.
+type egraph struct {
+	nodes []*gnode
+	edges []*gedge
+}
+
+func (g *egraph) node(name string) *gnode {
+	for _, n := range g.nodes {
+		if strings.EqualFold(n.name, name) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (g *egraph) edge(name string) *gedge {
+	for _, e := range g.edges {
+		if strings.EqualFold(e.name, name) {
+			return e
+		}
+	}
+	return nil
+}
+
+// rootNames returns nodes with no incoming edge in the graph's schema graph.
+func (g *egraph) rootNames() map[string]bool {
+	roots := map[string]bool{}
+	for _, n := range g.nodes {
+		roots[n.name] = true
+	}
+	for _, e := range g.edges {
+		if c := g.node(e.child); c != nil {
+			delete(roots, c.name)
+		}
+	}
+	return roots
+}
+
+// Evaluate materializes the composite object denoted by spec: composition,
+// restrictions, structural projection, and the final reachability pass.
+// Restriction-free view levels flatten into one graph first, so the
+// topological extraction can exploit the whole schema graph.
+func (ev *Evaluator) Evaluate(spec *qgm.XNFSpec) (*CO, error) {
+	g, err := ev.compose(flattenSpec(spec), true)
+	if err != nil {
+		return nil, err
+	}
+	return ev.finalize(g)
+}
+
+// flattenSpec merges base levels that carry no restrictions and no column
+// projection into their parent level. This is semantics-preserving: such a
+// level contributes exactly its (kept) definitions, and reachability is
+// applied at the outermost evaluation anyway — which is how Fig. 3's
+// employees become reachable through a relationship added one level up.
+func flattenSpec(spec *qgm.XNFSpec) *qgm.XNFSpec {
+	out := &qgm.XNFSpec{
+		Nodes:        append([]*qgm.XNFNode(nil), spec.Nodes...),
+		Edges:        append([]*qgm.XNFEdge(nil), spec.Edges...),
+		Restrictions: spec.Restrictions,
+		Take:         spec.Take,
+		Delete:       spec.Delete,
+		ViewRefs:     spec.ViewRefs,
+	}
+	for _, base := range spec.Bases {
+		fb := flattenSpec(base)
+		if !mergeableLevel(fb) {
+			out.Bases = append(out.Bases, fb)
+			continue
+		}
+		for _, n := range fb.Nodes {
+			if fb.TakeKeeps(n.Name) {
+				out.Nodes = append(out.Nodes, n)
+			}
+		}
+		for _, e := range fb.Edges {
+			if fb.TakeKeeps(e.Name) && fb.TakeKeeps(e.Parent) && fb.TakeKeeps(e.Child) {
+				out.Edges = append(out.Edges, e)
+			}
+		}
+		out.Bases = append(out.Bases, fb.Bases...)
+	}
+	return out
+}
+
+// mergeableLevel reports whether a (flattened) level can merge upward:
+// no restrictions (they need the level's own instance0) and no column
+// projection (it would change node schemas mid-composition).
+func mergeableLevel(s *qgm.XNFSpec) bool {
+	if len(s.Restrictions) > 0 || len(s.Bases) > 0 {
+		return false
+	}
+	for _, it := range s.Take.Items {
+		if !it.AllCols {
+			return false
+		}
+	}
+	return true
+}
+
+// compose evaluates one composition level: candidates from bases and this
+// level's definitions, restrictions against this level's instance0, and the
+// structural projection. Reachability of the *result* is the caller's
+// responsibility (finalize) — which is exactly why adding a relationship in
+// a view over a view can make new tuples reachable (Fig. 3). isTop marks
+// the outermost level, where candidate pruning by topological extraction is
+// sound (no outer level can resurrect tuples).
+func (ev *Evaluator) compose(spec *qgm.XNFSpec, isTop bool) (*egraph, error) {
+	g := &egraph{}
+	for _, base := range spec.Bases {
+		bg, err := ev.compose(base, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range bg.nodes {
+			if g.node(n.name) != nil {
+				return nil, fmt.Errorf("xnf: duplicate component table %q in composition", n.name)
+			}
+			g.nodes = append(g.nodes, n)
+		}
+		for _, e := range bg.edges {
+			if g.edge(e.name) != nil {
+				return nil, fmt.Errorf("xnf: duplicate relationship %q in composition", e.name)
+			}
+			g.edges = append(g.edges, e)
+		}
+	}
+	// Materialize this level's nodes. When the spec is a self-contained
+	// acyclic constructor, extraction runs top-down: parent results feed
+	// the child derivations (the paper's §4.3 — "when we generate the
+	// tuples of a parent node, we output them, and also use them again to
+	// find the tuples of the associated children"), so a selective root
+	// touches only its working set instead of full candidate tables.
+	if isTop && !ev.opts.NoSharedSubexpressions && len(spec.Bases) == 0 && specAcyclic(spec) {
+		if err := ev.materializeTopDown(spec, g); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, node := range spec.Nodes {
+			if g.node(node.Name) != nil {
+				return nil, fmt.Errorf("xnf: duplicate component table %q", node.Name)
+			}
+			gn, err := ev.materializeFull(node)
+			if err != nil {
+				return nil, err
+			}
+			g.nodes = append(g.nodes, gn)
+		}
+	}
+	// Derive this level's edges over the candidate node tables. Edges the
+	// topological extraction already resolved (their connections fall out
+	// of the semijoin fetch) are skipped.
+	for _, edge := range spec.Edges {
+		if g.edge(edge.Name) != nil {
+			continue
+		}
+		ge, err := ev.evalEdge(edge, g, spec)
+		if err != nil {
+			return nil, err
+		}
+		g.edges = append(g.edges, ge)
+	}
+	// Restrictions apply against instance0 = reachability of the candidates.
+	if len(spec.Restrictions) > 0 {
+		in0 := ev.reach(g)
+		view := &instView{g: g, in: in0}
+		for _, r := range spec.Restrictions {
+			if err := ev.applyRestriction(g, view, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Structural projection.
+	if !spec.Take.All {
+		if err := ev.applyTake(g, spec.Take); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func allTrue(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// materializeFull runs a node's full defining query.
+func (ev *Evaluator) materializeFull(node *qgm.XNFNode) (*gnode, error) {
+	rows, rids, err := ev.host.RunBoxWithRIDs(node.Def)
+	if err != nil {
+		return nil, fmt.Errorf("xnf: node %s: %v", node.Name, err)
+	}
+	ev.Stats.NodeQueries++
+	gn := &gnode{
+		name: node.Name, schema: node.Def.Out, rows: rows, rids: rids,
+		baseTable: node.BaseTable, colMap: node.ColMap,
+		alive: allTrue(len(rows)),
+	}
+	if gn.rids == nil {
+		gn.rids = make([]storage.RID, len(rows))
+		for i := range gn.rids {
+			gn.rids[i] = storage.NilRID
+		}
+	}
+	return gn, nil
+}
+
+// specAcyclic reports whether the spec's schema graph (this level only) has
+// no cycles, which the topological extraction requires.
+func specAcyclic(spec *qgm.XNFSpec) bool {
+	adj := map[string][]string{}
+	for _, e := range spec.Edges {
+		if strings.EqualFold(e.Parent, e.Child) {
+			return false
+		}
+		adj[strings.ToUpper(e.Parent)] = append(adj[strings.ToUpper(e.Parent)], strings.ToUpper(e.Child))
+	}
+	state := map[string]int{} // 0 unseen, 1 in stack, 2 done
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		switch state[n] {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		state[n] = 1
+		for _, m := range adj[n] {
+			if !dfs(m) {
+				return false
+			}
+		}
+		state[n] = 2
+		return true
+	}
+	for _, node := range spec.Nodes {
+		if !dfs(strings.ToUpper(node.Name)) {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeTopDown materializes nodes in topological order, deriving each
+// child's candidates from its (already materialized) parents through the
+// edge predicates' equi-join structure. Edges whose structure cannot be
+// exploited force a full derivation of their child.
+func (ev *Evaluator) materializeTopDown(spec *qgm.XNFSpec, g *egraph) error {
+	incoming := map[string][]*qgm.XNFEdge{}
+	for _, e := range spec.Edges {
+		incoming[strings.ToUpper(e.Child)] = append(incoming[strings.ToUpper(e.Child)], e)
+	}
+	order, err := topoNodes(spec)
+	if err != nil {
+		return err
+	}
+	for _, node := range order {
+		if g.node(node.Name) != nil {
+			return fmt.Errorf("xnf: duplicate component table %q", node.Name)
+		}
+		inc := incoming[strings.ToUpper(node.Name)]
+		if len(inc) == 0 {
+			gn, err := ev.materializeFull(node)
+			if err != nil {
+				return err
+			}
+			g.nodes = append(g.nodes, gn)
+			continue
+		}
+		// Per incoming edge, derive a key filter from the parent's
+		// materialization; any edge without usable structure forces the
+		// full derivation.
+		type fetch struct {
+			col  string
+			keys []types.Value
+		}
+		var fetches []fetch
+		full := false
+		for _, e := range inc {
+			parent := g.node(e.Parent)
+			if parent == nil {
+				full = true // parent from a base level; be conservative
+				break
+			}
+			switch {
+			case e.FKChildCol != "" && len(e.Using) == 0:
+				keys := distinctColumn(parent, e.FKParentCol)
+				fetches = append(fetches, fetch{col: e.FKChildCol, keys: keys})
+			case e.LinkTable != "":
+				keys, lerr := ev.linkChildKeys(e, parent)
+				if lerr != nil {
+					return lerr
+				}
+				fetches = append(fetches, fetch{col: e.LinkChildKey, keys: keys})
+			default:
+				full = true
+			}
+			if full {
+				break
+			}
+		}
+		if full {
+			gn, err := ev.materializeFull(node)
+			if err != nil {
+				return err
+			}
+			g.nodes = append(g.nodes, gn)
+			continue
+		}
+		gn := &gnode{
+			name: node.Name, schema: node.Def.Out,
+			baseTable: node.BaseTable, colMap: node.ColMap,
+		}
+		seenRID := map[storage.RID]bool{}
+		var seenRows map[uint64][]int
+		for _, f := range fetches {
+			box, berr := wrapWithInFilter(node.Def, f.col, f.keys)
+			if berr != nil {
+				return berr
+			}
+			rows, rids, rerr := ev.host.RunBoxWithRIDs(box)
+			if rerr != nil {
+				return fmt.Errorf("xnf: node %s: %v", node.Name, rerr)
+			}
+			ev.Stats.NodeQueries++
+			for i, row := range rows {
+				var rid storage.RID = storage.NilRID
+				if rids != nil {
+					rid = rids[i]
+				}
+				if rid.Valid() {
+					if seenRID[rid] {
+						continue
+					}
+					seenRID[rid] = true
+				} else {
+					// Fall back to row-equality dedup.
+					if seenRows == nil {
+						seenRows = map[uint64][]int{}
+					}
+					h := row.Hash()
+					dup := false
+					for _, pi := range seenRows[h] {
+						if gn.rows[pi].Equal(row) {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					seenRows[h] = append(seenRows[h], len(gn.rows))
+				}
+				gn.rows = append(gn.rows, row)
+				gn.rids = append(gn.rids, rid)
+			}
+		}
+		gn.alive = allTrue(len(gn.rows))
+		g.nodes = append(g.nodes, gn)
+
+		// Resolve connections for simple incoming edges directly from the
+		// fetch structure: the child column values point back at parent
+		// keys, so a hash match replaces the general edge join.
+		for _, e := range inc {
+			ev.resolveEdgeInline(e, g)
+		}
+	}
+	return nil
+}
+
+// resolveEdgeInline derives an edge's connections without a join when its
+// predicate is exactly the provenance equi-structure and its attributes (if
+// any) live on the link table. Unresolvable edges stay for evalEdge.
+func (ev *Evaluator) resolveEdgeInline(e *qgm.XNFEdge, g *egraph) {
+	parent, child := g.node(e.Parent), g.node(e.Child)
+	if parent == nil || child == nil {
+		return
+	}
+	conjN := len(qgm.Conjuncts(e.Pred))
+	switch {
+	case e.FKChildCol != "" && len(e.Using) == 0 && conjN == 1 && len(e.Attrs) == 0:
+		pIdx := parent.schema.Index(e.FKParentCol)
+		cIdx := child.schema.Index(e.FKChildCol)
+		if pIdx < 0 || cIdx < 0 {
+			return
+		}
+		byKey := indexByValue(parent, pIdx)
+		ge := &gedge{
+			name: e.Name, parent: parent.name, child: child.name,
+			parentRole: e.ParentRole, childRole: e.ChildRole,
+			fkParent: e.FKParentCol, fkChild: e.FKChildCol,
+		}
+		for ci, row := range child.rows {
+			v := row[cIdx]
+			if v.IsNull() {
+				continue
+			}
+			for _, pi := range lookupByValue(byKey, parent, pIdx, v) {
+				ge.conns = append(ge.conns, Conn{P: pi, C: ci, LinkRID: storage.NilRID})
+			}
+		}
+		ge.alive = allTrue(len(ge.conns))
+		g.edges = append(g.edges, ge)
+		ev.Stats.InlineEdges++
+	case e.LinkTable != "" && conjN == 2 && attrsOnLink(e):
+		pairs, attrRows, attrSchema, err := ev.linkPairs(e, parent)
+		if err != nil {
+			return // fall back to the join
+		}
+		pKey := parent.schema.Index(e.LinkParentKey)
+		cKey := child.schema.Index(e.LinkChildKey)
+		if pKey < 0 || cKey < 0 {
+			return
+		}
+		pByKey := indexByValue(parent, pKey)
+		cByKey := indexByValue(child, cKey)
+		ge := &gedge{
+			name: e.Name, parent: parent.name, child: child.name,
+			parentRole: e.ParentRole, childRole: e.ChildRole,
+			attrSchema: attrSchema,
+			linkTable:  e.LinkTable, linkPCol: e.LinkParentCol, linkCCol: e.LinkChildCol,
+			linkPKey: e.LinkParentKey, linkCKey: e.LinkChildKey,
+		}
+		for i, pr := range pairs {
+			var attrs types.Row
+			if attrRows != nil {
+				attrs = attrRows[i]
+			}
+			for _, pi := range lookupByValue(pByKey, parent, pKey, pr[0]) {
+				for _, ci := range lookupByValue(cByKey, child, cKey, pr[1]) {
+					ge.conns = append(ge.conns, Conn{P: pi, C: ci, Attrs: attrs, LinkRID: storage.NilRID})
+				}
+			}
+		}
+		ge.alive = allTrue(len(ge.conns))
+		g.edges = append(g.edges, ge)
+		ev.Stats.InlineEdges++
+	}
+}
+
+// attrsOnLink reports whether every relationship attribute is a plain
+// column of the USING table (quantifier 2).
+func attrsOnLink(e *qgm.XNFEdge) bool {
+	for _, a := range e.Attrs {
+		cr, ok := a.Expr.(*qgm.ColRef)
+		if !ok || cr.Quant != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// linkPairs fetches (parentKey, childKey, attrs...) rows from the link
+// table for the materialized parent keys.
+func (ev *Evaluator) linkPairs(e *qgm.XNFEdge, parent *gnode) ([][2]types.Value, []types.Row, types.Schema, error) {
+	parentKeys := distinctColumn(parent, e.LinkParentKey)
+	linkBox := e.Using[0].Input
+	pCol := linkBox.Out.Index(e.LinkParentCol)
+	cCol := linkBox.Out.Index(e.LinkChildCol)
+	if pCol < 0 || cCol < 0 {
+		return nil, nil, nil, fmt.Errorf("xnf: link provenance of %s is incomplete", e.Name)
+	}
+	list := make([]qgm.Expr, len(parentKeys))
+	for i, v := range parentKeys {
+		list[i] = &qgm.Const{Val: v}
+	}
+	sel := &qgm.Box{
+		Kind:   qgm.KindSelect,
+		Name:   "linkpairs:" + e.Name,
+		Quants: []*qgm.Quantifier{{Name: "__u", Input: linkBox}},
+		Pred: &qgm.InList{
+			E:    &qgm.ColRef{Quant: 0, Col: pCol, Name: e.LinkParentCol},
+			List: list,
+		},
+		Head: []qgm.HeadExpr{
+			{Name: e.LinkParentCol, Expr: &qgm.ColRef{Quant: 0, Col: pCol, Name: e.LinkParentCol}},
+			{Name: e.LinkChildCol, Expr: &qgm.ColRef{Quant: 0, Col: cCol, Name: e.LinkChildCol}},
+		},
+		Out: types.Schema{linkBox.Out[pCol], linkBox.Out[cCol]},
+	}
+	var attrSchema types.Schema
+	for _, a := range e.Attrs {
+		cr := a.Expr.(*qgm.ColRef) // checked by attrsOnLink
+		sel.Head = append(sel.Head, qgm.HeadExpr{Name: a.Name,
+			Expr: &qgm.ColRef{Quant: 0, Col: cr.Col, Name: a.Name}})
+		col := types.Column{Name: a.Name, Kind: linkBox.Out[cr.Col].Kind}
+		sel.Out = append(sel.Out, col)
+		attrSchema = append(attrSchema, col)
+	}
+	rows, _, err := ev.host.RunBoxWithRIDs(sel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pairs := make([][2]types.Value, len(rows))
+	var attrRows []types.Row
+	if len(attrSchema) > 0 {
+		attrRows = make([]types.Row, len(rows))
+	}
+	for i, r := range rows {
+		pairs[i] = [2]types.Value{r[0], r[1]}
+		if attrRows != nil {
+			attrRows[i] = r[2:].Clone()
+		}
+	}
+	return pairs, attrRows, attrSchema, nil
+}
+
+// indexByValue hashes a node column for repeated lookups.
+func indexByValue(n *gnode, col int) map[uint64][]int {
+	out := make(map[uint64][]int, len(n.rows))
+	for i, row := range n.rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		out[v.Hash()] = append(out[v.Hash()], i)
+	}
+	return out
+}
+
+// lookupByValue resolves a hash bucket with equality verification.
+func lookupByValue(idx map[uint64][]int, n *gnode, col int, v types.Value) []int {
+	var out []int
+	for _, i := range idx[v.Hash()] {
+		if types.Equal(n.rows[i][col], v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// topoNodes orders the spec's nodes parents-first.
+func topoNodes(spec *qgm.XNFSpec) ([]*qgm.XNFNode, error) {
+	indeg := map[string]int{}
+	byName := map[string]*qgm.XNFNode{}
+	for _, n := range spec.Nodes {
+		indeg[strings.ToUpper(n.Name)] = 0
+		byName[strings.ToUpper(n.Name)] = n
+	}
+	adj := map[string][]string{}
+	for _, e := range spec.Edges {
+		p, c := strings.ToUpper(e.Parent), strings.ToUpper(e.Child)
+		adj[p] = append(adj[p], c)
+		indeg[c]++
+	}
+	var queue []string
+	for _, n := range spec.Nodes {
+		if indeg[strings.ToUpper(n.Name)] == 0 {
+			queue = append(queue, strings.ToUpper(n.Name))
+		}
+	}
+	var out []*qgm.XNFNode
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, byName[cur])
+		for _, m := range adj[cur] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(out) != len(spec.Nodes) {
+		return nil, fmt.Errorf("xnf: schema graph is cyclic (topological extraction)")
+	}
+	return out, nil
+}
+
+// distinctColumn returns the distinct non-null values of one parent column.
+func distinctColumn(n *gnode, col string) []types.Value {
+	i := n.schema.Index(col)
+	if i < 0 {
+		return nil
+	}
+	seen := map[uint64][]types.Value{}
+	var out []types.Value
+	for _, row := range n.rows {
+		v := row[i]
+		if v.IsNull() {
+			continue
+		}
+		h := v.Hash()
+		dup := false
+		for _, p := range seen[h] {
+			if types.Equal(p, v) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], v)
+		out = append(out, v)
+	}
+	return out
+}
+
+// linkChildKeys queries the link table for the distinct child keys joined
+// to the parent's materialized keys.
+func (ev *Evaluator) linkChildKeys(e *qgm.XNFEdge, parent *gnode) ([]types.Value, error) {
+	parentKeys := distinctColumn(parent, e.LinkParentKey)
+	linkBox := e.Using[0].Input
+	pCol := linkBox.Out.Index(e.LinkParentCol)
+	cCol := linkBox.Out.Index(e.LinkChildCol)
+	if pCol < 0 || cCol < 0 {
+		return nil, fmt.Errorf("xnf: link provenance of %s is incomplete", e.Name)
+	}
+	list := make([]qgm.Expr, len(parentKeys))
+	for i, v := range parentKeys {
+		list[i] = &qgm.Const{Val: v}
+	}
+	sel := &qgm.Box{
+		Kind:   qgm.KindSelect,
+		Name:   "linkkeys:" + e.Name,
+		Quants: []*qgm.Quantifier{{Name: "__u", Input: linkBox}},
+		Pred: &qgm.InList{
+			E:    &qgm.ColRef{Quant: 0, Col: pCol, Name: e.LinkParentCol},
+			List: list,
+		},
+		Head: []qgm.HeadExpr{{Name: e.LinkChildCol,
+			Expr: &qgm.ColRef{Quant: 0, Col: cCol, Name: e.LinkChildCol}}},
+		Out:      types.Schema{linkBox.Out[cCol]},
+		Distinct: true,
+	}
+	rows, err := ev.host.RunBox(sel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Value, 0, len(rows))
+	for _, r := range rows {
+		if !r[0].IsNull() {
+			out = append(out, r[0])
+		}
+	}
+	return out, nil
+}
+
+// wrapWithInFilter narrows a node derivation to rows whose output column
+// col falls in keys. An empty key set yields an empty derivation.
+func wrapWithInFilter(def *qgm.Box, col string, keys []types.Value) (*qgm.Box, error) {
+	ci := def.Out.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("xnf: node output lacks join column %q", col)
+	}
+	if len(keys) == 0 {
+		return &qgm.Box{Kind: qgm.KindValues, Name: def.Name + ":empty", Out: def.Out}, nil
+	}
+	list := make([]qgm.Expr, len(keys))
+	for i, v := range keys {
+		list[i] = &qgm.Const{Val: v}
+	}
+	outer := &qgm.Box{
+		Kind:   qgm.KindSelect,
+		Name:   def.Name + ":semijoin",
+		Quants: []*qgm.Quantifier{{Name: "__n", Input: def}},
+		Pred:   &qgm.InList{E: &qgm.ColRef{Quant: 0, Col: ci, Name: col}, List: list},
+		Out:    def.Out.Clone(),
+	}
+	for i, c := range def.Out {
+		outer.Head = append(outer.Head, qgm.HeadExpr{Name: c.Name,
+			Expr: &qgm.ColRef{Quant: 0, Col: i, Name: c.Name}})
+	}
+	return outer, nil
+}
+
+// evalEdge derives connection instances by running a generated SQL query —
+// the XNF semantic rewrite output for one relationship. With common
+// subexpression sharing the partner node materializations feed the query
+// directly; the ablation re-derives them from base tables first.
+func (ev *Evaluator) evalEdge(edge *qgm.XNFEdge, g *egraph, spec *qgm.XNFSpec) (*gedge, error) {
+	parent := g.node(edge.Parent)
+	child := g.node(edge.Child)
+	if parent == nil || child == nil {
+		return nil, fmt.Errorf("xnf: relationship %s references missing partner tables (%s, %s)", edge.Name, edge.Parent, edge.Child)
+	}
+	if ev.opts.NoSharedSubexpressions {
+		// Ablation: recompute the partner node derivations, modeling an
+		// implementation without cross-query common subexpressions.
+		for _, n := range []string{edge.Parent, edge.Child} {
+			if def := findNodeDef(spec, n); def != nil {
+				if _, err := ev.host.RunBox(def); err != nil {
+					return nil, err
+				}
+				ev.Stats.RecomputedNodes++
+			}
+		}
+	}
+	// Build the edge query: SELECT p.__tid, c.__tid, attrs...
+	// FROM <parent materialization> p, <child materialization> c, using...
+	// WHERE <relate predicate>.
+	pBox := valuesBoxWithTID(edge.Parent+"_m", parent)
+	cBox := valuesBoxWithTID(edge.Child+"_m", child)
+	quants := []*qgm.Quantifier{
+		{Name: "__p", Input: pBox},
+		{Name: "__c", Input: cBox},
+	}
+	quants = append(quants, edge.Using...)
+	sel := &qgm.Box{Kind: qgm.KindSelect, Name: "edge:" + edge.Name, Quants: quants, Pred: edge.Pred}
+	pTID := len(parent.schema)
+	cTID := len(child.schema)
+	sel.Head = append(sel.Head,
+		qgm.HeadExpr{Name: "__ptid", Expr: &qgm.ColRef{Quant: 0, Col: pTID, Name: "__tid"}},
+		qgm.HeadExpr{Name: "__ctid", Expr: &qgm.ColRef{Quant: 1, Col: cTID, Name: "__tid"}},
+	)
+	sel.Out = types.Schema{
+		{Name: "__ptid", Kind: types.KindInt},
+		{Name: "__ctid", Kind: types.KindInt},
+	}
+	var attrSchema types.Schema
+	for _, a := range edge.Attrs {
+		sel.Head = append(sel.Head, a)
+		col := types.Column{Name: a.Name, Kind: types.KindNull}
+		if cr, ok := a.Expr.(*qgm.ColRef); ok {
+			switch cr.Quant {
+			case 0:
+				col.Kind = parent.schema[cr.Col].Kind
+			case 1:
+				col.Kind = child.schema[cr.Col].Kind
+			default:
+				uq := cr.Quant - 2
+				if uq < len(edge.Using) {
+					col.Kind = edge.Using[uq].Input.Out[cr.Col].Kind
+				}
+			}
+		}
+		sel.Out = append(sel.Out, col)
+		attrSchema = append(attrSchema, col)
+	}
+	rows, err := ev.host.RunBox(sel)
+	if err != nil {
+		return nil, fmt.Errorf("xnf: relationship %s: %v", edge.Name, err)
+	}
+	ev.Stats.EdgeQueries++
+	ge := &gedge{
+		name: edge.Name, parent: parent.name, child: child.name,
+		parentRole: edge.ParentRole, childRole: edge.ChildRole,
+		attrSchema: attrSchema,
+		fkParent:   edge.FKParentCol, fkChild: edge.FKChildCol,
+		linkTable: edge.LinkTable, linkPCol: edge.LinkParentCol,
+		linkCCol: edge.LinkChildCol, linkPKey: edge.LinkParentKey, linkCKey: edge.LinkChildKey,
+	}
+	for _, r := range rows {
+		conn := Conn{P: int(r[0].Int()), C: int(r[1].Int()), LinkRID: storage.NilRID}
+		if len(r) > 2 {
+			conn.Attrs = r[2:].Clone()
+		}
+		ge.conns = append(ge.conns, conn)
+	}
+	ge.alive = allTrue(len(ge.conns))
+	return ge, nil
+}
+
+// findNodeDef locates a node's defining box anywhere in the composition.
+func findNodeDef(spec *qgm.XNFSpec, name string) *qgm.Box {
+	if n := spec.FindNode(name); n != nil {
+		return n.Def
+	}
+	return nil
+}
+
+// valuesBoxWithTID wraps a node materialization as a Values box whose rows
+// carry a trailing tuple id, giving edge queries stable tuple identity.
+func valuesBoxWithTID(name string, n *gnode) *qgm.Box {
+	out := n.schema.Clone()
+	out = append(out, types.Column{Name: "__tid", Kind: types.KindInt})
+	rows := make([][]types.Value, len(n.rows))
+	for i, r := range n.rows {
+		row := make([]types.Value, 0, len(r)+1)
+		row = append(row, r...)
+		row = append(row, types.NewInt(int64(i)))
+		rows[i] = row
+	}
+	return &qgm.Box{Kind: qgm.KindValues, Name: name, Out: out, ValueRows: rows}
+}
+
+// reach computes reachability over the candidate graph honoring alive flags.
+// Roots are nodes without incoming edges; their alive tuples are reachable
+// by definition. Semi-naive evaluation propagates a frontier; the naive
+// ablation re-scans every connection each round.
+func (ev *Evaluator) reach(g *egraph) map[string][]bool {
+	in := map[string][]bool{}
+	roots := g.rootNames()
+	for _, n := range g.nodes {
+		set := make([]bool, len(n.rows))
+		if roots[n.name] {
+			copy(set, n.alive)
+		}
+		in[n.name] = set
+	}
+	if !ev.opts.NaiveFixpoint {
+		// Semi-naive: one adjacency pass builds per-tuple successor lists,
+		// then a frontier worklist touches every connection exactly once.
+		type target struct {
+			node string
+			idx  int
+		}
+		adjacency := map[string][][]target{}
+		for _, n := range g.nodes {
+			adjacency[n.name] = make([][]target, len(n.rows))
+		}
+		for _, e := range g.edges {
+			p, c := g.node(e.parent), g.node(e.child)
+			arr := adjacency[p.name]
+			for ci, conn := range e.conns {
+				if !e.alive[ci] || !p.alive[conn.P] || !c.alive[conn.C] {
+					continue
+				}
+				arr[conn.P] = append(arr[conn.P], target{node: c.name, idx: conn.C})
+			}
+		}
+		type item struct {
+			node string
+			idx  int
+		}
+		var frontier []item
+		for _, n := range g.nodes {
+			set := in[n.name]
+			for i, r := range set {
+				if r {
+					frontier = append(frontier, item{n.name, i})
+				}
+			}
+		}
+		for len(frontier) > 0 {
+			ev.Stats.FixpointRounds++
+			it := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, tgt := range adjacency[it.node][it.idx] {
+				set := in[tgt.node]
+				if !set[tgt.idx] {
+					set[tgt.idx] = true
+					frontier = append(frontier, item{tgt.node, tgt.idx})
+				}
+			}
+		}
+		return in
+	}
+	// Naive fixpoint.
+	for {
+		ev.Stats.FixpointRounds++
+		changed := false
+		for _, e := range g.edges {
+			p, c := g.node(e.parent), g.node(e.child)
+			pset, cset := in[e.parent], in[e.child]
+			_ = p
+			for ci, conn := range e.conns {
+				if !e.alive[ci] || !c.alive[conn.C] {
+					continue
+				}
+				if pset[conn.P] && !cset[conn.C] {
+					cset[conn.C] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return in
+		}
+	}
+}
+
+// applyRestriction filters node tuples or connections (paper §3.3). The
+// predicate evaluates against instance0 (view), so path expressions range
+// over the unrestricted CO of this composition level.
+func (ev *Evaluator) applyRestriction(g *egraph, view *instView, r qgm.XNFRestrictionSpec) error {
+	if r.IsEdge {
+		e := g.edge(r.Target)
+		if e == nil {
+			return fmt.Errorf("xnf: restriction on unknown relationship %q", r.Target)
+		}
+		p, c := g.node(e.parent), g.node(e.child)
+		pVar, cVar := e.parent, e.child
+		if len(r.Vars) == 2 {
+			pVar, cVar = r.Vars[0], r.Vars[1]
+		}
+		for ci, conn := range e.conns {
+			if !e.alive[ci] {
+				continue
+			}
+			env := &evalEnv{view: view, bindings: []binding{
+				{name: pVar, node: p, idx: conn.P},
+				{name: cVar, node: c, idx: conn.C},
+			}}
+			if len(e.attrSchema) > 0 {
+				env.attrs = append(env.attrs, attrBinding{edge: e, conn: ci})
+			}
+			keep, err := evalPredTri(env, r.RawPred)
+			if err != nil {
+				return fmt.Errorf("xnf: restriction on %s: %v", r.Target, err)
+			}
+			if keep != types.True {
+				e.alive[ci] = false
+			}
+		}
+		return nil
+	}
+	n := g.node(r.Target)
+	if n == nil {
+		return fmt.Errorf("xnf: restriction on unknown component %q", r.Target)
+	}
+	varName := n.name
+	if len(r.Vars) == 1 {
+		varName = r.Vars[0]
+	}
+	for i := range n.rows {
+		if !n.alive[i] {
+			continue
+		}
+		env := &evalEnv{view: view, bindings: []binding{{name: varName, node: n, idx: i}}}
+		keep, err := evalPredTri(env, r.RawPred)
+		if err != nil {
+			return fmt.Errorf("xnf: restriction on %s: %v", r.Target, err)
+		}
+		if keep != types.True {
+			n.alive[i] = false
+		}
+	}
+	return nil
+}
+
+// applyTake drops components not kept and applies column projection.
+// Dropping a node implicitly drops relationships that reference it
+// (well-formedness, paper §3.3).
+func (ev *Evaluator) applyTake(g *egraph, take qgm.XNFTakeSpec) error {
+	keepNode := map[string]*qgm.XNFTakeItem{}
+	keepEdge := map[string]bool{}
+	for i := range take.Items {
+		item := &take.Items[i]
+		if n := g.node(item.Name); n != nil {
+			keepNode[strings.ToUpper(n.name)] = item
+			continue
+		}
+		if e := g.edge(item.Name); e != nil {
+			keepEdge[strings.ToUpper(e.name)] = true
+			continue
+		}
+		return fmt.Errorf("xnf: TAKE references unknown component %q", item.Name)
+	}
+	var nodes []*gnode
+	for _, n := range g.nodes {
+		item, ok := keepNode[strings.ToUpper(n.name)]
+		if !ok {
+			continue
+		}
+		if !item.AllCols {
+			if err := projectNode(n, item.Cols); err != nil {
+				return err
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	var edges []*gedge
+	for _, e := range g.edges {
+		if !keepEdge[strings.ToUpper(e.name)] {
+			continue
+		}
+		// Implicit drop when a partner table is gone.
+		if _, pOK := keepNode[strings.ToUpper(e.parent)]; !pOK {
+			continue
+		}
+		if _, cOK := keepNode[strings.ToUpper(e.child)]; !cOK {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	g.nodes, g.edges = nodes, edges
+	return nil
+}
+
+// projectNode narrows a node to the named columns, keeping provenance maps
+// consistent.
+func projectNode(n *gnode, cols []string) error {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		p := n.schema.Index(c)
+		if p < 0 {
+			return fmt.Errorf("xnf: TAKE projects unknown column %q of %s", c, n.name)
+		}
+		idxs[i] = p
+	}
+	newSchema := make(types.Schema, len(idxs))
+	for i, p := range idxs {
+		newSchema[i] = n.schema[p]
+	}
+	for ri, row := range n.rows {
+		nr := make(types.Row, len(idxs))
+		for i, p := range idxs {
+			nr[i] = row[p]
+		}
+		n.rows[ri] = nr
+	}
+	if n.colMap != nil {
+		ncm := make([]int, len(idxs))
+		for i, p := range idxs {
+			ncm[i] = n.colMap[p]
+		}
+		n.colMap = ncm
+	}
+	n.schema = newSchema
+	return nil
+}
+
+// finalize applies the reachability constraint to the composed graph and
+// compacts it into the public CO form.
+func (ev *Evaluator) finalize(g *egraph) (*CO, error) {
+	roots := g.rootNames()
+	in := ev.reach(g)
+	co := &CO{}
+	remap := map[string][]int{}
+	for _, n := range g.nodes {
+		ni := &NodeInstance{
+			Name: n.name, Schema: n.schema, BaseTable: n.baseTable,
+			ColMap: n.colMap, Root: roots[n.name],
+		}
+		rm := make([]int, len(n.rows))
+		for i := range rm {
+			rm[i] = -1
+		}
+		set := in[n.name]
+		for i, row := range n.rows {
+			if !n.alive[i] || !set[i] {
+				continue
+			}
+			rm[i] = len(ni.Rows)
+			ni.Rows = append(ni.Rows, row)
+			ni.RIDs = append(ni.RIDs, n.rids[i])
+		}
+		remap[n.name] = rm
+		co.Nodes = append(co.Nodes, ni)
+	}
+	for _, e := range g.edges {
+		ei := &EdgeInstance{
+			Name: e.name, Parent: g.node(e.parent).name, Child: g.node(e.child).name,
+			AttrSchema:  e.attrSchema,
+			FKParentCol: e.fkParent, FKChildCol: e.fkChild,
+			LinkTable: e.linkTable, LinkParentCol: e.linkPCol, LinkChildCol: e.linkCCol,
+			LinkParentKey: e.linkPKey, LinkChildKey: e.linkCKey,
+		}
+		pMap, cMap := remap[e.parent], remap[e.child]
+		for ci, conn := range e.conns {
+			if !e.alive[ci] {
+				continue
+			}
+			np, nc := pMap[conn.P], cMap[conn.C]
+			if np < 0 || nc < 0 {
+				continue // endpoint excluded → connection excluded
+			}
+			ei.Conns = append(ei.Conns, Conn{P: np, C: nc, Attrs: conn.Attrs, LinkRID: conn.LinkRID})
+		}
+		co.Edges = append(co.Edges, ei)
+	}
+	if err := co.Validate(); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// Delete implements CO-level deletion (§3.7): every component tuple maps
+// down to a removal of its base tuple, and link-table connections map to
+// link-row deletions. Every node must be updatable.
+func (ev *Evaluator) Delete(spec *qgm.XNFSpec) (int, error) {
+	co, err := ev.Evaluate(spec)
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range co.Nodes {
+		if len(n.Rows) > 0 && n.BaseTable == "" {
+			return 0, fmt.Errorf("xnf: CO DELETE requires updatable components; %s is not traceable to a base table", n.Name)
+		}
+	}
+	deleted := 0
+	// Link rows first (they reference the node tuples' keys).
+	for _, e := range co.Edges {
+		if e.LinkTable == "" {
+			continue
+		}
+		p := co.Node(e.Parent)
+		c := co.Node(e.Child)
+		schema, err := ev.host.TableSchema(e.LinkTable)
+		if err != nil {
+			return deleted, err
+		}
+		pCol := schema.Index(e.LinkParentCol)
+		cCol := schema.Index(e.LinkChildCol)
+		pKey := p.Schema.Index(e.LinkParentKey)
+		cKey := c.Schema.Index(e.LinkChildKey)
+		if pCol < 0 || cCol < 0 || pKey < 0 || cKey < 0 {
+			return deleted, fmt.Errorf("xnf: link provenance of %s is incomplete", e.Name)
+		}
+		// Collect the key pairs to remove.
+		want := map[[2]uint64][]Conn{}
+		for _, conn := range e.Conns {
+			k := [2]uint64{p.Rows[conn.P][pKey].Hash(), c.Rows[conn.C][cKey].Hash()}
+			want[k] = append(want[k], conn)
+		}
+		var rids []storage.RID
+		err = ev.host.ScanTable(e.LinkTable, func(rid storage.RID, row types.Row) (bool, error) {
+			k := [2]uint64{row[pCol].Hash(), row[cCol].Hash()}
+			for _, conn := range want[k] {
+				if types.Equal(row[pCol], p.Rows[conn.P][pKey]) && types.Equal(row[cCol], c.Rows[conn.C][cKey]) {
+					rids = append(rids, rid)
+					break
+				}
+			}
+			return false, nil
+		})
+		if err != nil {
+			return deleted, err
+		}
+		for _, rid := range rids {
+			if err := ev.host.DeleteRow(e.LinkTable, rid); err != nil {
+				return deleted, err
+			}
+			deleted++
+		}
+	}
+	// Node tuples, deduplicated by base identity.
+	seen := map[string]map[storage.RID]bool{}
+	for _, n := range co.Nodes {
+		for i := range n.Rows {
+			rid := n.RIDs[i]
+			if !rid.Valid() {
+				return deleted, fmt.Errorf("xnf: tuple %d of %s has no base provenance", i, n.Name)
+			}
+			if seen[n.BaseTable] == nil {
+				seen[n.BaseTable] = map[storage.RID]bool{}
+			}
+			if seen[n.BaseTable][rid] {
+				continue
+			}
+			seen[n.BaseTable][rid] = true
+			if err := ev.host.DeleteRow(n.BaseTable, rid); err != nil {
+				return deleted, err
+			}
+			deleted++
+		}
+	}
+	return deleted, nil
+}

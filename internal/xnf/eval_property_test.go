@@ -1,0 +1,166 @@
+// Property-based tests (external test package: the engine implements the
+// Host interface, and importing it from package xnf would be a cycle).
+package xnf_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/xnf"
+)
+
+// randomCompany loads a random company database and returns the session.
+func randomCompany(t *testing.T, rng *rand.Rand) *engine.Session {
+	t.Helper()
+	s := engine.NewDefault().Session()
+	s.MustExec(`
+	CREATE TABLE DEPT (dno INT NOT NULL PRIMARY KEY, loc VARCHAR, budget FLOAT);
+	CREATE TABLE EMP (eno INT NOT NULL PRIMARY KEY, sal FLOAT, edno INT);
+	CREATE TABLE PROJ (pno INT NOT NULL PRIMARY KEY, pdno INT, pmgrno INT);
+	CREATE INDEX emp_edno ON EMP (edno);
+	CREATE INDEX proj_pdno ON PROJ (pdno);
+	`)
+	nDept := 2 + rng.Intn(6)
+	nEmp := 5 + rng.Intn(30)
+	nProj := 2 + rng.Intn(10)
+	locs := []string{"NY", "SF", "LA"}
+	for d := 1; d <= nDept; d++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO DEPT VALUES (%d, '%s', %d)",
+			d, locs[rng.Intn(3)], 1000+rng.Intn(9000)))
+	}
+	for e := 1; e <= nEmp; e++ {
+		edno := "NULL"
+		if rng.Intn(10) > 0 { // some employees are unattached
+			edno = fmt.Sprint(1 + rng.Intn(nDept))
+		}
+		s.MustExec(fmt.Sprintf("INSERT INTO EMP VALUES (%d, %d, %s)",
+			e, 500+rng.Intn(4000), edno))
+	}
+	for p := 1; p <= nProj; p++ {
+		pdno := "NULL"
+		if rng.Intn(5) > 0 {
+			pdno = fmt.Sprint(1 + rng.Intn(nDept))
+		}
+		s.MustExec(fmt.Sprintf("INSERT INTO PROJ VALUES (%d, %s, %d)",
+			p, pdno, 1+rng.Intn(nEmp)))
+	}
+	return s
+}
+
+const propQuery = `OUT OF
+ Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY'),
+ Xemp AS EMP,
+ Xproj AS PROJ,
+ employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+ ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno),
+ projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno)
+TAKE *`
+
+// canonical renders a CO in an order-independent form for equality checks.
+func canonical(co *xnf.CO) string {
+	var parts []string
+	for _, n := range co.Nodes {
+		var rows []string
+		for _, r := range n.Rows {
+			rows = append(rows, r.String())
+		}
+		sort.Strings(rows)
+		parts = append(parts, fmt.Sprintf("%s:%v", n.Name, rows))
+	}
+	for _, e := range co.Edges {
+		p := co.Node(e.Parent)
+		c := co.Node(e.Child)
+		var conns []string
+		for _, conn := range e.Conns {
+			conns = append(conns, p.Rows[conn.P].String()+"->"+c.Rows[conn.C].String())
+		}
+		sort.Strings(conns)
+		parts = append(parts, fmt.Sprintf("%s:%v", e.Name, conns))
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// TestPropertyTopDownEqualsFullMaterialization: the topological extraction
+// (shared subexpressions on) must produce exactly the CO that full candidate
+// materialization produces — on random databases.
+func TestPropertyTopDownEqualsFullMaterialization(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomCompany(t, rng)
+		fast := mustCO(t, s, xnf.Options{})
+		slow := mustCO(t, s, xnf.Options{NoSharedSubexpressions: true})
+		if canonical(fast) != canonical(slow) {
+			t.Fatalf("seed %d: extraction strategies disagree\nfast: %s\nslow: %s",
+				seed, fast, slow)
+		}
+	}
+}
+
+// TestPropertySemiNaiveEqualsNaive: both reachability strategies agree.
+func TestPropertySemiNaiveEqualsNaive(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomCompany(t, rng)
+		a := mustCO(t, s, xnf.Options{})
+		b := mustCO(t, s, xnf.Options{NaiveFixpoint: true})
+		if canonical(a) != canonical(b) {
+			t.Fatalf("seed %d: fixpoint strategies disagree", seed)
+		}
+	}
+}
+
+// TestPropertyReachabilityInvariant: every evaluation result satisfies the
+// reachability constraint and well-formedness.
+func TestPropertyReachabilityInvariant(t *testing.T) {
+	for seed := int64(200); seed < 225; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomCompany(t, rng)
+		co := mustCO(t, s, xnf.Options{})
+		if err := co.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := co.CheckReachability(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Cross-check against plain SQL: employees of NY departments.
+		r, err := s.Exec(`SELECT COUNT(*) FROM EMP e, DEPT d
+			WHERE e.edno = d.dno AND d.loc = 'NY'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := int(r.Rows[0][0].Int())
+		// Xemp includes employees reachable via employment only (no other
+		// path leads to Xemp in this schema graph).
+		if got := len(co.Node("Xemp").Rows); got != direct {
+			t.Fatalf("seed %d: Xemp=%d, SQL count=%d", seed, got, direct)
+		}
+	}
+}
+
+func mustCO(t *testing.T, s *engine.Session, opts xnf.Options) *xnf.CO {
+	t.Helper()
+	co, err := evalWith(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// evalWith evaluates propQuery with explicit evaluator options.
+func evalWith(s *engine.Session, opts xnf.Options) (*xnf.CO, error) {
+	st, err := parser.ParseOne(propQuery)
+	if err != nil {
+		return nil, err
+	}
+	box, err := qgm.NewBuilder(s.Engine().Catalog(), nil).BuildXNF(st.(*parser.XNFQuery))
+	if err != nil {
+		return nil, err
+	}
+	return xnf.NewEvaluator(s, opts).Evaluate(box.XNF)
+}

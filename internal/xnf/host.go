@@ -1,0 +1,62 @@
+// Package xnf implements the paper's core contribution: evaluation of
+// SQL/XNF composite-object queries as abstractions over relational data.
+//
+// The XNF semantic rewrite (paper §4.3) translates the XNF operator into
+// plain SQL boxes — one query per node and per relationship — sharing
+// common subexpressions (node materializations feed the edge queries), then
+// applies XNF semantics that SQL cannot express directly: the reachability
+// constraint (§2), node/edge restrictions (§3.3), structural projection,
+// recursive composite objects (§3.4), and path expressions (§3.5).
+//
+// Composition is hierarchical: a query over an XNF view takes the view's
+// components as candidates and recomputes reachability over the composed
+// schema graph, which is how Fig. 3's employees e3/e4 "show up" when the
+// membership relationship is added.
+package xnf
+
+import (
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// Host is the engine surface the XNF evaluator and CO cache need: running
+// rewritten SQL boxes and mutating base tables. The engine implements it;
+// defining it here keeps the dependency one-way (engine → xnf).
+type Host interface {
+	// RunBox compiles (rewrite + optimize) and executes a box.
+	RunBox(box *qgm.Box) ([]types.Row, error)
+	// RunBoxWithRIDs additionally reports base-tuple provenance when the
+	// box is a single-table selection; rids[i] is the base RID of row i
+	// (invalid RIDs mark non-updatable rows).
+	RunBoxWithRIDs(box *qgm.Box) ([]types.Row, []storage.RID, error)
+	// GetRow fetches a base tuple.
+	GetRow(table string, rid storage.RID) (types.Row, error)
+	// InsertRow appends a base tuple (maintaining indexes) and returns its RID.
+	InsertRow(table string, row types.Row) (storage.RID, error)
+	// UpdateRow replaces a base tuple; the tuple may move.
+	UpdateRow(table string, rid storage.RID, row types.Row) (storage.RID, error)
+	// DeleteRow removes a base tuple (maintaining indexes).
+	DeleteRow(table string, rid storage.RID) error
+	// ScanTable visits every live tuple of a base table with its RID.
+	ScanTable(table string, fn func(rid storage.RID, row types.Row) (stop bool, err error)) error
+	// TableSchema returns a base table's schema.
+	TableSchema(table string) (types.Schema, error)
+}
+
+// Options control evaluation strategy; benches ablate them. The zero
+// value enables the optimized strategies.
+type Options struct {
+	// NoSharedSubexpressions disables reuse of node materializations: each
+	// edge query re-derives its partner nodes from base tables, and the
+	// topological extraction is off — the ablation arm against the paper's
+	// §4.3 ("The optimizer is able to take advantage of common
+	// subexpression across these queries").
+	NoSharedSubexpressions bool
+	// NaiveFixpoint re-scans all connections every reachability round
+	// instead of propagating a frontier (semi-naive ablation).
+	NaiveFixpoint bool
+}
+
+// DefaultOptions enables the optimized strategies.
+func DefaultOptions() Options { return Options{} }

@@ -1,0 +1,387 @@
+package xnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/types"
+)
+
+// instView is the instance against which restriction predicates and path
+// expressions evaluate: the candidate graph limited to instance0 (the
+// reachable, pre-restriction CO of the current composition level).
+type instView struct {
+	g  *egraph
+	in map[string][]bool
+}
+
+// member reports whether tuple idx of node n belongs to the view.
+func (v *instView) member(n *gnode, idx int) bool {
+	return n.alive[idx] && v.in[n.name][idx]
+}
+
+// connOK reports whether connection ci of edge e belongs to the view.
+func (v *instView) connOK(e *gedge, ci int) bool {
+	if !e.alive[ci] {
+		return false
+	}
+	p, c := v.g.node(e.parent), v.g.node(e.child)
+	conn := e.conns[ci]
+	return v.member(p, conn.P) && v.member(c, conn.C)
+}
+
+// binding associates a variable name with one tuple.
+type binding struct {
+	name string
+	node *gnode
+	idx  int
+}
+
+// attrBinding exposes a connection's relationship attributes to the
+// predicate (edge restrictions can reference WITH ATTRIBUTES columns).
+type attrBinding struct {
+	edge *gedge
+	conn int
+}
+
+// evalEnv is the evaluation environment for restriction predicates: tuple
+// bindings, attribute bindings, and a parent link for qualified path steps
+// that reference outer anchors (e.g. p.budget > d.budget).
+type evalEnv struct {
+	view     *instView
+	bindings []binding
+	attrs    []attrBinding
+	parent   *evalEnv
+}
+
+// lookup finds a binding by variable name through the environment chain.
+func (env *evalEnv) lookup(name string) *binding {
+	for e := env; e != nil; e = e.parent {
+		for i := range e.bindings {
+			if strings.EqualFold(e.bindings[i].name, name) {
+				return &e.bindings[i]
+			}
+		}
+	}
+	return nil
+}
+
+// resolveColumn evaluates a column reference against the environment.
+func (env *evalEnv) resolveColumn(cr *parser.ColumnRef) (types.Value, error) {
+	if cr.Qualifier != "" {
+		if b := env.lookup(cr.Qualifier); b != nil {
+			ci := b.node.schema.Index(cr.Name)
+			if ci < 0 {
+				return types.Null(), fmt.Errorf("xnf: column %q not found in %s", cr.Name, b.node.name)
+			}
+			return b.node.rows[b.idx][ci], nil
+		}
+		// Qualifier may name an edge whose attributes are bound.
+		for e := env; e != nil; e = e.parent {
+			for _, ab := range e.attrs {
+				if strings.EqualFold(ab.edge.name, cr.Qualifier) {
+					ai := ab.edge.attrSchema.Index(cr.Name)
+					if ai < 0 {
+						return types.Null(), fmt.Errorf("xnf: attribute %q not found in relationship %s", cr.Name, ab.edge.name)
+					}
+					return ab.edge.conns[ab.conn].Attrs[ai], nil
+				}
+			}
+		}
+		return types.Null(), fmt.Errorf("xnf: unknown variable %q", cr.Qualifier)
+	}
+	// Unqualified: search tuple bindings, then attributes.
+	var found *types.Value
+	for e := env; e != nil; e = e.parent {
+		for _, b := range e.bindings {
+			ci := b.node.schema.Index(cr.Name)
+			if ci < 0 {
+				continue
+			}
+			if found != nil {
+				return types.Null(), fmt.Errorf("xnf: column %q is ambiguous in restriction", cr.Name)
+			}
+			v := b.node.rows[b.idx][ci]
+			found = &v
+		}
+		if found != nil {
+			return *found, nil
+		}
+		for _, ab := range e.attrs {
+			ai := ab.edge.attrSchema.Index(cr.Name)
+			if ai < 0 {
+				continue
+			}
+			v := ab.edge.conns[ab.conn].Attrs[ai]
+			return v, nil
+		}
+	}
+	return types.Null(), fmt.Errorf("xnf: column %q not found in restriction scope", cr.Name)
+}
+
+// evalPredTri evaluates a restriction predicate to three-valued logic.
+func evalPredTri(env *evalEnv, e parser.Expr) (types.Tri, error) {
+	v, err := evalValue(env, e)
+	if err != nil {
+		return types.Unknown, err
+	}
+	if v.IsNull() {
+		return types.Unknown, nil
+	}
+	if v.Kind() != types.KindBool {
+		return types.Unknown, fmt.Errorf("xnf: restriction predicate evaluated to %s, want boolean", v.Kind())
+	}
+	return types.TriOf(v.Bool()), nil
+}
+
+// evalValue evaluates a restriction expression. Path expressions appear
+// through COUNT(path) and EXISTS path.
+func evalValue(env *evalEnv, e parser.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *parser.Literal:
+		return x.Val, nil
+	case *parser.ColumnRef:
+		return env.resolveColumn(x)
+	case *parser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			lt, err := evalPredTri(env, x.L)
+			if err != nil {
+				return types.Null(), err
+			}
+			if x.Op == "AND" && lt == types.False {
+				return types.NewBool(false), nil
+			}
+			if x.Op == "OR" && lt == types.True {
+				return types.NewBool(true), nil
+			}
+			rt, err := evalPredTri(env, x.R)
+			if err != nil {
+				return types.Null(), err
+			}
+			if x.Op == "AND" {
+				return lt.And(rt).Value(), nil
+			}
+			return lt.Or(rt).Value(), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			lv, err := evalValue(env, x.L)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := evalValue(env, x.R)
+			if err != nil {
+				return types.Null(), err
+			}
+			t, err := types.CompareTri(x.Op, lv, rv)
+			if err != nil {
+				return types.Null(), err
+			}
+			return t.Value(), nil
+		default:
+			lv, err := evalValue(env, x.L)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := evalValue(env, x.R)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.Arith(x.Op, lv, rv)
+		}
+	case *parser.UnaryExpr:
+		if x.Op == "NOT" {
+			t, err := evalPredTri(env, x.E)
+			if err != nil {
+				return types.Null(), err
+			}
+			return t.Not().Value(), nil
+		}
+		v, err := evalValue(env, x.E)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.Neg(v)
+	case *parser.IsNullExpr:
+		v, err := evalValue(env, x.E)
+		if err != nil {
+			return types.Null(), err
+		}
+		r := v.IsNull()
+		if x.Negate {
+			r = !r
+		}
+		return types.NewBool(r), nil
+	case *parser.InExpr:
+		v, err := evalValue(env, x.E)
+		if err != nil {
+			return types.Null(), err
+		}
+		result := types.False
+		for _, le := range x.List {
+			lv, err := evalValue(env, le)
+			if err != nil {
+				return types.Null(), err
+			}
+			t, err := types.CompareTri("=", v, lv)
+			if err != nil {
+				return types.Null(), err
+			}
+			result = result.Or(t)
+		}
+		if x.Negate {
+			result = result.Not()
+		}
+		return result.Value(), nil
+	case *parser.ExistsExpr:
+		if x.Path == nil {
+			return types.Null(), fmt.Errorf("xnf: EXISTS subqueries are not supported in XNF restrictions; use a path expression")
+		}
+		_, set, err := evalPath(env, x.Path)
+		if err != nil {
+			return types.Null(), err
+		}
+		r := len(set) > 0
+		if x.Negate {
+			r = !r
+		}
+		return types.NewBool(r), nil
+	case *parser.FuncExpr:
+		if x.PathArg == nil {
+			return types.Null(), fmt.Errorf("xnf: %s over non-path arguments is not supported in restrictions", x.Name)
+		}
+		node, set, err := evalPath(env, x.PathArg)
+		if err != nil {
+			return types.Null(), err
+		}
+		switch x.Name {
+		case "COUNT":
+			return types.NewInt(int64(len(set))), nil
+		case "SUM", "AVG", "MIN", "MAX":
+			return types.Null(), fmt.Errorf("xnf: %s over a path needs a column; only COUNT and EXISTS are supported", x.Name)
+		default:
+			_ = node
+			return types.Null(), fmt.Errorf("xnf: unknown function %s", x.Name)
+		}
+	case *parser.PathExpr:
+		return types.Null(), fmt.Errorf("xnf: a bare path expression denotes a table; wrap it in COUNT or EXISTS")
+	default:
+		return types.Null(), fmt.Errorf("xnf: unsupported restriction expression %T", e)
+	}
+}
+
+// evalPath evaluates a path expression against the view, returning the
+// target node and the sorted, deduplicated indexes of reachable tuples
+// (a path denotes a subset of its target table, §3.5).
+func evalPath(env *evalEnv, p *parser.PathExpr) (*gnode, []int, error) {
+	g := env.view.g
+	var curNode *gnode
+	var curSet map[int]bool
+	// Anchor: a bound variable or a node name.
+	if b := env.lookup(p.Anchor); b != nil {
+		curNode = b.node
+		curSet = map[int]bool{}
+		if env.view.member(b.node, b.idx) {
+			curSet[b.idx] = true
+		}
+	} else if n := g.node(p.Anchor); n != nil {
+		curNode = n
+		curSet = map[int]bool{}
+		for i := range n.rows {
+			if env.view.member(n, i) {
+				curSet[i] = true
+			}
+		}
+	} else {
+		return nil, nil, fmt.Errorf("xnf: path anchor %q is neither a variable nor a component table", p.Anchor)
+	}
+	for _, step := range p.Steps {
+		// Edge step (by name or role): traverse.
+		if e, forward, ok := resolveEdgeStep(g, curNode, step.Name); ok {
+			next := map[int]bool{}
+			for ci, conn := range e.conns {
+				if !env.view.connOK(e, ci) {
+					continue
+				}
+				if forward && curSet[conn.P] {
+					next[conn.C] = true
+				}
+				if !forward && curSet[conn.C] {
+					next[conn.P] = true
+				}
+			}
+			if forward {
+				curNode = g.node(e.child)
+			} else {
+				curNode = g.node(e.parent)
+			}
+			curSet = next
+			continue
+		}
+		// Node step: a check (and optional qualification).
+		if n := g.node(step.Name); n != nil {
+			if !strings.EqualFold(n.name, curNode.name) {
+				return nil, nil, fmt.Errorf("xnf: path step %s does not follow from %s (no relationship traversed)", step.Name, curNode.name)
+			}
+			if step.Pred != nil {
+				filtered := map[int]bool{}
+				varName := step.Var
+				if varName == "" {
+					varName = n.name
+				}
+				for idx := range curSet {
+					stepEnv := &evalEnv{
+						view:     env.view,
+						bindings: []binding{{name: varName, node: n, idx: idx}},
+						parent:   env,
+					}
+					t, err := evalPredTri(stepEnv, step.Pred)
+					if err != nil {
+						return nil, nil, err
+					}
+					if t == types.True {
+						filtered[idx] = true
+					}
+				}
+				curSet = filtered
+			}
+			continue
+		}
+		return nil, nil, fmt.Errorf("xnf: path step %q is neither a relationship nor the current component table", step.Name)
+	}
+	out := make([]int, 0, len(curSet))
+	for i := range curSet {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return curNode, out, nil
+}
+
+// resolveEdgeStep matches a path step name against edges incident on the
+// current node. Step names may be edge names (direction inferred from which
+// side the current node is on; parent→child preferred for cyclic edges) or
+// role names (the role names the *target* side: stepping to the "manager"
+// role traverses child→parent when manager is the parent role).
+func resolveEdgeStep(g *egraph, cur *gnode, name string) (*gedge, bool, bool) {
+	for _, e := range g.edges {
+		if strings.EqualFold(e.name, name) {
+			onParent := strings.EqualFold(e.parent, cur.name)
+			onChild := strings.EqualFold(e.child, cur.name)
+			switch {
+			case onParent: // includes cyclic edges: default parent→child
+				return e, true, true
+			case onChild:
+				return e, false, true
+			}
+		}
+		// Role names select a direction on cyclic or ambiguous edges.
+		if e.childRole != "" && strings.EqualFold(e.childRole, name) && strings.EqualFold(e.parent, cur.name) {
+			return e, true, true
+		}
+		if e.parentRole != "" && strings.EqualFold(e.parentRole, name) && strings.EqualFold(e.child, cur.name) {
+			return e, false, true
+		}
+	}
+	return nil, false, false
+}

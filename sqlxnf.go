@@ -1,0 +1,171 @@
+// Package sqlxnf is a from-scratch reproduction of SQL/XNF — "Processing
+// Composite Objects as Abstractions over Relational Data" (Mitschang,
+// Pirahesh, Pistor, Lindsay, Südkamp; ICDE 1993).
+//
+// It provides a complete embedded relational engine (storage, B+tree
+// indexes, WAL, locking, SQL with views and a cost-based optimizer) plus
+// the paper's composite-object extension: the OUT OF ... TAKE constructor
+// with RELATE relationships, reachability semantics, XNF views (including
+// views over views and recursive composite objects), node/edge restrictions,
+// structural projection, path expressions, CO-level DELETE, and the
+// pointer-linked application cache with cursors and write-through
+// update/connect/disconnect operations.
+//
+// Quick start:
+//
+//	db := sqlxnf.Open()
+//	db.MustExec(`CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR)`)
+//	db.MustExec(`INSERT INTO DEPT VALUES (1, 'toys')`)
+//	co, _ := db.QueryCO(`OUT OF Xdept AS DEPT TAKE *`)
+//	cache, _ := db.OpenCache(co)
+package sqlxnf
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/cache"
+	"sqlxnf/internal/engine"
+	"sqlxnf/internal/optimizer"
+	"sqlxnf/internal/rewrite"
+	"sqlxnf/internal/types"
+	"sqlxnf/internal/xnf"
+)
+
+// Re-exported types: the public API surfaces the engine session, results,
+// composite objects and the cache directly.
+type (
+	// Result is the outcome of one statement: rows for queries, a CO for
+	// XNF TAKE queries, affected counts for DML.
+	Result = engine.Result
+	// Session is one connection with transaction state.
+	Session = engine.Session
+	// CO is a materialized composite object.
+	CO = xnf.CO
+	// NodeInstance is one component table of a CO.
+	NodeInstance = xnf.NodeInstance
+	// EdgeInstance is one relationship of a CO.
+	EdgeInstance = xnf.EdgeInstance
+	// Cache is the pointer-linked navigation cache over a CO.
+	Cache = cache.Cache
+	// Cursor iterates cached component tuples.
+	Cursor = cache.Cursor
+	// Tuple is one cached tuple.
+	Tuple = cache.Tuple
+	// Row is one tuple of values.
+	Row = types.Row
+	// Value is one scalar SQL value.
+	Value = types.Value
+	// Schema describes a rowset.
+	Schema = types.Schema
+)
+
+// Value constructors, re-exported for application code.
+var (
+	// NewInt builds an integer value.
+	NewInt = types.NewInt
+	// NewFloat builds a floating-point value.
+	NewFloat = types.NewFloat
+	// NewString builds a character value.
+	NewString = types.NewString
+	// NewBool builds a boolean value.
+	NewBool = types.NewBool
+	// Null builds the SQL NULL.
+	Null = types.Null
+)
+
+// Option configures Open.
+type Option func(*engine.Options)
+
+// WithBufferPool sizes the buffer pool in pages.
+func WithBufferPool(pages int) Option {
+	return func(o *engine.Options) { o.BufferPoolPages = pages }
+}
+
+// WithoutCommonSubexpressions disables node-materialization sharing across
+// XNF edge queries (the E13 ablation).
+func WithoutCommonSubexpressions() Option {
+	return func(o *engine.Options) { o.XNF.NoSharedSubexpressions = true }
+}
+
+// WithNaiveFixpoint disables semi-naive reachability (ablation).
+func WithNaiveFixpoint() Option {
+	return func(o *engine.Options) { o.XNF.NaiveFixpoint = true }
+}
+
+// WithoutIndexes disables index access paths in the optimizer (ablation).
+func WithoutIndexes() Option {
+	return func(o *engine.Options) { o.Optimizer.NoIndexes = true }
+}
+
+// WithoutRewrite disables the query-rewrite phase (ablation).
+func WithoutRewrite() Option {
+	return func(o *engine.Options) {
+		o.Rewrite = rewrite.Options{NoMergeSelects: true, NoFoldConstants: true}
+	}
+}
+
+// WithoutHashJoins forces nested-loops joins (ablation).
+func WithoutHashJoins() Option {
+	return func(o *engine.Options) { o.Optimizer.NoHashJoins = true }
+}
+
+var _ = optimizer.DefaultOptions // anchor for godoc cross-reference
+
+// DB is one embedded database instance with a default session.
+type DB struct {
+	eng *engine.Engine
+	def *engine.Session
+}
+
+// Open creates an empty in-memory database.
+func Open(opts ...Option) *DB {
+	o := engine.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eng := engine.New(o)
+	return &DB{eng: eng, def: eng.Session()}
+}
+
+// Engine exposes the underlying engine (benchmarks read its I/O counters).
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Session opens an additional session (one per goroutine).
+func (db *DB) Session() *Session { return db.eng.Session() }
+
+// Exec runs a SQL/XNF script on the default session and returns the last
+// statement's result.
+func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
+
+// MustExec runs a script, panicking on error (examples and tests).
+func (db *DB) MustExec(sql string) *Result { return db.def.MustExec(sql) }
+
+// Query runs a single query statement.
+func (db *DB) Query(sql string) (*Result, error) { return db.def.Query(sql) }
+
+// QueryCO runs an XNF TAKE query and returns the materialized composite
+// object.
+func (db *DB) QueryCO(sql string) (*CO, error) {
+	r, err := db.def.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if r.CO == nil {
+		return nil, fmt.Errorf("sqlxnf: statement did not produce a composite object")
+	}
+	return r.CO, nil
+}
+
+// OpenCache loads a composite object into the pointer-linked navigation
+// cache bound to the default session (write-through operations join that
+// session's transactions).
+func (db *DB) OpenCache(co *CO) (*Cache, error) { return cache.Load(db.def, co) }
+
+// QueryCache combines QueryCO and OpenCache.
+func (db *DB) QueryCache(sql string) (*Cache, error) {
+	co, err := db.QueryCO(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.OpenCache(co)
+}
