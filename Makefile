@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Smoke-run the executor micro-benchmarks (one iteration each): catches
+# bench-rot without burning CI minutes. See EXECUTOR.md for real runs.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 1x ./internal/exec/
+
+clean:
+	$(GO) clean ./...

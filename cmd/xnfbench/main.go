@@ -18,8 +18,12 @@ import (
 	"time"
 
 	"sqlxnf"
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/exec"
 	"sqlxnf/internal/lw90"
 	"sqlxnf/internal/oo1"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
 	"sqlxnf/internal/workload"
 )
 
@@ -48,6 +52,7 @@ func main() {
 		{"e11", "Intro — working-set extraction vs per-object instantiation", runE11},
 		{"e12", "§4 — composite-object clustering (page I/O)", runE12},
 		{"e13", "§4.3 — common subexpression sharing", runE13},
+		{"e14", "Batched executor pipeline — row vs batch drive", runE14},
 	}
 	ran := false
 	for _, e := range exps {
@@ -342,6 +347,93 @@ func runE12(scale int) {
 			fmt.Printf("  %-12s %-10d %-18.1f %v\n", name, pool, float64(reads)/n, el)
 		}
 	}
+}
+
+// runE14 drives the physical executor directly: the same plans through the
+// row-at-a-time Volcano interface and the batched interface (EXECUTOR.md),
+// which is the substrate every E1–E13 query now runs on.
+func runE14(scale int) {
+	n := 50000 * scale
+	bp := storage.NewBufferPool(storage.NewDisk(), 1<<16)
+	cat := catalog.New(bp)
+	schema := types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "val", Kind: types.KindInt},
+		{Name: "grp", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+	}
+	t := must(cat.CreateTable("T", schema, ""))
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 1000)),
+			types.NewInt(int64(i % 64)),
+			types.NewString(fmt.Sprintf("name-%d", i%100)),
+		}
+		must(t.Heap.Insert(t.Tag, row))
+	}
+	drainRows := func(p exec.Plan) int {
+		ctx := exec.NewContext()
+		if err := p.Open(ctx); err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		count := 0
+		for {
+			_, ok, err := p.Next(ctx)
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				return count
+			}
+			count++
+		}
+	}
+	drainBatch := func(p exec.Plan) int {
+		rows := must(exec.Collect(exec.NewContext(), p))
+		return len(rows)
+	}
+	cases := []struct {
+		name string
+		mk   func() exec.Plan
+	}{
+		{"scan+filter", func() exec.Plan {
+			return &exec.Filter{
+				Child: &exec.SeqScan{Table: t},
+				Pred:  exec.BinOp{Op: "<", L: exec.Col{Idx: 1}, R: exec.Const{V: types.NewInt(500)}},
+			}
+		}},
+		{"hash join", func() exec.Plan {
+			return exec.NewHashJoin(
+				&exec.SeqScan{Table: t}, &exec.SeqScan{Table: t},
+				[]exec.Expr{exec.Col{Idx: 1}}, []exec.Expr{exec.Col{Idx: 0}}, nil)
+		}},
+		{"group-agg", func() exec.Plan {
+			return &exec.GroupAgg{
+				Child:   &exec.SeqScan{Table: t},
+				KeyIdxs: []int{2},
+				Aggs:    []exec.AggDef{{Kind: exec.AggSum, ArgIdx: 1}, {Kind: exec.AggCountStar, ArgIdx: -1}},
+				Out: types.Schema{
+					{Name: "grp", Kind: types.KindInt},
+					{Name: "s", Kind: types.KindInt},
+					{Name: "c", Kind: types.KindInt},
+				},
+			}
+		}},
+	}
+	fmt.Printf("  table: %d rows; batch size %d\n", n, exec.BatchSize)
+	fmt.Printf("  %-12s %-12s %-12s %s\n", "operator", "row drive", "batch drive", "speedup")
+	for _, c := range cases {
+		var nr, nb int
+		rowT := timeIt(3, func() { nr = drainRows(c.mk()) })
+		batchT := timeIt(3, func() { nb = drainBatch(c.mk()) })
+		if nr != nb {
+			panic(fmt.Sprintf("e14 %s: row drive %d rows, batch drive %d", c.name, nr, nb))
+		}
+		fmt.Printf("  %-12s %-12v %-12v %.1fx\n", c.name, rowT, batchT, float64(rowT)/float64(batchT))
+	}
+	fmt.Println("  → one virtual call per ~256 rows instead of per row (EXECUTOR.md)")
 }
 
 func runE13(scale int) {

@@ -1,0 +1,3 @@
+module sqlxnf
+
+go 1.24.0

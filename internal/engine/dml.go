@@ -626,14 +626,27 @@ func (s *Session) runSingleTableWithRIDs(box *qgm.Box) ([]types.Row, []storage.R
 		}
 		return rows, rids, nil
 	}
-	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
-		if e := emit(rid, row); e != nil {
-			return true, e
+	// Heap scan path: stream page batches off the heap chain (the same
+	// streaming substrate as the batched SeqScan) instead of a per-row
+	// callback over a materialized table.
+	ps := t.Heap.PageScanner(t.Tag)
+	rowBuf := make([]types.Row, 0, exec.BatchSize)
+	ridBuf := make([]storage.RID, 0, exec.BatchSize)
+	for {
+		rowBuf, ridBuf = rowBuf[:0], ridBuf[:0]
+		var ok bool
+		rowBuf, ridBuf, ok, err = ps.NextPage(rowBuf, ridBuf)
+		if err != nil {
+			return nil, nil, err
 		}
-		return false, nil
-	})
-	if err != nil {
-		return nil, nil, err
+		if !ok {
+			break
+		}
+		for i, row := range rowBuf {
+			if err := emit(ridBuf[i], row); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	return rows, rids, nil
 }

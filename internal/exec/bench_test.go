@@ -1,0 +1,150 @@
+package exec
+
+// BenchmarkExec* micro-benchmarks: operator throughput on the executor hot
+// path at 10k/100k rows, each with two arms —
+//
+//	rows:  the classic Volcano drive (one virtual Next per operator per row)
+//	batch: the batched drive (NextBatch end to end, vectorized kernels)
+//
+// Run with:  go test -run '^$' -bench BenchmarkExec ./internal/exec/
+// Compare arms (or before/after) with benchstat. EXECUTOR.md records the
+// numbers that motivated the batched pipeline.
+
+import (
+	"fmt"
+	"testing"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// benchTable loads n rows shaped like a typical base table: a unique id, a
+// 1000-valued filter column, a 64-valued grouping column, and a string.
+func benchTable(tb testing.TB, n int) *catalog.Table {
+	tb.Helper()
+	bp := storage.NewBufferPool(storage.NewDisk(), 1<<16)
+	cat := catalog.New(bp)
+	schema := types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "val", Kind: types.KindInt},
+		{Name: "grp", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+	}
+	t, err := cat.CreateTable("T", schema, "")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 1000)),
+			types.NewInt(int64(i % 64)),
+			types.NewString(fmt.Sprintf("name-%d", i%100)),
+		}
+		if _, err := t.Heap.Insert(t.Tag, row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return t
+}
+
+// collectRows drains a plan through the row-at-a-time interface: the
+// pre-batch executor's drive, kept as the benchmark baseline.
+func collectRows(ctx *Context, p Plan) ([]types.Row, error) {
+	if err := p.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	var out []types.Row
+	for {
+		row, ok, err := p.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// benchArms runs the rows and batch arms over the same plan constructor.
+func benchArms(b *testing.B, mkPlan func() Plan, wantRows int) {
+	b.Helper()
+	for _, arm := range []struct {
+		name  string
+		drain func(ctx *Context, p Plan) ([]types.Row, error)
+	}{
+		{"rows", collectRows},
+		{"batch", Collect},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := arm.drain(NewContext(), mkPlan())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != wantRows {
+					b.Fatalf("got %d rows, want %d", len(out), wantRows)
+				}
+			}
+		})
+	}
+}
+
+func benchScan(b *testing.B, n int) {
+	t := benchTable(b, n)
+	b.ResetTimer()
+	benchArms(b, func() Plan { return &SeqScan{Table: t} }, n)
+}
+
+func BenchmarkExecScan10k(b *testing.B)  { benchScan(b, 10_000) }
+func BenchmarkExecScan100k(b *testing.B) { benchScan(b, 100_000) }
+
+func benchScanFilter(b *testing.B, n int) {
+	t := benchTable(b, n)
+	b.ResetTimer()
+	benchArms(b, func() Plan {
+		return &Filter{
+			Child: &SeqScan{Table: t},
+			Pred:  BinOp{Op: "<", L: Col{Idx: 1}, R: Const{V: types.NewInt(500)}},
+		}
+	}, n/2)
+}
+
+func BenchmarkExecScanFilter10k(b *testing.B)  { benchScanFilter(b, 10_000) }
+func BenchmarkExecScanFilter100k(b *testing.B) { benchScanFilter(b, 100_000) }
+
+func benchHashJoin(b *testing.B, n int) {
+	t := benchTable(b, n)
+	b.ResetTimer()
+	benchArms(b, func() Plan {
+		return NewHashJoin(
+			&SeqScan{Table: t}, &SeqScan{Table: t},
+			[]Expr{Col{Idx: 1}}, []Expr{Col{Idx: 0}}, nil)
+	}, n)
+}
+
+func BenchmarkExecHashJoin10k(b *testing.B)  { benchHashJoin(b, 10_000) }
+func BenchmarkExecHashJoin100k(b *testing.B) { benchHashJoin(b, 100_000) }
+
+func benchGroupAgg(b *testing.B, n int) {
+	t := benchTable(b, n)
+	b.ResetTimer()
+	benchArms(b, func() Plan {
+		return &GroupAgg{
+			Child:   &SeqScan{Table: t},
+			KeyIdxs: []int{2},
+			Aggs:    []AggDef{{Kind: AggSum, ArgIdx: 1}, {Kind: AggCountStar, ArgIdx: -1}},
+			Out: types.Schema{
+				{Name: "grp", Kind: types.KindInt},
+				{Name: "s", Kind: types.KindInt},
+				{Name: "c", Kind: types.KindInt},
+			},
+		}
+	}, 64)
+}
+
+func BenchmarkExecGroupAgg10k(b *testing.B)  { benchGroupAgg(b, 10_000) }
+func BenchmarkExecGroupAgg100k(b *testing.B) { benchGroupAgg(b, 100_000) }

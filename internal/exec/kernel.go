@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/types"
+)
+
+// Predicate kernels: the vectorized hot path of Filter.
+//
+// A predicate decomposes into its AND-conjuncts; each conjunct compiles to a
+// kernel that filters a whole batch in one tight loop. Common shapes —
+// `col op const`, `col op col`, `col IS [NOT] NULL` — run without per-row
+// expression-tree dispatch; everything else falls back to a generic kernel
+// that still amortizes the operator-boundary virtual calls over the batch.
+//
+// Sequential conjunct filtering matches scalar AND semantics for results
+// (a row passes iff every conjunct is True) and for False short-circuits;
+// like the scalar path's short-circuit, a later conjunct is not evaluated
+// for rows an earlier conjunct already dropped, so evaluation errors hiding
+// behind a dropped row do not surface.
+
+// predKernel is one vectorized conjunct.
+type predKernel struct {
+	op      string      // comparison op for the cmp shapes
+	lc, rc  int         // column indexes; -1 means "use constV"
+	constV  types.Value // constant side for col-vs-const shapes
+	isnull  bool        // IS [NOT] NULL kernel (column lc)
+	negate  bool
+	generic Expr // non-nil: fall back to per-row EvalPred
+}
+
+// compileKernels flattens pred into conjunct kernels. A nil predicate
+// compiles to no kernels (everything passes).
+func compileKernels(pred Expr) []predKernel {
+	if pred == nil {
+		return nil
+	}
+	var out []predKernel
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(BinOp); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		out = append(out, compileKernel(e))
+	}
+	walk(pred)
+	return out
+}
+
+// compileKernel compiles one conjunct, falling back to the generic kernel
+// for shapes without a vectorized loop.
+func compileKernel(e Expr) predKernel {
+	switch x := e.(type) {
+	case BinOp:
+		switch x.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			// Negative column indexes fall through to the generic kernel:
+			// -1 is the "constant side" sentinel, and the generic path is
+			// where Col.Eval surfaces the out-of-range error.
+			if lcol, ok := x.L.(Col); ok && lcol.Idx >= 0 {
+				if rcol, ok := x.R.(Col); ok && rcol.Idx >= 0 {
+					return predKernel{op: x.Op, lc: lcol.Idx, rc: rcol.Idx}
+				}
+				if c, ok := x.R.(Const); ok {
+					return predKernel{op: x.Op, lc: lcol.Idx, rc: -1, constV: c.V}
+				}
+			} else if c, ok := x.L.(Const); ok {
+				if rcol, ok := x.R.(Col); ok && rcol.Idx >= 0 {
+					return predKernel{op: x.Op, lc: -1, rc: rcol.Idx, constV: c.V}
+				}
+			}
+		}
+	case IsNull:
+		if col, ok := x.E.(Col); ok && col.Idx >= 0 {
+			return predKernel{isnull: true, lc: col.Idx, negate: x.Negate}
+		}
+	}
+	return predKernel{generic: e}
+}
+
+// apply appends the rows of in that satisfy the kernel to out.
+func (k *predKernel) apply(ctx *Context, in, out []types.Row) ([]types.Row, error) {
+	switch {
+	case k.generic != nil:
+		for _, r := range in {
+			ok, err := EvalPred(ctx, k.generic, r)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case k.isnull:
+		for _, r := range in {
+			if k.lc < 0 || k.lc >= len(r) {
+				return out, fmt.Errorf("exec: column %d out of range (row arity %d)", k.lc, len(r))
+			}
+			pass := r[k.lc].IsNull()
+			if k.negate {
+				pass = !pass
+			}
+			if pass {
+				out = append(out, r)
+			}
+		}
+	default:
+		// Decode the comparison once: pass iff sign(Compare) is wanted.
+		var wantLT, wantEQ, wantGT bool
+		switch k.op {
+		case "=":
+			wantEQ = true
+		case "<>":
+			wantLT, wantGT = true, true
+		case "<":
+			wantLT = true
+		case "<=":
+			wantLT, wantEQ = true, true
+		case ">":
+			wantGT = true
+		case ">=":
+			wantGT, wantEQ = true, true
+		}
+		for _, r := range in {
+			lv, rv := k.constV, k.constV
+			if k.lc >= 0 {
+				if k.lc >= len(r) {
+					return out, fmt.Errorf("exec: column %d out of range (row arity %d)", k.lc, len(r))
+				}
+				lv = r[k.lc]
+			}
+			if k.rc >= 0 {
+				if k.rc >= len(r) {
+					return out, fmt.Errorf("exec: column %d out of range (row arity %d)", k.rc, len(r))
+				}
+				rv = r[k.rc]
+			}
+			if lv.IsNull() || rv.IsNull() {
+				continue // comparison with NULL is Unknown: filtered out
+			}
+			var c int
+			if lv.Kind() == types.KindInt && rv.Kind() == types.KindInt {
+				li, ri := lv.Int(), rv.Int()
+				switch {
+				case li < ri:
+					c = -1
+				case li > ri:
+					c = 1
+				}
+			} else {
+				var err error
+				c, err = types.Compare(lv, rv)
+				if err != nil {
+					return out, err
+				}
+			}
+			if (c < 0 && wantLT) || (c == 0 && wantEQ) || (c > 0 && wantGT) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -11,11 +11,18 @@ import (
 	"sqlxnf/internal/types"
 )
 
-// Plan is a physical operator in the iterator model.
+// Plan is a physical operator. Operators expose both the classic Volcano
+// row-at-a-time interface (Next) and the batched interface (NextBatch); see
+// the batch contract in batch.go. Drivers pick one mode per Open.
 type Plan interface {
 	Schema() types.Schema
 	Open(ctx *Context) error
 	Next(ctx *Context) (types.Row, bool, error)
+	// NextBatch returns the next batch of rows, typically about BatchSize
+	// (scans may overshoot to a page boundary). An empty batch with a nil
+	// error means the input is exhausted. The returned slice is reused by
+	// the operator across calls.
+	NextBatch(ctx *Context) ([]types.Row, error)
 	Close() error
 	// Explain renders one line describing the operator.
 	Explain() string
@@ -43,12 +50,16 @@ func Dump(p Plan) string {
 // SeqScan
 // ---------------------------------------------------------------------------
 
-// SeqScan reads every live row of a table. Rows materialize during Open so
-// buffer-pool I/O is attributed to the scan.
+// SeqScan reads every live row of a table, streaming batches straight off
+// heap pages: at any moment it holds about a batch of decoded rows, never
+// the whole table.
 type SeqScan struct {
 	Table *catalog.Table
-	rows  []types.Row
+	ps    *storage.PageScanner
+	buf   []types.Row
+	rids  []storage.RID
 	pos   int
+	done  bool
 }
 
 // Schema implements Plan.
@@ -56,29 +67,73 @@ func (s *SeqScan) Schema() types.Schema { return s.Table.Schema }
 
 // Open implements Plan.
 func (s *SeqScan) Open(ctx *Context) error {
-	s.rows = s.rows[:0]
+	s.ps = s.Table.Heap.PageScanner(s.Table.Tag)
+	s.buf = s.buf[:0]
+	s.rids = s.rids[:0]
 	s.pos = 0
-	return s.Table.Heap.Scan(s.Table.Tag, func(_ storage.RID, row types.Row) (bool, error) {
-		if ctx.Stats != nil {
-			ctx.Stats.RowsScanned++
+	s.done = false
+	return nil
+}
+
+// fill replaces the buffer with the next run of pages totalling at least
+// BatchSize rows (or whatever remains in the chain).
+func (s *SeqScan) fill(ctx *Context) error {
+	s.buf = s.buf[:0]
+	s.rids = s.rids[:0]
+	s.pos = 0
+	for !s.done && len(s.buf) < BatchSize {
+		var ok bool
+		var err error
+		s.buf, s.rids, ok, err = s.ps.NextPage(s.buf, s.rids)
+		if err != nil {
+			return err
 		}
-		s.rows = append(s.rows, row)
-		return false, nil
-	})
+		if !ok {
+			s.done = true
+		}
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.RowsScanned += int64(len(s.buf))
+	}
+	return nil
 }
 
 // Next implements Plan.
-func (s *SeqScan) Next(*Context) (types.Row, bool, error) {
-	if s.pos >= len(s.rows) {
-		return nil, false, nil
+func (s *SeqScan) Next(ctx *Context) (types.Row, bool, error) {
+	if s.pos >= len(s.buf) {
+		if s.done {
+			return nil, false, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, false, err
+		}
+		if len(s.buf) == 0 {
+			return nil, false, nil
+		}
 	}
-	r := s.rows[s.pos]
+	r := s.buf[s.pos]
 	s.pos++
 	return r, true, nil
 }
 
+// NextBatch implements Plan.
+func (s *SeqScan) NextBatch(ctx *Context) ([]types.Row, error) {
+	if s.done {
+		return nil, nil
+	}
+	if err := s.fill(ctx); err != nil {
+		return nil, err
+	}
+	return s.buf, nil
+}
+
 // Close implements Plan.
-func (s *SeqScan) Close() error { s.rows = nil; return nil }
+func (s *SeqScan) Close() error {
+	s.buf = nil
+	s.rids = nil
+	s.ps = nil
+	return nil
+}
 
 // Explain implements Plan.
 func (s *SeqScan) Explain() string { return "SeqScan " + s.Table.Name }
@@ -92,12 +147,16 @@ func (s *SeqScan) Children() []Plan { return nil }
 
 // IndexScan probes a B+tree index. Bounds are expressions evaluated at Open
 // (they may reference correlation parameters). Nil bounds are unbounded.
+// Only the matching RIDs materialize at Open; heap tuples are fetched batch
+// by batch.
 type IndexScan struct {
 	Table        *catalog.Table
 	Index        *catalog.Index
 	Lo, Hi       []Expr // values for a key prefix
 	LoInc, HiInc bool
-	rows         []types.Row
+	rids         []storage.RID
+	rpos         int
+	buf          []types.Row
 	pos          int
 }
 
@@ -106,7 +165,9 @@ func (s *IndexScan) Schema() types.Schema { return s.Table.Schema }
 
 // Open implements Plan.
 func (s *IndexScan) Open(ctx *Context) error {
-	s.rows = s.rows[:0]
+	s.rids = s.rids[:0]
+	s.buf = s.buf[:0]
+	s.rpos = 0
 	s.pos = 0
 	evalBound := func(es []Expr) ([]byte, error) {
 		if es == nil {
@@ -133,38 +194,69 @@ func (s *IndexScan) Open(ctx *Context) error {
 	if ctx.Stats != nil {
 		ctx.Stats.IndexProbes++
 	}
-	var rids []storage.RID
 	s.Index.Tree.Scan(lo, hi, s.LoInc, s.HiInc, func(key []byte, rid storage.RID) bool {
 		// Prefix semantics: when the bound covers only a key prefix, the
 		// encoded comparison naturally treats longer keys in range.
-		rids = append(rids, rid)
+		s.rids = append(s.rids, rid)
 		return true
 	})
-	for _, rid := range rids {
+	return nil
+}
+
+// fill fetches the next batch of tuples for the pending RIDs.
+func (s *IndexScan) fill(ctx *Context) error {
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for s.rpos < len(s.rids) && len(s.buf) < BatchSize {
+		rid := s.rids[s.rpos]
+		s.rpos++
 		row, err := s.Table.Heap.Get(s.Table.Tag, rid)
 		if err != nil {
 			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", s.Index.Name, rid, err)
 		}
-		if ctx.Stats != nil {
-			ctx.Stats.RowsScanned++
-		}
-		s.rows = append(s.rows, row)
+		s.buf = append(s.buf, row)
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.RowsScanned += int64(len(s.buf))
 	}
 	return nil
 }
 
 // Next implements Plan.
-func (s *IndexScan) Next(*Context) (types.Row, bool, error) {
-	if s.pos >= len(s.rows) {
-		return nil, false, nil
+func (s *IndexScan) Next(ctx *Context) (types.Row, bool, error) {
+	if s.pos >= len(s.buf) {
+		if s.rpos >= len(s.rids) {
+			return nil, false, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, false, err
+		}
+		if len(s.buf) == 0 {
+			return nil, false, nil
+		}
 	}
-	r := s.rows[s.pos]
+	r := s.buf[s.pos]
 	s.pos++
 	return r, true, nil
 }
 
+// NextBatch implements Plan.
+func (s *IndexScan) NextBatch(ctx *Context) ([]types.Row, error) {
+	if s.rpos >= len(s.rids) {
+		return nil, nil
+	}
+	if err := s.fill(ctx); err != nil {
+		return nil, err
+	}
+	return s.buf, nil
+}
+
 // Close implements Plan.
-func (s *IndexScan) Close() error { s.rows = nil; return nil }
+func (s *IndexScan) Close() error {
+	s.rids = nil
+	s.buf = nil
+	return nil
+}
 
 // Explain implements Plan.
 func (s *IndexScan) Explain() string {
@@ -211,6 +303,11 @@ func (v *Values) Next(*Context) (types.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements Plan.
+func (v *Values) NextBatch(*Context) ([]types.Row, error) {
+	return sliceBatch(v.Rows, &v.pos), nil
+}
+
 // Close implements Plan.
 func (v *Values) Close() error { return nil }
 
@@ -224,10 +321,17 @@ func (v *Values) Children() []Plan { return nil }
 // Filter, Project, Limit, Distinct
 // ---------------------------------------------------------------------------
 
-// Filter passes rows satisfying Pred.
+// Filter passes rows satisfying Pred. The batch path compiles the predicate
+// into vectorized conjunct kernels (see kernel.go): common shapes like
+// `col < const` run as tight comparison loops without per-row expression
+// dispatch.
 type Filter struct {
-	Child Plan
-	Pred  Expr
+	Child    Plan
+	Pred     Expr
+	kernels  []predKernel
+	compiled bool
+	bufA     []types.Row
+	bufB     []types.Row
 }
 
 // Schema implements Plan.
@@ -253,8 +357,53 @@ func (f *Filter) Next(ctx *Context) (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements Plan. Kernels compile lazily on the first batch —
+// Pred is immutable after construction, so one compilation serves every
+// reopen (correlated subplans reopen per outer row and must not pay it).
+func (f *Filter) NextBatch(ctx *Context) ([]types.Row, error) {
+	if !f.compiled {
+		f.kernels = compileKernels(f.Pred)
+		f.compiled = true
+	}
+	for {
+		batch, err := f.Child.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return nil, nil
+		}
+		cur := batch
+		for i := range f.kernels {
+			dst := f.bufA[:0]
+			if i%2 == 1 {
+				dst = f.bufB[:0]
+			}
+			dst, err = f.kernels[i].apply(ctx, cur, dst)
+			if i%2 == 1 {
+				f.bufB = dst
+			} else {
+				f.bufA = dst
+			}
+			if err != nil {
+				return nil, err
+			}
+			cur = dst
+			if len(cur) == 0 {
+				break
+			}
+		}
+		if len(cur) > 0 {
+			return cur, nil
+		}
+	}
+}
+
 // Close implements Plan.
-func (f *Filter) Close() error { return f.Child.Close() }
+func (f *Filter) Close() error {
+	f.bufA, f.bufB = nil, nil
+	return f.Child.Close()
+}
 
 // Explain implements Plan.
 func (f *Filter) Explain() string { return "Filter " + DumpExpr(f.Pred) }
@@ -262,11 +411,14 @@ func (f *Filter) Explain() string { return "Filter " + DumpExpr(f.Pred) }
 // Children implements Plan.
 func (f *Filter) Children() []Plan { return []Plan{f.Child} }
 
-// Project computes output expressions per row.
+// Project computes output expressions per row. The batch path carves output
+// rows from a per-batch value arena (one allocation per batch, not per row)
+// and short-circuits plain column references.
 type Project struct {
 	Child Plan
 	Exprs []Expr
 	Out   types.Schema
+	obuf  []types.Row
 }
 
 // Schema implements Plan.
@@ -275,6 +427,21 @@ func (p *Project) Schema() types.Schema { return p.Out }
 // Open implements Plan.
 func (p *Project) Open(ctx *Context) error { return p.Child.Open(ctx) }
 
+func (p *Project) projectInto(ctx *Context, row, out types.Row) error {
+	for i, e := range p.Exprs {
+		if c, ok := e.(Col); ok && c.Idx >= 0 && c.Idx < len(row) {
+			out[i] = row[c.Idx]
+			continue
+		}
+		v, err := e.Eval(ctx, row)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
 // Next implements Plan.
 func (p *Project) Next(ctx *Context) (types.Row, bool, error) {
 	row, ok, err := p.Child.Next(ctx)
@@ -282,12 +449,8 @@ func (p *Project) Next(ctx *Context) (types.Row, bool, error) {
 		return nil, false, err
 	}
 	out := make(types.Row, len(p.Exprs))
-	for i, e := range p.Exprs {
-		v, err := e.Eval(ctx, row)
-		if err != nil {
-			return nil, false, err
-		}
-		out[i] = v
+	if err := p.projectInto(ctx, row, out); err != nil {
+		return nil, false, err
 	}
 	if ctx.Stats != nil {
 		ctx.Stats.RowsEmitted++
@@ -295,8 +458,33 @@ func (p *Project) Next(ctx *Context) (types.Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements Plan.
+func (p *Project) NextBatch(ctx *Context) ([]types.Row, error) {
+	batch, err := p.Child.NextBatch(ctx)
+	if err != nil || len(batch) == 0 {
+		return nil, err
+	}
+	arena := make([]types.Value, len(batch)*len(p.Exprs))
+	p.obuf = p.obuf[:0]
+	for _, row := range batch {
+		out := types.Row(arena[:len(p.Exprs):len(p.Exprs)])
+		arena = arena[len(p.Exprs):]
+		if err := p.projectInto(ctx, row, out); err != nil {
+			return nil, err
+		}
+		p.obuf = append(p.obuf, out)
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.RowsEmitted += int64(len(p.obuf))
+	}
+	return p.obuf, nil
+}
+
 // Close implements Plan.
-func (p *Project) Close() error { return p.Child.Close() }
+func (p *Project) Close() error {
+	p.obuf = nil
+	return p.Child.Close()
+}
 
 // Explain implements Plan.
 func (p *Project) Explain() string { return fmt.Sprintf("Project %v", p.Out.Names()) }
@@ -330,6 +518,22 @@ func (l *Limit) Next(ctx *Context) (types.Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch implements Plan.
+func (l *Limit) NextBatch(ctx *Context) ([]types.Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	batch, err := l.Child.NextBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if rem := l.N - l.seen; int64(len(batch)) > rem {
+		batch = batch[:rem]
+	}
+	l.seen += int64(len(batch))
+	return batch, nil
+}
+
 // Close implements Plan.
 func (l *Limit) Close() error { return l.Child.Close() }
 
@@ -343,6 +547,7 @@ func (l *Limit) Children() []Plan { return []Plan{l.Child} }
 type Distinct struct {
 	Child Plan
 	seen  map[uint64][]types.Row
+	obuf  []types.Row
 }
 
 // Schema implements Plan.
@@ -354,6 +559,18 @@ func (d *Distinct) Open(ctx *Context) error {
 	return d.Child.Open(ctx)
 }
 
+// fresh reports whether the row was not seen before, recording it.
+func (d *Distinct) fresh(row types.Row) bool {
+	h := row.Hash()
+	for _, prev := range d.seen[h] {
+		if prev.Equal(row) {
+			return false
+		}
+	}
+	d.seen[h] = append(d.seen[h], row)
+	return true
+}
+
 // Next implements Plan.
 func (d *Distinct) Next(ctx *Context) (types.Row, bool, error) {
 	for {
@@ -361,24 +578,40 @@ func (d *Distinct) Next(ctx *Context) (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		h := row.Hash()
-		dup := false
-		for _, prev := range d.seen[h] {
-			if prev.Equal(row) {
-				dup = true
-				break
+		if d.fresh(row) {
+			return row, true, nil
+		}
+	}
+}
+
+// NextBatch implements Plan.
+func (d *Distinct) NextBatch(ctx *Context) ([]types.Row, error) {
+	d.obuf = d.obuf[:0]
+	for {
+		batch, err := d.Child.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return nil, nil
+		}
+		for _, row := range batch {
+			if d.fresh(row) {
+				d.obuf = append(d.obuf, row)
 			}
 		}
-		if dup {
-			continue
+		if len(d.obuf) > 0 {
+			return d.obuf, nil
 		}
-		d.seen[h] = append(d.seen[h], row)
-		return row, true, nil
 	}
 }
 
 // Close implements Plan.
-func (d *Distinct) Close() error { d.seen = nil; return d.Child.Close() }
+func (d *Distinct) Close() error {
+	d.seen = nil
+	d.obuf = nil
+	return d.Child.Close()
+}
 
 // Explain implements Plan.
 func (d *Distinct) Explain() string { return "Distinct" }
@@ -399,6 +632,10 @@ type NLJoin struct {
 	right       []types.Row
 	cur         types.Row
 	rpos        int
+	lbatch      []types.Row
+	lpos        int
+	obuf        []types.Row
+	arena       rowArena
 }
 
 // NewNLJoin builds the join with a concatenated schema.
@@ -419,18 +656,34 @@ func (j *NLJoin) Open(ctx *Context) error {
 	}
 	j.right = j.right[:0]
 	for {
-		row, ok, err := j.Right.Next(ctx)
+		batch, err := j.Right.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		j.right = append(j.right, row)
+		j.right = append(j.right, batch...)
 	}
 	j.cur = nil
 	j.rpos = 0
+	j.lbatch = nil
+	j.lpos = 0
+	j.arena = rowArena{arity: len(j.out)}
 	return nil
+}
+
+// joinOne concatenates the current left row with one right row and applies
+// the predicate, returning the joined row on a match (row-path helper).
+func (j *NLJoin) joinOne(ctx *Context, r types.Row) (types.Row, bool, error) {
+	joined := make(types.Row, 0, len(j.cur)+len(r))
+	joined = append(joined, j.cur...)
+	joined = append(joined, r...)
+	pass, err := EvalPred(ctx, j.Pred, joined)
+	if err != nil || !pass {
+		return nil, false, err
+	}
+	return joined, true, nil
 }
 
 // Next implements Plan.
@@ -447,14 +700,11 @@ func (j *NLJoin) Next(ctx *Context) (types.Row, bool, error) {
 		for j.rpos < len(j.right) {
 			r := j.right[j.rpos]
 			j.rpos++
-			joined := make(types.Row, 0, len(j.cur)+len(r))
-			joined = append(joined, j.cur...)
-			joined = append(joined, r...)
-			pass, err := EvalPred(ctx, j.Pred, joined)
+			joined, ok, err := j.joinOne(ctx, r)
 			if err != nil {
 				return nil, false, err
 			}
-			if pass {
+			if ok {
 				return joined, true, nil
 			}
 		}
@@ -462,9 +712,47 @@ func (j *NLJoin) Next(ctx *Context) (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements Plan.
+func (j *NLJoin) NextBatch(ctx *Context) ([]types.Row, error) {
+	j.obuf = j.obuf[:0]
+	for {
+		for j.cur != nil && j.rpos < len(j.right) {
+			r := j.right[j.rpos]
+			j.rpos++
+			joined := j.arena.concat(j.cur, r)
+			pass, err := EvalPred(ctx, j.Pred, joined)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				j.obuf = append(j.obuf, joined)
+			}
+		}
+		if len(j.obuf) >= BatchSize {
+			return j.obuf, nil
+		}
+		if j.lpos >= len(j.lbatch) {
+			batch, err := j.Left.NextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if len(batch) == 0 {
+				return j.obuf, nil
+			}
+			j.lbatch = batch
+			j.lpos = 0
+		}
+		j.cur = j.lbatch[j.lpos]
+		j.lpos++
+		j.rpos = 0
+	}
+}
+
 // Close implements Plan.
 func (j *NLJoin) Close() error {
 	j.right = nil
+	j.obuf = nil
+	j.lbatch = nil
 	if err := j.Left.Close(); err != nil {
 		j.Right.Close()
 		return err
@@ -483,19 +771,47 @@ func (j *NLJoin) Explain() string {
 // Children implements Plan.
 func (j *NLJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
 
+// buildEnt is one hash-table entry: the build row plus its evaluated key,
+// kept so probes verify true key equality instead of trusting 64-bit hashes
+// (two distinct keys may collide) and never re-evaluate build-side key
+// expressions.
+type buildEnt struct {
+	keys types.Row
+	row  types.Row
+}
+
+// chainRef addresses one key chain in the flat entry table.
+type chainRef struct {
+	head, tail int32
+}
+
 // HashJoin is an equi-join: build a hash table on the right input keyed by
 // RightKeys, probe with LeftKeys. Residual (optional) filters concatenated
-// rows for non-equi conjuncts.
+// rows for non-equi conjuncts. Build and probe are batch-at-a-time with
+// reusable key scratch buffers, so key evaluation allocates nothing per row.
+//
+// The table is a flat entry slice with chain links and a hash→head index:
+// one growing allocation for all entries instead of a bucket slice per
+// distinct key, which keeps build-side GC pressure flat.
 type HashJoin struct {
 	Left, Right         Plan
 	LeftKeys, RightKeys []Expr
 	Residual            Expr
 	out                 types.Schema
-	table               map[uint64][]types.Row
+	heads               map[uint64]chainRef
+	ents                []buildEnt
+	links               []int32
 	cur                 types.Row
-	bucket              []types.Row
-	bpos                int
-	curKeys             types.Row
+	chain               int32     // cursor into the current probe chain (-1 = none)
+	curKeys             types.Row // probe-side scratch, len(LeftKeys)
+	lbatch              []types.Row
+	lpos                int
+	obuf                []types.Row
+	arena               rowArena
+	// hash is the bucket hash for keys; the collision regression test
+	// overrides it to force every key into one chain and prove probe-side
+	// key comparison, not the hash, decides matches. Nil means Row.Hash.
+	hash func(types.Row) uint64
 }
 
 // NewHashJoin builds the join with a concatenated schema.
@@ -507,7 +823,9 @@ func NewHashJoin(l, r Plan, lk, rk []Expr, residual Expr) *HashJoin {
 // Schema implements Plan.
 func (j *HashJoin) Schema() types.Schema { return j.out }
 
-// Open implements Plan.
+// Open implements Plan: builds the hash table from the right input batch by
+// batch. Evaluated keys land in a chunked arena (copied once from the shared
+// scratch row) alongside their rows.
 func (j *HashJoin) Open(ctx *Context) error {
 	if err := j.Left.Open(ctx); err != nil {
 		return err
@@ -515,42 +833,81 @@ func (j *HashJoin) Open(ctx *Context) error {
 	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
-	j.table = make(map[uint64][]types.Row)
+	if j.hash == nil {
+		j.hash = types.Row.Hash
+	}
+	j.heads = make(map[uint64]chainRef)
+	j.ents = j.ents[:0]
+	j.links = j.links[:0]
+	scratch := make(types.Row, len(j.RightKeys))
+	keyArena := rowArena{arity: len(j.RightKeys)}
 	for {
-		row, ok, err := j.Right.Next(ctx)
+		batch, err := j.Right.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		keys, null, err := evalKeys(ctx, j.RightKeys, row)
-		if err != nil {
-			return err
+		for _, row := range batch {
+			null, err := evalKeysInto(ctx, j.RightKeys, row, scratch)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			keys := keyArena.next()
+			copy(keys, scratch)
+			h := j.hash(keys)
+			idx := int32(len(j.ents))
+			j.ents = append(j.ents, buildEnt{keys: keys, row: row})
+			j.links = append(j.links, -1)
+			if ref, ok := j.heads[h]; ok {
+				j.links[ref.tail] = idx
+				ref.tail = idx
+				j.heads[h] = ref
+			} else {
+				j.heads[h] = chainRef{head: idx, tail: idx}
+			}
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		h := keys.Hash()
-		j.table[h] = append(j.table[h], row)
 	}
 	j.cur = nil
+	j.chain = -1
+	j.curKeys = make(types.Row, len(j.LeftKeys))
+	j.lbatch = nil
+	j.lpos = 0
+	j.arena = rowArena{arity: len(j.out)}
 	return nil
 }
 
-func evalKeys(ctx *Context, keys []Expr, row types.Row) (types.Row, bool, error) {
-	out := make(types.Row, len(keys))
-	for i, k := range keys {
-		v, err := k.Eval(ctx, row)
-		if err != nil {
-			return nil, false, err
-		}
-		if v.IsNull() {
-			return nil, true, nil
-		}
-		out[i] = v
+// probe positions the chain cursor for a left row; reports false on NULL
+// keys or no hash hit.
+func (j *HashJoin) probe(ctx *Context, row types.Row) (bool, error) {
+	null, err := evalKeysInto(ctx, j.LeftKeys, row, j.curKeys)
+	if err != nil || null {
+		return false, err
 	}
-	return out, false, nil
+	j.cur = row
+	if ref, ok := j.heads[j.hash(j.curKeys)]; ok {
+		j.chain = ref.head
+	} else {
+		j.chain = -1
+	}
+	return true, nil
+}
+
+// nextMatch advances the probe chain to the next entry whose key truly
+// equals the current probe key (the hash collision guard), or nil.
+func (j *HashJoin) nextMatch() *buildEnt {
+	for j.chain >= 0 {
+		ent := &j.ents[j.chain]
+		j.chain = j.links[j.chain]
+		if ent.keys.Equal(j.curKeys) {
+			return ent
+		}
+	}
+	return nil
 }
 
 // Next implements Plan.
@@ -561,32 +918,22 @@ func (j *HashJoin) Next(ctx *Context) (types.Row, bool, error) {
 			if err != nil || !ok {
 				return nil, false, err
 			}
-			keys, null, err := evalKeys(ctx, j.LeftKeys, row)
+			hit, err := j.probe(ctx, row)
 			if err != nil {
 				return nil, false, err
 			}
-			if null {
+			if !hit {
 				continue
 			}
-			j.cur = row
-			j.curKeys = keys
-			j.bucket = j.table[keys.Hash()]
-			j.bpos = 0
 		}
-		for j.bpos < len(j.bucket) {
-			r := j.bucket[j.bpos]
-			j.bpos++
-			// Verify keys (hash collisions) then residual.
-			rkeys, null, err := evalKeys(ctx, j.RightKeys, r)
-			if err != nil {
-				return nil, false, err
+		for {
+			ent := j.nextMatch()
+			if ent == nil {
+				break
 			}
-			if null || !rkeys.Equal(j.curKeys) {
-				continue
-			}
-			joined := make(types.Row, 0, len(j.cur)+len(r))
+			joined := make(types.Row, 0, len(j.cur)+len(ent.row))
 			joined = append(joined, j.cur...)
-			joined = append(joined, r...)
+			joined = append(joined, ent.row...)
 			pass, err := EvalPred(ctx, j.Residual, joined)
 			if err != nil {
 				return nil, false, err
@@ -599,9 +946,53 @@ func (j *HashJoin) Next(ctx *Context) (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements Plan.
+func (j *HashJoin) NextBatch(ctx *Context) ([]types.Row, error) {
+	j.obuf = j.obuf[:0]
+	for {
+		for {
+			ent := j.nextMatch()
+			if ent == nil {
+				break
+			}
+			joined := j.arena.concat(j.cur, ent.row)
+			pass, err := EvalPred(ctx, j.Residual, joined)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				j.obuf = append(j.obuf, joined)
+			}
+		}
+		if len(j.obuf) >= BatchSize {
+			return j.obuf, nil
+		}
+		if j.lpos >= len(j.lbatch) {
+			batch, err := j.Left.NextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if len(batch) == 0 {
+				return j.obuf, nil
+			}
+			j.lbatch = batch
+			j.lpos = 0
+		}
+		row := j.lbatch[j.lpos]
+		j.lpos++
+		if _, err := j.probe(ctx, row); err != nil {
+			return nil, err
+		}
+	}
+}
+
 // Close implements Plan.
 func (j *HashJoin) Close() error {
-	j.table = nil
+	j.heads = nil
+	j.ents = nil
+	j.links = nil
+	j.obuf = nil
+	j.lbatch = nil
 	if err := j.Left.Close(); err != nil {
 		j.Right.Close()
 		return err
@@ -642,7 +1033,7 @@ type Sort struct {
 // Schema implements Plan.
 func (s *Sort) Schema() types.Schema { return s.Child.Schema() }
 
-// Open implements Plan.
+// Open implements Plan. The child drains batch-at-a-time.
 func (s *Sort) Open(ctx *Context) error {
 	if err := s.Child.Open(ctx); err != nil {
 		return err
@@ -650,14 +1041,14 @@ func (s *Sort) Open(ctx *Context) error {
 	s.rows = s.rows[:0]
 	s.pos = 0
 	for {
-		row, ok, err := s.Child.Next(ctx)
+		batch, err := s.Child.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		s.rows = append(s.rows, row)
+		s.rows = append(s.rows, batch...)
 	}
 	var sortErr error
 	sort.SliceStable(s.rows, func(i, k int) bool {
@@ -702,6 +1093,11 @@ func (s *Sort) Next(*Context) (types.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements Plan.
+func (s *Sort) NextBatch(*Context) ([]types.Row, error) {
+	return sliceBatch(s.rows, &s.pos), nil
+}
+
 // Close implements Plan.
 func (s *Sort) Close() error { s.rows = nil; return s.Child.Close() }
 
@@ -738,6 +1134,8 @@ type AggDef struct {
 // GroupAgg groups child rows by key columns and computes aggregates.
 // Output rows are key values followed by aggregate values. With no keys it
 // emits exactly one row (aggregates over the whole input, zero-row safe).
+// Input drains batch-at-a-time with a reusable key scratch row; keys are
+// cloned only when a new group appears.
 type GroupAgg struct {
 	Child   Plan
 	KeyIdxs []int
@@ -782,73 +1180,75 @@ func (g *GroupAgg) Open(ctx *Context) error {
 		order = append(order, gr)
 		return gr
 	}
+	keyScratch := make(types.Row, len(g.KeyIdxs))
 	for {
-		row, ok, err := g.Child.Next(ctx)
+		batch, err := g.Child.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		key := make(types.Row, len(g.KeyIdxs))
-		for i, k := range g.KeyIdxs {
-			key[i] = row[k]
-		}
-		h := key.Hash()
-		var gr *group
-		for _, cand := range index[h] {
-			if cand.key.Equal(key) {
-				gr = cand
-				break
+		for _, row := range batch {
+			for i, k := range g.KeyIdxs {
+				keyScratch[i] = row[k]
 			}
-		}
-		if gr == nil {
-			gr = newGroup(key)
-			index[h] = append(index[h], gr)
-		}
-		for i, def := range g.Aggs {
-			st := gr.states[i]
-			if def.Kind == AggCountStar {
-				st.count++
-				continue
-			}
-			v := row[def.ArgIdx]
-			if v.IsNull() {
-				continue
-			}
-			if def.Distinct {
-				vh := v.Hash()
-				dup := false
-				for _, prev := range st.seen[vh] {
-					if types.Equal(prev, v) {
-						dup = true
-						break
-					}
+			h := keyScratch.Hash()
+			var gr *group
+			for _, cand := range index[h] {
+				if cand.key.Equal(keyScratch) {
+					gr = cand
+					break
 				}
-				if dup {
+			}
+			if gr == nil {
+				gr = newGroup(keyScratch.Clone())
+				index[h] = append(index[h], gr)
+			}
+			for i, def := range g.Aggs {
+				st := gr.states[i]
+				if def.Kind == AggCountStar {
+					st.count++
 					continue
 				}
-				st.seen[vh] = append(st.seen[vh], v)
-			}
-			st.count++
-			if st.sum.IsNull() {
-				st.sum = v
-			} else {
-				sum, err := types.Arith("+", st.sum, v)
-				if err != nil {
-					return err
+				v := row[def.ArgIdx]
+				if v.IsNull() {
+					continue
 				}
-				st.sum = sum
-			}
-			if st.min.IsNull() {
-				st.min = v
-			} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
-				st.min = v
-			}
-			if st.max.IsNull() {
-				st.max = v
-			} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
-				st.max = v
+				if def.Distinct {
+					vh := v.Hash()
+					dup := false
+					for _, prev := range st.seen[vh] {
+						if types.Equal(prev, v) {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					st.seen[vh] = append(st.seen[vh], v)
+				}
+				st.count++
+				if st.sum.IsNull() {
+					st.sum = v
+				} else {
+					sum, err := types.Arith("+", st.sum, v)
+					if err != nil {
+						return err
+					}
+					st.sum = sum
+				}
+				if st.min.IsNull() {
+					st.min = v
+				} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
+					st.min = v
+				}
+				if st.max.IsNull() {
+					st.max = v
+				} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
+					st.max = v
+				}
 			}
 		}
 	}
@@ -896,6 +1296,11 @@ func (g *GroupAgg) Next(*Context) (types.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements Plan.
+func (g *GroupAgg) NextBatch(*Context) ([]types.Row, error) {
+	return sliceBatch(g.groups, &g.pos), nil
+}
+
 // Close implements Plan.
 func (g *GroupAgg) Close() error { g.groups = nil; return g.Child.Close() }
 
@@ -908,6 +1313,7 @@ func (g *GroupAgg) Explain() string {
 func (g *GroupAgg) Children() []Plan { return []Plan{g.Child} }
 
 // Collect drains a plan into a row slice (convenience for engine and tests).
+// It drives the batched path end to end.
 func Collect(ctx *Context, p Plan) ([]types.Row, error) {
 	if err := p.Open(ctx); err != nil {
 		return nil, err
@@ -915,13 +1321,13 @@ func Collect(ctx *Context, p Plan) ([]types.Row, error) {
 	defer p.Close()
 	var out []types.Row
 	for {
-		row, ok, err := p.Next(ctx)
+		batch, err := p.NextBatch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			return out, nil
 		}
-		out = append(out, row)
+		out = append(out, batch...)
 	}
 }

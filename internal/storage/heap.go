@@ -310,6 +310,68 @@ func (h *Heap) scan(fn func(rid RID, tag uint32, row types.Row) (bool, error)) e
 
 var errStopScan = fmt.Errorf("storage: stop scan sentinel")
 
+// PageScanner streams the live rows one table owns page-at-a-time, in
+// physical order. Unlike Scan it is pull-based: each NextPage call fetches
+// and decodes exactly one non-empty page, so a consumer holds at most a
+// page's worth of rows at a time — the substrate for the executor's batched
+// SeqScan, which no longer materializes whole tables at Open.
+type PageScanner struct {
+	h    *Heap
+	tag  uint32
+	next PageID
+	dec  types.RowDecoder
+}
+
+// PageScanner returns a scanner positioned at the start of the heap chain
+// that visits only rows owned by tag.
+func (h *Heap) PageScanner(tag uint32) *PageScanner {
+	return &PageScanner{h: h, tag: tag, next: h.first}
+}
+
+// Reset rewinds the scanner to the start of the chain.
+func (ps *PageScanner) Reset() { ps.next = ps.h.first }
+
+// NextPage appends the live rows of the next page holding any rows of the
+// scanned table to rows (and their locations to rids), skipping pages that
+// hold none. It reports ok=false at the end of the chain. Cells owned by
+// other tables are skipped before row decode, so clustered families pay only
+// a tag check for foreign tuples.
+func (ps *PageScanner) NextPage(rows []types.Row, rids []RID) ([]types.Row, []RID, bool, error) {
+	for ps.next != InvalidPage {
+		id := ps.next
+		p, err := ps.h.bp.Fetch(id)
+		if err != nil {
+			return rows, rids, false, err
+		}
+		before := len(rows)
+		err = p.LiveCells(func(slot int, cell []byte) error {
+			tag, n := binary.Uvarint(cell)
+			if n <= 0 {
+				return fmt.Errorf("storage: corrupt cell tag")
+			}
+			if uint32(tag) != ps.tag {
+				return nil
+			}
+			row, _, derr := ps.dec.Decode(cell[n:])
+			if derr != nil {
+				return derr
+			}
+			rows = append(rows, row)
+			rids = append(rids, RID{Page: id, Slot: uint16(slot)})
+			return nil
+		})
+		ps.next = p.Next()
+		ps.h.bp.Unpin(id, false)
+		if err != nil {
+			return rows, rids, false, err
+		}
+		if len(rows) > before {
+			return rows, rids, true, nil
+		}
+	}
+	return rows, rids, false, nil
+}
+
 // PageCount walks the chain and returns the number of pages in the heap.
 func (h *Heap) PageCount() (int, error) {
 	n := 0

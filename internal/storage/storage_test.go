@@ -531,3 +531,75 @@ func TestHeapInsertOnFreshPage(t *testing.T) {
 		t.Error("oversize row must be rejected")
 	}
 }
+
+func TestPageScannerStreamsPages(t *testing.T) {
+	bp := NewBufferPool(NewDisk(), 256)
+	h, err := CreateHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two interleaved owners across many pages.
+	const n = 1200
+	want := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		tag := uint32(1 + i%2)
+		row := types.Row{types.NewInt(int64(i)), types.NewString("payload-payload")}
+		if _, err := h.Insert(tag, row); err != nil {
+			t.Fatal(err)
+		}
+		if tag == 1 {
+			want[int64(i)] = true
+		}
+	}
+	ps := h.PageScanner(1)
+	var rows []types.Row
+	var rids []RID
+	pages := 0
+	got := map[int64]bool{}
+	for {
+		rows, rids = rows[:0], rids[:0]
+		var ok bool
+		rows, rids, ok, err = ps.NextPage(rows, rids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		pages++
+		if len(rows) != len(rids) {
+			t.Fatalf("page %d: %d rows but %d rids", pages, len(rows), len(rids))
+		}
+		for i, r := range rows {
+			id := r[0].Int()
+			if !want[id] {
+				t.Fatalf("scanner returned foreign or unknown row id %d", id)
+			}
+			if got[id] {
+				t.Fatalf("scanner returned row id %d twice", id)
+			}
+			got[id] = true
+			// RID must round-trip through Get for the same owner.
+			back, err := h.Get(1, rids[i])
+			if err != nil {
+				t.Fatalf("Get(%v): %v", rids[i], err)
+			}
+			if !back.Equal(r) {
+				t.Fatalf("rid %v: Get returned %v, scan returned %v", rids[i], back, r)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanner returned %d rows, want %d", len(got), len(want))
+	}
+	if pages < 2 {
+		t.Fatalf("scan covered %d pages; test needs a multi-page heap", pages)
+	}
+	// Reset rewinds to the first page.
+	ps.Reset()
+	rows, rids = rows[:0], rids[:0]
+	rows, _, ok, err := ps.NextPage(rows, rids)
+	if err != nil || !ok || len(rows) == 0 {
+		t.Fatalf("after Reset: ok=%v err=%v rows=%d", ok, err, len(rows))
+	}
+}

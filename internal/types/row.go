@@ -129,12 +129,64 @@ func varintLen(x int64) int {
 // DecodeRow parses a row previously produced by Encode. It returns the row
 // and the number of bytes consumed.
 func DecodeRow(src []byte) (Row, int, error) {
+	var d RowDecoder
+	return d.decode(src, false)
+}
+
+// RowDecoder decodes consecutive rows, carving their value storage from
+// chunked arena allocations (one per ~chunk of values) instead of one
+// allocation per row — the page-scan hot path uses it. Decoded rows escape
+// to consumers, so chunks are handed out once and never reused; the zero
+// value is ready to use.
+type RowDecoder struct {
+	free  []Value
+	chunk int
+}
+
+// Arena granularity in values (~48 B each): chunks start small so scanning a
+// handful of rows stays cheap, and double per refill up to the max so large
+// scans amortize to one allocation per ~thousand values.
+const (
+	decoderChunkMin = 64
+	decoderChunkMax = 4096
+)
+
+// take carves an n-value row from the current chunk.
+func (d *RowDecoder) take(n int) Row {
+	if len(d.free) < n {
+		switch {
+		case d.chunk == 0:
+			d.chunk = decoderChunkMin
+		case d.chunk < decoderChunkMax:
+			d.chunk *= 2
+		}
+		if n > d.chunk {
+			return make(Row, 0, n)
+		}
+		d.free = make([]Value, d.chunk)
+	}
+	row := d.free[:0:n]
+	d.free = d.free[n:]
+	return row
+}
+
+// Decode parses one row, returning it and the number of bytes consumed.
+func (d *RowDecoder) Decode(src []byte) (Row, int, error) {
+	return d.decode(src, true)
+}
+
+func (d *RowDecoder) decode(src []byte, arena bool) (Row, int, error) {
 	n, used := binary.Uvarint(src)
 	if used <= 0 {
 		return nil, 0, fmt.Errorf("types: corrupt row header")
 	}
 	pos := used
-	row := make(Row, 0, n)
+	var row Row
+	if arena {
+		row = d.take(int(n))
+	} else {
+		row = make(Row, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		if pos >= len(src) {
 			return nil, 0, fmt.Errorf("types: truncated row at value %d", i)

@@ -61,28 +61,70 @@ type gedge struct {
 	linkCKey   string
 }
 
-// egraph is the candidate instance graph of one composition level.
+// egraph is the candidate instance graph of one composition level. Node and
+// edge lookups are by case-folded name through maps built as the graph grows
+// — restriction and path evaluation resolve names per candidate tuple, so
+// the old linear scans were quadratic on wide specs.
 type egraph struct {
-	nodes []*gnode
-	edges []*gedge
+	nodes  []*gnode
+	edges  []*gedge
+	nodeIx map[string]*gnode
+	edgeIx map[string]*gedge
+}
+
+// foldName is the lookup key: SQL identifiers match case-insensitively.
+func foldName(name string) string { return strings.ToLower(name) }
+
+// addNode appends a node and indexes it (first addition wins, matching the
+// scan order of the previous linear lookup).
+func (g *egraph) addNode(n *gnode) {
+	g.nodes = append(g.nodes, n)
+	if g.nodeIx == nil {
+		g.nodeIx = make(map[string]*gnode)
+	}
+	k := foldName(n.name)
+	if _, ok := g.nodeIx[k]; !ok {
+		g.nodeIx[k] = n
+	}
+}
+
+// addEdge appends an edge and indexes it.
+func (g *egraph) addEdge(e *gedge) {
+	g.edges = append(g.edges, e)
+	if g.edgeIx == nil {
+		g.edgeIx = make(map[string]*gedge)
+	}
+	k := foldName(e.name)
+	if _, ok := g.edgeIx[k]; !ok {
+		g.edgeIx[k] = e
+	}
+}
+
+// reindex rebuilds the lookup maps after wholesale replacement of the node
+// or edge lists (structural projection drops components).
+func (g *egraph) reindex() {
+	g.nodeIx = make(map[string]*gnode, len(g.nodes))
+	for _, n := range g.nodes {
+		k := foldName(n.name)
+		if _, ok := g.nodeIx[k]; !ok {
+			g.nodeIx[k] = n
+		}
+	}
+	g.edgeIx = make(map[string]*gedge, len(g.edges))
+	for _, e := range g.edges {
+		k := foldName(e.name)
+		if _, ok := g.edgeIx[k]; !ok {
+			g.edgeIx[k] = e
+		}
+	}
 }
 
 func (g *egraph) node(name string) *gnode {
-	for _, n := range g.nodes {
-		if strings.EqualFold(n.name, name) {
-			return n
-		}
-	}
-	return nil
+	return g.nodeIx[foldName(name)]
 }
 
 func (g *egraph) edge(name string) *gedge {
-	for _, e := range g.edges {
-		if strings.EqualFold(e.name, name) {
-			return e
-		}
-	}
-	return nil
+	return g.edgeIx[foldName(name)]
 }
 
 // rootNames returns nodes with no incoming edge in the graph's schema graph.
@@ -179,13 +221,13 @@ func (ev *Evaluator) compose(spec *qgm.XNFSpec, isTop bool) (*egraph, error) {
 			if g.node(n.name) != nil {
 				return nil, fmt.Errorf("xnf: duplicate component table %q in composition", n.name)
 			}
-			g.nodes = append(g.nodes, n)
+			g.addNode(n)
 		}
 		for _, e := range bg.edges {
 			if g.edge(e.name) != nil {
 				return nil, fmt.Errorf("xnf: duplicate relationship %q in composition", e.name)
 			}
-			g.edges = append(g.edges, e)
+			g.addEdge(e)
 		}
 	}
 	// Materialize this level's nodes. When the spec is a self-contained
@@ -207,7 +249,7 @@ func (ev *Evaluator) compose(spec *qgm.XNFSpec, isTop bool) (*egraph, error) {
 			if err != nil {
 				return nil, err
 			}
-			g.nodes = append(g.nodes, gn)
+			g.addNode(gn)
 		}
 	}
 	// Derive this level's edges over the candidate node tables. Edges the
@@ -221,7 +263,7 @@ func (ev *Evaluator) compose(spec *qgm.XNFSpec, isTop bool) (*egraph, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.edges = append(g.edges, ge)
+		g.addEdge(ge)
 	}
 	// Restrictions apply against instance0 = reachability of the candidates.
 	if len(spec.Restrictions) > 0 {
@@ -330,7 +372,7 @@ func (ev *Evaluator) materializeTopDown(spec *qgm.XNFSpec, g *egraph) error {
 			if err != nil {
 				return err
 			}
-			g.nodes = append(g.nodes, gn)
+			g.addNode(gn)
 			continue
 		}
 		// Per incoming edge, derive a key filter from the parent's
@@ -370,7 +412,7 @@ func (ev *Evaluator) materializeTopDown(spec *qgm.XNFSpec, g *egraph) error {
 			if err != nil {
 				return err
 			}
-			g.nodes = append(g.nodes, gn)
+			g.addNode(gn)
 			continue
 		}
 		gn := &gnode{
@@ -422,7 +464,7 @@ func (ev *Evaluator) materializeTopDown(spec *qgm.XNFSpec, g *egraph) error {
 			}
 		}
 		gn.alive = allTrue(len(gn.rows))
-		g.nodes = append(g.nodes, gn)
+		g.addNode(gn)
 
 		// Resolve connections for simple incoming edges directly from the
 		// fetch structure: the child column values point back at parent
@@ -466,7 +508,7 @@ func (ev *Evaluator) resolveEdgeInline(e *qgm.XNFEdge, g *egraph) {
 			}
 		}
 		ge.alive = allTrue(len(ge.conns))
-		g.edges = append(g.edges, ge)
+		g.addEdge(ge)
 		ev.Stats.InlineEdges++
 	case e.LinkTable != "" && conjN == 2 && attrsOnLink(e):
 		pairs, attrRows, attrSchema, err := ev.linkPairs(e, parent)
@@ -499,7 +541,7 @@ func (ev *Evaluator) resolveEdgeInline(e *qgm.XNFEdge, g *egraph) {
 			}
 		}
 		ge.alive = allTrue(len(ge.conns))
-		g.edges = append(g.edges, ge)
+		g.addEdge(ge)
 		ev.Stats.InlineEdges++
 	}
 }
@@ -1032,6 +1074,7 @@ func (ev *Evaluator) applyTake(g *egraph, take qgm.XNFTakeSpec) error {
 		edges = append(edges, e)
 	}
 	g.nodes, g.edges = nodes, edges
+	g.reindex()
 	return nil
 }
 
