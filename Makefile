@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench clean
+.PHONY: build test vet bench clean
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 # Smoke-run the executor micro-benchmarks (one iteration each): catches
 # bench-rot without burning CI minutes. See EXECUTOR.md for real runs.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 1x ./internal/exec/
+	$(GO) test -run '^$$' -bench BenchmarkExecRepeated -benchtime 1x ./internal/engine/
 
 clean:
 	$(GO) clean ./...

@@ -368,6 +368,68 @@ func (t *Tree) Scan(lo, hi []byte, loInc, hiInc bool, fn func(key []byte, rid st
 	}
 }
 
+// Iterator streams a bounded range incrementally: each Next hands back one
+// (key, rid) entry, walking the leaf chain on demand instead of collecting
+// matches up front. The executor's streaming index scans pull batches off
+// it. An iterator reads live tree structure, so structural mutation during
+// iteration invalidates it; the engine's table locks serialize scans against
+// writers.
+type Iterator struct {
+	n            *node
+	i            int
+	lo, hi       []byte
+	loInc, hiInc bool
+}
+
+// Iter positions an iterator at the first entry with key >= lo (key > lo
+// when loInc is false) ranging up to hi under the same bound semantics as
+// Scan. nil bounds are unbounded.
+func (t *Tree) Iter(lo, hi []byte, loInc, hiInc bool) *Iterator {
+	// Descend left on key equality so leading duplicates are not skipped.
+	n := t.root
+	for !n.leaf {
+		i := 0
+		if lo != nil {
+			for i < len(n.seps) && bytes.Compare(lo, n.seps[i].key) > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	return &Iterator{n: n, lo: lo, hi: hi, loInc: loInc, hiInc: hiInc}
+}
+
+// Next returns the next in-range entry, or ok=false when the range is
+// exhausted. The returned key aliases tree-owned memory; callers that keep
+// it past the next tree mutation must copy.
+func (it *Iterator) Next() (key []byte, rid storage.RID, ok bool) {
+	for it.n != nil {
+		for it.i < len(it.n.entries) {
+			e := it.n.entries[it.i]
+			it.i++
+			if it.lo != nil {
+				c := bytes.Compare(e.key, it.lo)
+				if c < 0 || (c == 0 && !it.loInc) {
+					continue
+				}
+				// Entries are ordered: once past lo, stop re-checking it.
+				it.lo = nil
+			}
+			if it.hi != nil {
+				c := bytes.Compare(e.key, it.hi)
+				if c > 0 || (c == 0 && !it.hiInc) {
+					it.n = nil
+					return nil, storage.RID{}, false
+				}
+			}
+			return e.key, e.rid, true
+		}
+		it.n = it.n.next
+		it.i = 0
+	}
+	return nil, storage.RID{}, false
+}
+
 // Validate checks structural invariants (ordering, occupancy, leaf chain,
 // separator correctness). Tests call it after mutation storms.
 func (t *Tree) Validate() error {

@@ -267,3 +267,54 @@ func TestStringKeys(t *testing.T) {
 		t.Errorf("string scan order = %v", got)
 	}
 }
+
+// TestIteratorMatchesScan: the streaming iterator visits exactly the entries
+// Scan visits, for every bound shape, on a tree big enough to span leaves.
+func TestIteratorMatchesScan(t *testing.T) {
+	tr := New(false)
+	for i := 0; i < 1000; i++ {
+		// Duplicated keys (i%250) force multi-RID chains across leaves.
+		_ = tr.Insert(intKey(int64(i%250)), rid(i))
+	}
+	bounds := []struct {
+		lo, hi       []byte
+		loInc, hiInc bool
+	}{
+		{nil, nil, true, true},
+		{intKey(10), intKey(10), true, true},
+		{intKey(17), intKey(101), true, true},
+		{intKey(17), intKey(101), false, false},
+		{intKey(-5), intKey(17), true, false},
+		{nil, intKey(40), true, true},
+		{intKey(200), nil, false, true},
+		{intKey(400), nil, true, true}, // beyond max
+	}
+	for bi, b := range bounds {
+		type ent struct {
+			key string
+			rid storage.RID
+		}
+		var want []ent
+		tr.Scan(b.lo, b.hi, b.loInc, b.hiInc, func(k []byte, r storage.RID) bool {
+			want = append(want, ent{string(k), r})
+			return true
+		})
+		var got []ent
+		it := tr.Iter(b.lo, b.hi, b.loInc, b.hiInc)
+		for {
+			k, r, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, ent{string(k), r})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bounds[%d]: iterator visited %d entries, scan %d", bi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("bounds[%d]: entry %d differs", bi, i)
+			}
+		}
+	}
+}

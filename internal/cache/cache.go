@@ -13,13 +13,17 @@ package cache
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sqlxnf/internal/storage"
 	"sqlxnf/internal/types"
 	"sqlxnf/internal/xnf"
 )
 
-// Stats counts cache activity for the benches.
+// Stats counts cache activity for the benches. Counters increment with
+// atomic adds so they stay race-safe when caches are driven from concurrent
+// workloads; read them after the work quiesces (or accept approximate
+// values mid-flight).
 type Stats struct {
 	CursorOpens int64
 	CursorMoves int64
@@ -183,13 +187,13 @@ func (c *Cache) Open(node string) (*Cursor, error) {
 	if n == nil {
 		return nil, fmt.Errorf("cache: no component table %q", node)
 	}
-	c.Stats.CursorOpens++
+	atomic.AddInt64(&c.Stats.CursorOpens, 1)
 	return &Cursor{cache: c, tuples: n.Tuples, pos: -1}, nil
 }
 
 // Next advances to the next live tuple; false at the end.
 func (cur *Cursor) Next() bool {
-	cur.cache.Stats.CursorMoves++
+	atomic.AddInt64(&cur.cache.Stats.CursorMoves, 1)
 	for cur.pos+1 < len(cur.tuples) {
 		cur.pos++
 		if !cur.tuples[cur.pos].deleted {
@@ -252,7 +256,7 @@ func (cur *Cursor) OpenDependentPath(edges ...string) (*Cursor, error) {
 		}
 		frontier = next
 	}
-	cur.cache.Stats.CursorOpens++
+	atomic.AddInt64(&cur.cache.Stats.CursorOpens, 1)
 	return &Cursor{cache: cur.cache, tuples: frontier, pos: -1}, nil
 }
 
@@ -261,7 +265,7 @@ func (c *Cache) dependentFrom(t *Tuple, edge string) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.Stats.CursorOpens++
+	atomic.AddInt64(&c.Stats.CursorOpens, 1)
 	return &Cursor{cache: c, tuples: related, pos: -1}, nil
 }
 
@@ -277,14 +281,14 @@ func (c *Cache) related(t *Tuple, edge string) ([]*Tuple, error) {
 	switch {
 	case strings.EqualFold(e.Parent.Name, t.node.Name):
 		for _, l := range t.out[key] {
-			c.Stats.PointerHops++
+			atomic.AddInt64(&c.Stats.PointerHops, 1)
 			if !l.dead && !l.Child.deleted {
 				out = append(out, l.Child)
 			}
 		}
 	case strings.EqualFold(e.Child.Name, t.node.Name):
 		for _, l := range t.in[key] {
-			c.Stats.PointerHops++
+			atomic.AddInt64(&c.Stats.PointerHops, 1)
 			if !l.dead && !l.Parent.deleted {
 				out = append(out, l.Parent)
 			}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"sync/atomic"
+
 	"fmt"
 	"strings"
 
@@ -59,7 +61,7 @@ func (c *Cache) Update(t *Tuple, col string, v types.Value) error {
 		return err
 	}
 	t.rid = newRID
-	c.Stats.WriteBacks++
+	atomic.AddInt64(&c.Stats.WriteBacks, 1)
 	return nil
 }
 
@@ -95,7 +97,7 @@ func (c *Cache) Insert(node string, row types.Row) (*Tuple, error) {
 	t := &Tuple{node: n, Row: row.Clone(), rid: rid,
 		out: map[string][]*Link{}, in: map[string][]*Link{}}
 	n.Tuples = append(n.Tuples, t)
-	c.Stats.WriteBacks++
+	atomic.AddInt64(&c.Stats.WriteBacks, 1)
 	return t, nil
 }
 
@@ -141,7 +143,7 @@ func (c *Cache) Delete(t *Tuple) error {
 		return err
 	}
 	t.deleted = true
-	c.Stats.WriteBacks++
+	atomic.AddInt64(&c.Stats.WriteBacks, 1)
 	return nil
 }
 
@@ -221,7 +223,7 @@ func (c *Cache) Connect(edge string, parent, child *Tuple, attrs ...types.Value)
 	e.Links = append(e.Links, l)
 	parent.out[key] = append(parent.out[key], l)
 	child.in[key] = append(child.in[key], l)
-	c.Stats.WriteBacks++
+	atomic.AddInt64(&c.Stats.WriteBacks, 1)
 	return nil
 }
 
@@ -297,6 +299,6 @@ func (c *Cache) Disconnect(edge string, parent, child *Tuple) error {
 		return fmt.Errorf("cache: relationship %s is not updatable", edge)
 	}
 	link.dead = true
-	c.Stats.WriteBacks++
+	atomic.AddInt64(&c.Stats.WriteBacks, 1)
 	return nil
 }

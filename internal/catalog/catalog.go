@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sqlxnf/internal/btree"
 	"sqlxnf/internal/storage"
@@ -49,7 +50,17 @@ type Table struct {
 	// Rows is the live tuple count, maintained by the engine on every
 	// insert/delete; the optimizer's cardinality estimates read it.
 	Rows int64
+	// stats is the ANALYZE snapshot (nil until first ANALYZE). The pointer
+	// swaps atomically so statistics refresh without blocking concurrent
+	// plan compilation.
+	stats atomic.Pointer[TableStats]
 }
+
+// Stats returns the current statistics snapshot, or nil before ANALYZE.
+func (t *Table) Stats() *TableStats { return t.stats.Load() }
+
+// SetStats installs a statistics snapshot.
+func (t *Table) SetStats(ts *TableStats) { t.stats.Store(ts) }
 
 // View is a named query definition; XNF marks composite-object views.
 type View struct {
@@ -67,7 +78,18 @@ type Catalog struct {
 	views    map[string]*View
 	families map[string]*storage.Heap
 	nextTag  uint32
+	// epoch counts schema and statistics changes. Every DDL mutation and
+	// every ANALYZE bumps it; the engine's prepared-plan cache stamps each
+	// entry with the epoch at compile time and evicts entries whose stamp is
+	// stale, so plans never outlive the schema or the statistics they were
+	// costed under. DML does not bump it — cached plans read live heaps.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the current schema/statistics epoch.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+
+func (c *Catalog) bumpEpoch() { c.epoch.Add(1) }
 
 // New creates an empty catalog over the buffer pool.
 func New(bp *storage.BufferPool) *Catalog {
@@ -136,6 +158,7 @@ func (c *Catalog) CreateTable(name string, schema types.Schema, family string) (
 	}
 	c.nextTag++
 	c.tables[key] = t
+	c.bumpEpoch()
 	return t, nil
 }
 
@@ -171,6 +194,7 @@ func (c *Catalog) DropTable(name string) error {
 		delete(c.indexes, norm(ix.Name))
 	}
 	delete(c.tables, key)
+	c.bumpEpoch()
 	return nil
 }
 
@@ -216,6 +240,7 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique bool)
 	}
 	c.indexes[key] = ix
 	t.Indexes = append(t.Indexes, ix)
+	c.bumpEpoch()
 	return ix, nil
 }
 
@@ -248,6 +273,7 @@ func (c *Catalog) DropIndex(name string) error {
 		}
 	}
 	delete(c.indexes, key)
+	c.bumpEpoch()
 	return nil
 }
 
@@ -263,6 +289,7 @@ func (c *Catalog) CreateView(name, definition string, xnf bool) error {
 		return fmt.Errorf("catalog: %q already names a table", name)
 	}
 	c.views[key] = &View{Name: key, Definition: definition, XNF: xnf}
+	c.bumpEpoch()
 	return nil
 }
 
@@ -294,6 +321,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: view %q does not exist", name)
 	}
 	delete(c.views, key)
+	c.bumpEpoch()
 	return nil
 }
 

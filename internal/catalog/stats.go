@@ -1,0 +1,133 @@
+package catalog
+
+import (
+	"fmt"
+
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// ColumnStats is one column's value sketch: an estimated distinct count, the
+// observed min/max, and a NULL count. Distinct counts come from a hash-based
+// sketch at ANALYZE time (hash collisions can undercount slightly, which is
+// harmless for selectivity estimation). Incremental DML maintenance extends
+// min/max and the NULL count but leaves the distinct estimate untouched until
+// the next ANALYZE.
+type ColumnStats struct {
+	Distinct int64
+	Nulls    int64
+	Min, Max types.Value
+}
+
+// TableStats is the per-table statistics snapshot the optimizer consumes.
+// Rows is the tuple count observed at ANALYZE time; the live count stays on
+// Table.Rows (maintained by DML) and the optimizer prefers the live one.
+type TableStats struct {
+	Rows int64
+	Cols []ColumnStats
+}
+
+// Col returns the stats for column i, or nil when out of range.
+func (ts *TableStats) Col(i int) *ColumnStats {
+	if ts == nil || i < 0 || i >= len(ts.Cols) {
+		return nil
+	}
+	return &ts.Cols[i]
+}
+
+// ObserveInsert folds one inserted row into the sketch: min/max extend and
+// NULL counts grow. Distinct counts are left as-is (an undercount) until the
+// next ANALYZE. Callers hold the table's exclusive lock, so plain mutation
+// is safe.
+func (ts *TableStats) ObserveInsert(row types.Row) {
+	if ts == nil {
+		return
+	}
+	for i := range ts.Cols {
+		if i >= len(row) {
+			break
+		}
+		v := row[i]
+		cs := &ts.Cols[i]
+		if v.IsNull() {
+			cs.Nulls++
+			continue
+		}
+		if cs.Min.IsNull() {
+			cs.Min, cs.Max = v, v
+			continue
+		}
+		if c, err := types.Compare(v, cs.Min); err == nil && c < 0 {
+			cs.Min = v
+		}
+		if c, err := types.Compare(v, cs.Max); err == nil && c > 0 {
+			cs.Max = v
+		}
+	}
+}
+
+// ObserveDelete folds one deleted row into the sketch. Min/max cannot shrink
+// without a rescan; only NULL counts adjust.
+func (ts *TableStats) ObserveDelete(row types.Row) {
+	if ts == nil {
+		return
+	}
+	for i := range ts.Cols {
+		if i >= len(row) {
+			break
+		}
+		if row[i].IsNull() && ts.Cols[i].Nulls > 0 {
+			ts.Cols[i].Nulls--
+		}
+	}
+}
+
+// ComputeStats scans the table's heap and builds a fresh statistics
+// snapshot: exact row and NULL counts, min/max per column, and hash-sketch
+// distinct estimates.
+func ComputeStats(t *Table) (*TableStats, error) {
+	ts := &TableStats{Cols: make([]ColumnStats, len(t.Schema))}
+	sketches := make([]map[uint64]struct{}, len(t.Schema))
+	for i := range sketches {
+		sketches[i] = make(map[uint64]struct{})
+		ts.Cols[i].Min = types.Null()
+		ts.Cols[i].Max = types.Null()
+	}
+	err := t.Heap.Scan(t.Tag, func(_ storage.RID, row types.Row) (bool, error) {
+		ts.Rows++
+		ts.ObserveInsert(row)
+		for i := range row {
+			if i >= len(sketches) {
+				break
+			}
+			if !row[i].IsNull() {
+				sketches[i][row[i].Hash()] = struct{}{}
+			}
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sketches {
+		ts.Cols[i].Distinct = int64(len(sketches[i]))
+	}
+	return ts, nil
+}
+
+// AnalyzeTable recomputes and installs statistics for one table, bumping the
+// catalog epoch so cached plans compiled under older estimates are evicted.
+// It returns the number of rows analyzed.
+func (c *Catalog) AnalyzeTable(name string) (int64, error) {
+	t, err := c.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	ts, err := ComputeStats(t)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: analyze %s: %v", t.Name, err)
+	}
+	t.SetStats(ts)
+	c.bumpEpoch()
+	return ts.Rows, nil
+}

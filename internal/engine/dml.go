@@ -119,6 +119,33 @@ func (s *Session) drop(stmt *parser.DropStmt, text string) (*Result, error) {
 	return &Result{}, nil
 }
 
+// analyze recomputes optimizer statistics for one table or all tables,
+// taking shared locks (ANALYZE reads data, it does not change it).
+func (s *Session) analyze(stmt *parser.AnalyzeStmt) (*Result, error) {
+	var names []string
+	if stmt.Table != "" {
+		names = []string{stmt.Table}
+	} else {
+		names = s.eng.cat.TableNames()
+	}
+	var total int64
+	for _, n := range names {
+		t, err := s.eng.cat.Table(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.lockTable(t.Name, lock.Shared); err != nil {
+			return nil, err
+		}
+		rows, err := s.eng.cat.AnalyzeTable(n)
+		if err != nil {
+			return nil, err
+		}
+		total += rows
+	}
+	return &Result{RowsAffected: total}, nil
+}
+
 // ---------------------------------------------------------------------------
 // Row primitives (WAL + heap + index maintenance)
 // ---------------------------------------------------------------------------
@@ -144,6 +171,7 @@ func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.
 		return storage.NilRID, err
 	}
 	t.Rows++
+	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: rid, After: coerced.Clone()})
 	return rid, nil
 }
@@ -159,6 +187,7 @@ func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
 	}
 	s.removeIndexEntries(t, row, rid)
 	t.Rows--
+	t.Stats().ObserveDelete(row)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDelete, Table: t.Name, RID: rid, Before: row.Clone()})
 	return nil
 }
@@ -202,6 +231,8 @@ func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Ro
 	if err := s.addIndexEntries(t, coerced, newRID); err != nil {
 		return storage.NilRID, err
 	}
+	t.Stats().ObserveDelete(old)
+	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecUpdate, Table: t.Name,
 		RID: rid, NewRID: newRID, Before: old.Clone(), After: coerced.Clone()})
 	return newRID, nil
@@ -249,6 +280,10 @@ func (s *Session) undoInsert(r wal.Record) error {
 	}
 	s.removeIndexEntries(t, r.After, r.RID)
 	t.Rows--
+	// Compensate the incremental sketch. NULL counts reverse exactly;
+	// min/max extensions from the undone row cannot shrink without a rescan
+	// and stay until the next ANALYZE (a conservative over-wide range).
+	t.Stats().ObserveDelete(r.After)
 	return nil
 }
 
@@ -262,6 +297,7 @@ func (s *Session) undoDelete(r wal.Record) error {
 		return err
 	}
 	t.Rows++
+	t.Stats().ObserveInsert(r.Before)
 	return s.addIndexEntries(t, r.Before, rid)
 }
 
@@ -274,10 +310,12 @@ func (s *Session) undoUpdate(r wal.Record) error {
 		return err
 	}
 	s.removeIndexEntries(t, r.After, r.NewRID)
+	t.Stats().ObserveDelete(r.After)
 	rid, err := t.Heap.Insert(t.Tag, r.Before)
 	if err != nil {
 		return err
 	}
+	t.Stats().ObserveInsert(r.Before)
 	return s.addIndexEntries(t, r.Before, rid)
 }
 
@@ -311,7 +349,7 @@ func (s *Session) insert(stmt *parser.InsertStmt) (*Result, error) {
 	var sourceRows []types.Row
 	switch {
 	case stmt.Select != nil:
-		sub, err := s.selectStmt(stmt.Select)
+		sub, err := s.selectStmt(stmt.Select, "")
 		if err != nil {
 			return nil, err
 		}
@@ -763,6 +801,7 @@ func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID
 			return ierr
 		}
 		t.Rows++
+		t.Stats().ObserveInsert(coerced)
 		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: r, After: coerced.Clone()})
 		rid = r
 		return nil

@@ -28,6 +28,10 @@ import (
 type Options struct {
 	// BufferPoolPages sizes the buffer pool (default 256 pages = 1 MiB).
 	BufferPoolPages int
+	// PlanCacheSize bounds the prepared-plan cache in entries. 0 means the
+	// default (128); negative disables plan caching (the cold-compile
+	// ablation the benches measure against).
+	PlanCacheSize int
 	// Rewrite toggles query-rewrite rules.
 	Rewrite rewrite.Options
 	// Optimizer toggles plan-optimizer features.
@@ -36,10 +40,14 @@ type Options struct {
 	XNF xnf.Options
 }
 
+// DefaultPlanCacheSize is the prepared-plan cache capacity when unset.
+const DefaultPlanCacheSize = 128
+
 // DefaultOptions enables everything at default sizes.
 func DefaultOptions() Options {
 	return Options{
 		BufferPoolPages: 256,
+		PlanCacheSize:   DefaultPlanCacheSize,
 		Rewrite:         rewrite.DefaultOptions(),
 		Optimizer:       optimizer.DefaultOptions(),
 		XNF:             xnf.DefaultOptions(),
@@ -56,6 +64,10 @@ type Engine struct {
 	locks  *lock.Manager
 	nextTx uint64
 	opts   Options
+	// plans is the prepared-plan cache (nil when disabled).
+	plans *planCache
+	// stmts caches parsed view-definition ASTs.
+	stmts *stmtCache
 	// recovering disables WAL writes while a log replays.
 	recovering bool
 }
@@ -65,9 +77,12 @@ func New(opts Options) *Engine {
 	if opts.BufferPoolPages == 0 {
 		opts.BufferPoolPages = 256
 	}
+	if opts.PlanCacheSize == 0 {
+		opts.PlanCacheSize = DefaultPlanCacheSize
+	}
 	disk := storage.NewDisk()
 	bp := storage.NewBufferPool(disk, opts.BufferPoolPages)
-	return &Engine{
+	e := &Engine{
 		disk:   disk,
 		bp:     bp,
 		cat:    catalog.New(bp),
@@ -75,7 +90,12 @@ func New(opts Options) *Engine {
 		locks:  lock.NewManager(),
 		nextTx: 1,
 		opts:   opts,
+		stmts:  newStmtCache(256),
 	}
+	if opts.PlanCacheSize > 0 {
+		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
+	return e
 }
 
 // NewDefault creates an engine with default options.
@@ -95,6 +115,15 @@ func (e *Engine) Log() *wal.Log { return e.log }
 
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// PlanCacheStats snapshots prepared-plan cache counters (zero value when
+// the cache is disabled).
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return e.plans.Stats()
+}
 
 // allocTx hands out transaction ids.
 func (e *Engine) allocTx() uint64 {
@@ -132,7 +161,16 @@ type Session struct {
 func (e *Engine) Session() *Session { return &Session{eng: e} }
 
 // Exec parses and runs a script, returning the last statement's result.
+// A script whose normalized text hits the prepared-plan cache skips the
+// parser entirely: the cache entry proves the text is a single cacheable
+// SELECT, so repeated statements go straight to lock-and-execute.
 func (s *Session) Exec(sql string) (*Result, error) {
+	if s.eng.plans != nil {
+		key := normalizeSQL(sql)
+		if ent := s.eng.plans.peek(key, s.eng.cat.Epoch()); ent != nil {
+			return s.execCachedSelect(ent)
+		}
+	}
 	stmts, err := parser.ParseScript(sql)
 	if err != nil {
 		return nil, err
@@ -180,7 +218,7 @@ func (s *Session) TxID() uint64 {
 // execStmt dispatches one statement, wrapping it in an autocommit
 // transaction when none is open.
 func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
-	switch stmt := st.Stmt.(type) {
+	switch st.Stmt.(type) {
 	case *parser.BeginStmt:
 		if s.inTx {
 			return nil, fmt.Errorf("engine: transaction already open")
@@ -199,8 +237,6 @@ func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
 		}
 		err := s.rollback()
 		return &Result{}, err
-	case *parser.ExplainStmt:
-		return s.explain(stmt, st.Text)
 	default:
 		auto := !s.inTx
 		if auto {
@@ -245,9 +281,16 @@ func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
 	case *parser.DeleteStmt:
 		return s.deleteStmt(stmt)
 	case *parser.SelectStmt:
-		return s.selectStmt(stmt)
+		return s.selectStmt(stmt, st.Text)
 	case *parser.XNFQuery:
 		return s.xnfQuery(stmt)
+	case *parser.AnalyzeStmt:
+		return s.analyze(stmt)
+	case *parser.ExplainStmt:
+		// Dispatched inside the autocommit wrapper so the shared locks the
+		// compiler takes (its cost model reads DML-maintained statistics)
+		// actually attach to a transaction.
+		return s.explain(stmt, st.Text)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", st.Stmt)
 	}
@@ -315,9 +358,12 @@ func (s *Session) lockTable(name string, mode lock.Mode) error {
 	return s.eng.locks.Lock(s.txID, name, mode)
 }
 
-// builder returns a QGM builder wired to this session's XNF node resolver.
+// builder returns a QGM builder wired to this session's XNF node resolver
+// and the engine's parsed-AST cache for view definitions.
 func (s *Session) builder() *qgm.Builder {
-	return qgm.NewBuilder(s.eng.cat, s.resolveXNFNode)
+	b := qgm.NewBuilder(s.eng.cat, s.resolveXNFNode)
+	b.ParseView = s.eng.stmts.parse
+	return b
 }
 
 // resolveXNFNode evaluates an XNF view and exposes one node as a rowset —
@@ -330,7 +376,7 @@ func (s *Session) resolveXNFNode(view, node string) (types.Schema, [][]types.Val
 	if !v.XNF {
 		return nil, nil, fmt.Errorf("engine: %q is not an XNF view", view)
 	}
-	st, err := parser.ParseOne(v.Definition)
+	st, err := s.eng.stmts.parse(v.Definition)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -340,6 +386,12 @@ func (s *Session) resolveXNFNode(view, node string) (types.Schema, [][]types.Val
 	}
 	box, err := s.builder().BuildXNF(xq)
 	if err != nil {
+		return nil, nil, err
+	}
+	// The evaluator compiles and runs node/edge queries; take the same
+	// shared locks xnfQuery would so those compiles never read statistics
+	// mid-mutation.
+	if err := s.lockSpecTables(box.XNF, lock.Shared); err != nil {
 		return nil, nil, err
 	}
 	co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(box.XNF)
@@ -357,8 +409,23 @@ func (s *Session) resolveXNFNode(view, node string) (types.Schema, [][]types.Val
 	return n.Schema, rows, nil
 }
 
-// selectStmt compiles and runs a SELECT through the full pipeline.
-func (s *Session) selectStmt(stmt *parser.SelectStmt) (*Result, error) {
+// selectStmt compiles and runs a SELECT through the full pipeline. text is
+// the statement's source text when known; it keys the prepared-plan cache
+// (empty disables caching, e.g. for nested INSERT ... SELECT bodies).
+func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, error) {
+	var key string
+	if s.eng.plans != nil && text != "" {
+		key = normalizeSQL(text)
+		// Epoch read precedes the lookup AND the cold compile below: a
+		// concurrent DDL/ANALYZE between this read and entry insertion makes
+		// the new entry conservatively stale (evicted next lookup) rather
+		// than silently current.
+		epoch := s.eng.cat.Epoch()
+		if ent := s.eng.plans.get(key, epoch); ent != nil {
+			return s.runCachedPlan(ent)
+		}
+	}
+	epoch := s.eng.cat.Epoch()
 	box, err := s.builder().BuildSelect(stmt)
 	if err != nil {
 		return nil, err
@@ -371,16 +438,74 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	schema := box.Out
+	if box.HiddenSort > 0 {
+		schema = schema[:len(schema)-box.HiddenSort]
+	}
+	if key != "" && box.NumParams == 0 && !boxSnapshotsData(box) {
+		// Cache a template clone; the plan we are about to run stays
+		// private to this execution.
+		if tmpl, ok := exec.ClonePlan(plan); ok {
+			s.eng.plans.put(&planEntry{
+				key:    key,
+				epoch:  epoch,
+				tmpl:   tmpl,
+				schema: schema,
+				tables: collectBoxTables(box),
+			})
+		}
+	}
 	ctx := exec.NewContext()
 	rows, err := exec.Collect(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	schema := box.Out
-	if box.HiddenSort > 0 {
-		schema = schema[:len(schema)-box.HiddenSort]
-	}
 	return &Result{Schema: schema, Rows: rows, Stats: *ctx.Stats}, nil
+}
+
+// execCachedSelect runs a cache entry with the same autocommit/rollback
+// semantics execStmt gives a SELECT statement.
+func (s *Session) execCachedSelect(ent *planEntry) (*Result, error) {
+	auto := !s.inTx
+	if auto {
+		s.begin()
+	}
+	res, err := s.runCachedPlan(ent)
+	if err != nil {
+		if rbErr := s.rollback(); rbErr != nil {
+			return nil, fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
+		}
+		if auto {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%v (transaction rolled back)", err)
+	}
+	if auto {
+		s.commit()
+	}
+	return res, nil
+}
+
+// runCachedPlan executes a prepared-plan cache entry: take the same shared
+// locks the cold path would, acquire a pooled (or freshly cloned) instance,
+// and drive it batch-at-a-time.
+func (s *Session) runCachedPlan(ent *planEntry) (*Result, error) {
+	for _, tn := range ent.tables {
+		if err := s.lockTable(tn, lock.Shared); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := ent.acquire()
+	if !ok {
+		return nil, fmt.Errorf("engine: cached plan for %q is not executable (clone failed)", ent.key)
+	}
+	ctx := exec.NewContext()
+	rows, err := exec.Collect(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	ent.release(p)
+	return &Result{Schema: ent.schema, Rows: rows, Stats: *ctx.Stats}, nil
 }
 
 // xnfQuery evaluates an XNF composite-object query (TAKE or DELETE).
@@ -411,29 +536,17 @@ func (s *Session) xnfQuery(stmt *parser.XNFQuery) (*Result, error) {
 	return &Result{CO: co}, nil
 }
 
-// lockBoxTables takes table locks for every base table under a box.
+// lockBoxTables takes table locks for every base table under a box,
+// including tables reached only through EXISTS subqueries — the same set
+// collectBoxTables captures for cached executions, so the cold and cached
+// paths of one statement always lock identically.
 func (s *Session) lockBoxTables(box *qgm.Box, mode lock.Mode) error {
-	var err error
-	seen := map[*qgm.Box]bool{}
-	var walk func(b *qgm.Box)
-	walk = func(b *qgm.Box) {
-		if b == nil || seen[b] || err != nil {
-			return
-		}
-		seen[b] = true
-		if b.Kind == qgm.KindBase {
-			err = s.lockTable(b.Table.Name, mode)
-			return
-		}
-		for _, q := range b.Quants {
-			walk(q.Input)
-		}
-		for _, in := range b.Inputs {
-			walk(in)
+	for _, tn := range collectBoxTables(box) {
+		if err := s.lockTable(tn, mode); err != nil {
+			return err
 		}
 	}
-	walk(box)
-	return err
+	return nil
 }
 
 // lockSpecTables locks the base tables under every node/edge of a spec.
@@ -461,6 +574,11 @@ func (s *Session) explain(stmt *parser.ExplainStmt, text string) (*Result, error
 	case *parser.SelectStmt:
 		box, err := s.builder().BuildSelect(target)
 		if err != nil {
+			return nil, err
+		}
+		// Lock like selectStmt would: compilation reads table statistics
+		// that concurrent DML mutates under its exclusive locks.
+		if err := s.lockBoxTables(box, lock.Shared); err != nil {
 			return nil, err
 		}
 		before := box.Dump()

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
+)
+
+// planCache is the engine's LRU prepared-plan cache. Entries are keyed by
+// normalized SQL text and stamped with the catalog schema/stats epoch at
+// compile time: DDL and ANALYZE bump the epoch, so stale entries evict on
+// the next lookup instead of serving plans over dropped schema or outdated
+// cost estimates. DML does not invalidate — plans reference live heaps.
+//
+// A cached plan is a template with per-execution operator state, so it never
+// runs directly: each execution acquires a structural clone, and finished
+// clones return to a small per-entry pool so their row buffers warm across
+// executions (repeated prepared statements pay zero compile work and few
+// steady-state allocations).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *planEntry; front = most recently used
+	entries map[string]*list.Element
+
+	// Counters (read via Stats) let tests and benches observe behavior.
+	hits, misses, evictions int64
+}
+
+// planEntry is one cached statement.
+type planEntry struct {
+	key    string
+	epoch  uint64
+	tmpl   exec.Plan // never executed directly
+	schema types.Schema
+	tables []string // base tables to lock before execution
+
+	poolMu sync.Mutex
+	pool   []exec.Plan // idle executable clones
+}
+
+// maxPooledPlans bounds the per-entry instance pool; beyond it, clones are
+// simply dropped (cheap — the template still avoids recompilation).
+const maxPooledPlans = 4
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, lru: list.New(), entries: map[string]*list.Element{}}
+}
+
+// PlanCacheStats is a snapshot of cache activity.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// Stats snapshots the counters.
+func (pc *planCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{Hits: pc.hits, Misses: pc.misses, Evictions: pc.evictions,
+		Entries: len(pc.entries)}
+}
+
+// lookup returns the entry for key if it exists and is current at epoch;
+// stale entries are evicted on sight. countMiss selects whether an absent
+// key charges the miss counter.
+func (pc *planCache) lookup(key string, epoch uint64, countMiss bool) *planEntry {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if ok {
+		ent := el.Value.(*planEntry)
+		if ent.epoch == epoch {
+			pc.lru.MoveToFront(el)
+			pc.hits++
+			return ent
+		}
+		pc.lru.Remove(el)
+		delete(pc.entries, key)
+		pc.evictions++
+	}
+	if countMiss {
+		pc.misses++
+	}
+	return nil
+}
+
+// get is the compile-path lookup: absence counts as a miss.
+func (pc *planCache) get(key string, epoch uint64) *planEntry {
+	return pc.lookup(key, epoch, true)
+}
+
+// peek is the pre-parse fast-path lookup. "Not cached" there usually just
+// means "not a SELECT" (every INSERT/UPDATE script probes too), which would
+// drown the miss counter in DML noise — so absence is not charged.
+func (pc *planCache) peek(key string, epoch uint64) *planEntry {
+	return pc.lookup(key, epoch, false)
+}
+
+// put inserts an entry, evicting from the LRU tail past capacity.
+func (pc *planCache) put(ent *planEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[ent.key]; ok {
+		// Racing compile of the same statement: keep the fresher epoch.
+		if el.Value.(*planEntry).epoch <= ent.epoch {
+			el.Value = ent
+			pc.lru.MoveToFront(el)
+		}
+		return
+	}
+	pc.entries[ent.key] = pc.lru.PushFront(ent)
+	for pc.lru.Len() > pc.cap {
+		back := pc.lru.Back()
+		pc.lru.Remove(back)
+		delete(pc.entries, back.Value.(*planEntry).key)
+		pc.evictions++
+	}
+}
+
+// acquire hands out an executable plan instance: a pooled clone when one is
+// idle, else a fresh clone of the template.
+func (ent *planEntry) acquire() (exec.Plan, bool) {
+	ent.poolMu.Lock()
+	if n := len(ent.pool); n > 0 {
+		p := ent.pool[n-1]
+		ent.pool = ent.pool[:n-1]
+		ent.poolMu.Unlock()
+		return p, true
+	}
+	ent.poolMu.Unlock()
+	return exec.ClonePlan(ent.tmpl)
+}
+
+// release returns an instance to the pool.
+func (ent *planEntry) release(p exec.Plan) {
+	ent.poolMu.Lock()
+	if len(ent.pool) < maxPooledPlans {
+		ent.pool = append(ent.pool, p)
+	}
+	ent.poolMu.Unlock()
+}
+
+// normalizeSQL canonicalizes statement text for cache keying: whitespace
+// runs collapse to one space and characters case-fold — except inside
+// single-quoted string literals, which stay verbatim (SQL identifiers and
+// keywords match case-insensitively; string values do not).
+func normalizeSQL(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case ch == '\'':
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			inStr = true
+			b.WriteByte(ch)
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if ch >= 'a' && ch <= 'z' {
+				ch -= 'a' - 'A'
+			}
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}
+
+// walkBoxes visits every box reachable from root — through quantifiers,
+// union inputs, and EXISTS subqueries hanging off body expressions. visit
+// returning false stops the traversal. Both the lock-set collection and the
+// snapshot check ride on this single walker so they can never see different
+// trees.
+func walkBoxes(root *qgm.Box, visit func(*qgm.Box) bool) {
+	seen := map[*qgm.Box]bool{}
+	stopped := false
+	var walk func(b *qgm.Box)
+	walk = func(b *qgm.Box) {
+		if b == nil || seen[b] || stopped {
+			return
+		}
+		seen[b] = true
+		if !visit(b) {
+			stopped = true
+			return
+		}
+		for _, q := range b.Quants {
+			walk(q.Input)
+		}
+		for _, in := range b.Inputs {
+			walk(in)
+		}
+		walkBoxExprs(b, func(e qgm.Expr) {
+			if ex, ok := e.(*qgm.Exists); ok {
+				walk(ex.Sub)
+			}
+		})
+	}
+	walk(root)
+}
+
+// collectBoxTables lists the distinct base tables under a box (lock set for
+// cached executions), including tables reached only through EXISTS subplans.
+func collectBoxTables(box *qgm.Box) []string {
+	seenTbl := map[string]bool{}
+	var out []string
+	walkBoxes(box, func(b *qgm.Box) bool {
+		if b.Kind == qgm.KindBase && !seenTbl[b.Table.Name] {
+			seenTbl[b.Table.Name] = true
+			out = append(out, b.Table.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// boxSnapshotsData reports whether the box tree embeds data materialized at
+// build time (KindValues boxes — XNF node references resolve to one). Such
+// plans would freeze that snapshot if cached, so they stay uncached.
+func boxSnapshotsData(box *qgm.Box) bool {
+	found := false
+	walkBoxes(box, func(b *qgm.Box) bool {
+		if b.Kind == qgm.KindValues {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkBoxExprs visits every expression hanging off a box body.
+func walkBoxExprs(b *qgm.Box, visit func(qgm.Expr)) {
+	each := func(e qgm.Expr) {
+		qgm.WalkExpr(e, func(x qgm.Expr) bool {
+			visit(x)
+			return true
+		})
+	}
+	each(b.Pred)
+	for _, h := range b.Head {
+		each(h.Expr)
+	}
+	for _, g := range b.GroupBy {
+		each(g)
+	}
+	for _, a := range b.Aggs {
+		if a.Arg != nil {
+			each(a.Arg)
+		}
+	}
+}
+
+// stmtCache caches parsed view-definition ASTs keyed by definition text.
+// The builder re-parses view bodies on every reference (SQL views inline
+// during QGM build; XNF views re-evaluate per reference), which made view
+// expansion pay the lexer+parser on the hot path. Parsed statements are
+// read-only during building, so one AST serves all sessions. Keying by the
+// definition text itself makes entries immune to DROP/CREATE VIEW churn —
+// a redefined view simply misses to a new key.
+type stmtCache struct {
+	mu  sync.Mutex
+	m   map[string]parser.Statement
+	cap int
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{m: map[string]parser.Statement{}, cap: capacity}
+}
+
+// parse returns the cached AST for src, parsing on miss.
+func (sc *stmtCache) parse(src string) (parser.Statement, error) {
+	sc.mu.Lock()
+	if st, ok := sc.m[src]; ok {
+		sc.mu.Unlock()
+		return st, nil
+	}
+	sc.mu.Unlock()
+	st, err := parser.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sc.mu.Lock()
+	if len(sc.m) >= sc.cap {
+		// Simple full reset: view sets are small; precision is not worth
+		// LRU bookkeeping here.
+		sc.m = map[string]parser.Statement{}
+	}
+	sc.m[src] = st
+	sc.mu.Unlock()
+	return st, nil
+}

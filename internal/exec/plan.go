@@ -55,11 +55,14 @@ func Dump(p Plan) string {
 // the whole table.
 type SeqScan struct {
 	Table *catalog.Table
-	ps    *storage.PageScanner
-	buf   []types.Row
-	rids  []storage.RID
-	pos   int
-	done  bool
+	// EstRows is the optimizer's output-cardinality estimate (0 = unknown);
+	// Explain prints it so access-path regressions are diffable.
+	EstRows float64
+	ps      *storage.PageScanner
+	buf     []types.Row
+	rids    []storage.RID
+	pos     int
+	done    bool
 }
 
 // Schema implements Plan.
@@ -127,16 +130,25 @@ func (s *SeqScan) NextBatch(ctx *Context) ([]types.Row, error) {
 	return s.buf, nil
 }
 
-// Close implements Plan.
+// Close implements Plan. Row and RID buffers keep their capacity so a
+// reopened scan (correlated subplans, pooled prepared plans) reuses them.
 func (s *SeqScan) Close() error {
-	s.buf = nil
-	s.rids = nil
+	s.buf = s.buf[:0]
+	s.rids = s.rids[:0]
 	s.ps = nil
 	return nil
 }
 
 // Explain implements Plan.
-func (s *SeqScan) Explain() string { return "SeqScan " + s.Table.Name }
+func (s *SeqScan) Explain() string { return "SeqScan " + s.Table.Name + estSuffix(s.EstRows) }
+
+// estSuffix renders an optimizer cardinality estimate for Explain output.
+func estSuffix(est float64) string {
+	if est <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (est rows=%.0f)", est)
+}
 
 // Children implements Plan.
 func (s *SeqScan) Children() []Plan { return nil }
@@ -147,17 +159,29 @@ func (s *SeqScan) Children() []Plan { return nil }
 
 // IndexScan probes a B+tree index. Bounds are expressions evaluated at Open
 // (they may reference correlation parameters). Nil bounds are unbounded.
-// Only the matching RIDs materialize at Open; heap tuples are fetched batch
-// by batch.
+// The scan streams: an incremental btree range iterator feeds NextBatch
+// directly, so at any moment the operator holds about one batch of RIDs and
+// decoded rows — never the whole match set.
 type IndexScan struct {
 	Table        *catalog.Table
 	Index        *catalog.Index
 	Lo, Hi       []Expr // values for a key prefix
 	LoInc, HiInc bool
-	rids         []storage.RID
-	rpos         int
-	buf          []types.Row
-	pos          int
+	// HiPrefix marks Hi as covering only a prefix of the index columns: the
+	// encoded bound extends with PrefixUpper so longer composite keys that
+	// start with the prefix stay in range (a bare prefix bound would sort
+	// below them and cut the range short).
+	HiPrefix bool
+	// LoPrefix is the exclusive-lower-bound analogue: composite keys that
+	// start with the prefix sort above the bare encoded prefix, so a `>`
+	// range must start past PrefixUpper of it or those keys leak in.
+	LoPrefix bool
+	// EstRows is the optimizer's output-cardinality estimate (0 = unknown).
+	EstRows float64
+	it      *btree.Iterator
+	buf     []types.Row
+	pos     int
+	done    bool
 }
 
 // Schema implements Plan.
@@ -165,10 +189,9 @@ func (s *IndexScan) Schema() types.Schema { return s.Table.Schema }
 
 // Open implements Plan.
 func (s *IndexScan) Open(ctx *Context) error {
-	s.rids = s.rids[:0]
 	s.buf = s.buf[:0]
-	s.rpos = 0
 	s.pos = 0
+	s.done = false
 	evalBound := func(es []Expr) ([]byte, error) {
 		if es == nil {
 			return nil, nil
@@ -191,25 +214,33 @@ func (s *IndexScan) Open(ctx *Context) error {
 	if err != nil {
 		return err
 	}
+	hiInc := s.HiInc
+	if hi != nil && s.HiPrefix {
+		hi = PrefixUpper(hi)
+		hiInc = true
+	}
+	loInc := s.LoInc
+	if lo != nil && s.LoPrefix {
+		lo = PrefixUpper(lo)
+		loInc = false
+	}
 	if ctx.Stats != nil {
 		ctx.Stats.IndexProbes++
 	}
-	s.Index.Tree.Scan(lo, hi, s.LoInc, s.HiInc, func(key []byte, rid storage.RID) bool {
-		// Prefix semantics: when the bound covers only a key prefix, the
-		// encoded comparison naturally treats longer keys in range.
-		s.rids = append(s.rids, rid)
-		return true
-	})
+	s.it = s.Index.Tree.Iter(lo, hi, loInc, hiInc)
 	return nil
 }
 
-// fill fetches the next batch of tuples for the pending RIDs.
+// fill pulls the next run of RIDs off the iterator and fetches their tuples.
 func (s *IndexScan) fill(ctx *Context) error {
 	s.buf = s.buf[:0]
 	s.pos = 0
-	for s.rpos < len(s.rids) && len(s.buf) < BatchSize {
-		rid := s.rids[s.rpos]
-		s.rpos++
+	for !s.done && len(s.buf) < BatchSize {
+		_, rid, ok := s.it.Next()
+		if !ok {
+			s.done = true
+			break
+		}
 		row, err := s.Table.Heap.Get(s.Table.Tag, rid)
 		if err != nil {
 			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", s.Index.Name, rid, err)
@@ -225,7 +256,7 @@ func (s *IndexScan) fill(ctx *Context) error {
 // Next implements Plan.
 func (s *IndexScan) Next(ctx *Context) (types.Row, bool, error) {
 	if s.pos >= len(s.buf) {
-		if s.rpos >= len(s.rids) {
+		if s.done {
 			return nil, false, nil
 		}
 		if err := s.fill(ctx); err != nil {
@@ -242,7 +273,7 @@ func (s *IndexScan) Next(ctx *Context) (types.Row, bool, error) {
 
 // NextBatch implements Plan.
 func (s *IndexScan) NextBatch(ctx *Context) ([]types.Row, error) {
-	if s.rpos >= len(s.rids) {
+	if s.done {
 		return nil, nil
 	}
 	if err := s.fill(ctx); err != nil {
@@ -251,16 +282,16 @@ func (s *IndexScan) NextBatch(ctx *Context) ([]types.Row, error) {
 	return s.buf, nil
 }
 
-// Close implements Plan.
+// Close implements Plan. The row buffer keeps its capacity for reopen.
 func (s *IndexScan) Close() error {
-	s.rids = nil
-	s.buf = nil
+	s.buf = s.buf[:0]
+	s.it = nil
 	return nil
 }
 
 // Explain implements Plan.
 func (s *IndexScan) Explain() string {
-	return fmt.Sprintf("IndexScan %s using %s", s.Table.Name, s.Index.Name)
+	return fmt.Sprintf("IndexScan %s using %s%s", s.Table.Name, s.Index.Name, estSuffix(s.EstRows))
 }
 
 // Children implements Plan.
@@ -399,9 +430,9 @@ func (f *Filter) NextBatch(ctx *Context) ([]types.Row, error) {
 	}
 }
 
-// Close implements Plan.
+// Close implements Plan. Ping-pong buffers keep their capacity for reopen.
 func (f *Filter) Close() error {
-	f.bufA, f.bufB = nil, nil
+	f.bufA, f.bufB = f.bufA[:0], f.bufB[:0]
 	return f.Child.Close()
 }
 
@@ -480,9 +511,10 @@ func (p *Project) NextBatch(ctx *Context) ([]types.Row, error) {
 	return p.obuf, nil
 }
 
-// Close implements Plan.
+// Close implements Plan. The output buffer keeps its capacity for reopen
+// (the per-batch value arenas escape to consumers and are never reused).
 func (p *Project) Close() error {
-	p.obuf = nil
+	p.obuf = p.obuf[:0]
 	return p.Child.Close()
 }
 
@@ -748,10 +780,12 @@ func (j *NLJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 	}
 }
 
-// Close implements Plan.
+// Close implements Plan. The bounded output buffer keeps its capacity for
+// reopen; the materialized right side is dropped — it scales with the input
+// and would pin arbitrary row memory in pooled prepared plans.
 func (j *NLJoin) Close() error {
 	j.right = nil
-	j.obuf = nil
+	j.obuf = j.obuf[:0]
 	j.lbatch = nil
 	if err := j.Left.Close(); err != nil {
 		j.Right.Close()
@@ -986,12 +1020,14 @@ func (j *HashJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 	}
 }
 
-// Close implements Plan.
+// Close implements Plan. The bounded output buffer keeps its capacity for
+// reopen; the hash table drops — it scales with the build input and would
+// pin arbitrary row memory in pooled prepared plans.
 func (j *HashJoin) Close() error {
 	j.heads = nil
 	j.ents = nil
 	j.links = nil
-	j.obuf = nil
+	j.obuf = j.obuf[:0]
 	j.lbatch = nil
 	if err := j.Left.Close(); err != nil {
 		j.Right.Close()
@@ -1011,6 +1047,192 @@ func (j *HashJoin) Explain() string {
 
 // Children implements Plan.
 func (j *HashJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// IndexJoin is a batched index-nested-loop join — the paper's parent/child
+// edge-join shape when the outer side is small and the inner side is a base
+// table with an index on the join column. Each left row evaluates KeyExprs,
+// probes the inner index for equal keys, fetches the matching heap tuples,
+// and emits concatenated rows. Nothing on the inner side materializes: the
+// operator reads exactly the tuples the outer rows reach. Pred (optional)
+// filters concatenated rows (residual join conjuncts plus any inner-side
+// pushed predicates).
+type IndexJoin struct {
+	Left     Plan
+	Table    *catalog.Table
+	Index    *catalog.Index
+	KeyExprs []Expr // evaluated against left rows; an index-column prefix
+	Pred     Expr
+	// EstRows is the optimizer's output-cardinality estimate (0 = unknown).
+	EstRows float64
+
+	out        types.Schema
+	keyScratch types.Row
+	rids       []storage.RID
+	rpos       int
+	cur        types.Row
+	lbatch     []types.Row
+	lpos       int
+	obuf       []types.Row
+	opos       int // row-drive cursor into obuf
+	arena      rowArena
+}
+
+// NewIndexJoin builds the join with a concatenated schema.
+func NewIndexJoin(l Plan, t *catalog.Table, ix *catalog.Index, keys []Expr, pred Expr) *IndexJoin {
+	return &IndexJoin{Left: l, Table: t, Index: ix, KeyExprs: keys, Pred: pred,
+		out: l.Schema().Concat(t.Schema)}
+}
+
+// Schema implements Plan.
+func (j *IndexJoin) Schema() types.Schema { return j.out }
+
+// Open implements Plan.
+func (j *IndexJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if j.keyScratch == nil {
+		j.keyScratch = make(types.Row, len(j.KeyExprs))
+	}
+	j.rids = j.rids[:0]
+	j.rpos = 0
+	j.cur = nil
+	j.lbatch = nil
+	j.lpos = 0
+	j.obuf = j.obuf[:0]
+	j.opos = 0
+	j.arena = rowArena{arity: len(j.out)}
+	return nil
+}
+
+// probe evaluates the key for one left row and collects the matching RIDs.
+// NULL keys never join (empty match set).
+func (j *IndexJoin) probe(ctx *Context, row types.Row) error {
+	j.cur = row
+	j.rids = j.rids[:0]
+	j.rpos = 0
+	null, err := evalKeysInto(ctx, j.KeyExprs, row, j.keyScratch)
+	if err != nil || null {
+		return err
+	}
+	key := types.EncodeKey(j.keyScratch)
+	hi := key
+	hiInc := true
+	if len(j.KeyExprs) < len(j.Index.Columns) {
+		hi = PrefixUpper(key)
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.IndexProbes++
+	}
+	it := j.Index.Tree.Iter(key, hi, true, hiInc)
+	for {
+		_, rid, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		j.rids = append(j.rids, rid)
+	}
+}
+
+// emitMatches joins the current left row against its pending RIDs, appending
+// passing rows to obuf until the RID list is exhausted.
+func (j *IndexJoin) emitMatches(ctx *Context) error {
+	for j.rpos < len(j.rids) {
+		rid := j.rids[j.rpos]
+		j.rpos++
+		inner, err := j.Table.Heap.Get(j.Table.Tag, rid)
+		if err != nil {
+			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", j.Index.Name, rid, err)
+		}
+		if ctx.Stats != nil {
+			ctx.Stats.RowsScanned++
+		}
+		joined := j.arena.concat(j.cur, inner)
+		pass, err := EvalPred(ctx, j.Pred, joined)
+		if err != nil {
+			return err
+		}
+		if pass {
+			j.obuf = append(j.obuf, joined)
+		}
+	}
+	return nil
+}
+
+// Next implements Plan (row drive shares the batch machinery: obuf drains
+// one row at a time, in probe order).
+func (j *IndexJoin) Next(ctx *Context) (types.Row, bool, error) {
+	for {
+		if j.opos < len(j.obuf) {
+			r := j.obuf[j.opos]
+			j.opos++
+			return r, true, nil
+		}
+		j.obuf = j.obuf[:0]
+		j.opos = 0
+		row, ok, err := j.Left.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if err := j.probe(ctx, row); err != nil {
+			return nil, false, err
+		}
+		if err := j.emitMatches(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// NextBatch implements Plan.
+func (j *IndexJoin) NextBatch(ctx *Context) ([]types.Row, error) {
+	j.obuf = j.obuf[:0]
+	for {
+		if len(j.obuf) >= BatchSize {
+			return j.obuf, nil
+		}
+		if j.lpos >= len(j.lbatch) {
+			batch, err := j.Left.NextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if len(batch) == 0 {
+				return j.obuf, nil
+			}
+			j.lbatch = batch
+			j.lpos = 0
+		}
+		row := j.lbatch[j.lpos]
+		j.lpos++
+		if err := j.probe(ctx, row); err != nil {
+			return nil, err
+		}
+		if err := j.emitMatches(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements Plan. Bounded buffers keep their capacity for reopen.
+func (j *IndexJoin) Close() error {
+	j.rids = j.rids[:0]
+	j.obuf = j.obuf[:0]
+	j.opos = 0
+	j.lbatch = nil
+	return j.Left.Close()
+}
+
+// Explain implements Plan.
+func (j *IndexJoin) Explain() string {
+	var parts []string
+	for i, k := range j.KeyExprs {
+		parts = append(parts, j.Index.Columns[i]+"="+DumpExpr(k))
+	}
+	return fmt.Sprintf("IndexJoin %s using %s on %s%s",
+		j.Table.Name, j.Index.Name, strings.Join(parts, " AND "), estSuffix(j.EstRows))
+}
+
+// Children implements Plan.
+func (j *IndexJoin) Children() []Plan { return []Plan{j.Left} }
 
 // ---------------------------------------------------------------------------
 // Sort

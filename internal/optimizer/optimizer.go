@@ -9,7 +9,9 @@ package optimizer
 
 import (
 	"fmt"
+	"math"
 
+	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/exec"
 	"sqlxnf/internal/qgm"
 	"sqlxnf/internal/types"
@@ -18,14 +20,17 @@ import (
 // Options toggles optimizer features (benches ablate them). The zero
 // value enables everything.
 type Options struct {
-	NoIndexes   bool
-	NoHashJoins bool
+	NoIndexes    bool
+	NoHashJoins  bool
+	NoIndexJoins bool
 }
 
 // DefaultOptions enables everything.
 func DefaultOptions() Options { return Options{} }
 
-// Selectivity constants of the textbook cost model.
+// Fallback selectivity constants of the textbook cost model, used when the
+// catalog has no ANALYZE statistics for the columns involved (see cost.go
+// for the statistics-driven estimates that replace them).
 const (
 	selEquality = 0.05
 	selRange    = 0.30
@@ -181,9 +186,12 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 			}
 			st.plan = sub
 			st.schema = q.Input.Out
-			st.card = defaultCard
-			for range perQuant[qi] {
-				st.card *= selOther
+			st.card = c.estimateBoxCard(q.Input)
+			for _, cj := range perQuant[qi] {
+				st.card *= conjSelectivity(cj)
+			}
+			if st.card < 1 {
+				st.card = 1
 			}
 			// Push single-quant conjuncts as a filter above the subplan.
 			if len(perQuant[qi]) > 0 {
@@ -220,8 +228,10 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 	curCard := states[first].card
 
 	for joinedCount := 1; joinedCount < nQ; joinedCount++ {
-		// Choose the next quantifier: prefer one connected by an equi-join
-		// conjunct, minimizing estimated output cardinality.
+		// Choose the next quantifier: prefer one connected by a join
+		// conjunct, minimizing estimated output cardinality under the
+		// statistics-driven selectivity model (1/max(NDV) for equi-joins
+		// whose sides resolve to ANALYZEd base columns).
 		best := -1
 		bestCard := 0.0
 		bestConnected := false
@@ -230,15 +240,12 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 				continue
 			}
 			connected := false
+			est := curCard * st.card
 			for _, cj := range remaining {
 				if conjConnects(cj, offsets, i) {
 					connected = true
-					break
+					est *= joinSelectivity(box, cj)
 				}
-			}
-			est := curCard * st.card
-			if connected {
-				est *= selEquality
 			}
 			if best == -1 || (connected && !bestConnected) ||
 				(connected == bestConnected && est < bestCard) {
@@ -265,6 +272,25 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 			newOffsets[k] = v
 		}
 		newOffsets[best] = len(joinedSchema)
+
+		// Index-nested-loop candidate: when the new quantifier is a base
+		// table whose index leading column appears in an equi-join conjunct
+		// and the outer side is estimated small, probing the index per outer
+		// row beats building a hash table over the whole inner table — the
+		// paper's parent/child edge-join shape.
+		if ijPlan, ok, err := c.tryIndexJoin(box, st, now, offsets, newOffsets, plan, curCard, bestCard); err != nil {
+			return nil, err
+		} else if ok {
+			plan = ijPlan
+			joinedSchema = joinedSchema.Concat(st.schema)
+			offsets = newOffsets
+			states[best].joined = true
+			curCard = bestCard
+			if curCard < 1 {
+				curCard = 1
+			}
+			continue
+		}
 
 		// Split equalities usable as hash keys.
 		var leftKeys, rightKeys []exec.Expr
@@ -355,18 +381,28 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 }
 
 // baseAccessPath picks an index or sequential scan for a base table given
-// its pushed conjuncts, returning the plan and estimated cardinality.
+// its pushed conjuncts, returning the plan and estimated cardinality. The
+// choice is cost-based: every (indexable conjunct × index) pair is costed
+// with the statistics-driven selectivity and compared against the full
+// sequential scan — a low-selectivity range no longer drags the table
+// through random heap fetches just because an index exists.
 func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, float64, error) {
 	t := base.Table
-	card := float64(t.Rows)
-	if card < 1 {
-		card = 1
+	rows := tableCard(t)
+
+	type candidate struct {
+		ci   int
+		col  int
+		ix   *catalog.Index
+		cmp  string
+		val  qgm.Expr
+		sel  float64 // fraction of rows the index delivers
+		cost float64
 	}
-	var scan exec.Plan
-	usedConj := -1
+	var best *candidate
 	if !c.opt.NoIndexes {
-		// Find an equality or range conjunct on the leading column of an
-		// index. Constants only (parameters resolve at Open, also fine).
+		// Consider every equality or range conjunct on the leading column of
+		// an index. Constants only (parameters resolve at Open, also fine).
 		for ci, cj := range pushed {
 			col, cmp, valExpr, ok := indexableConjunct(cj)
 			if !ok {
@@ -376,43 +412,78 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 				if t.Schema.Index(ix.Columns[0]) != col {
 					continue
 				}
-				ve, err := c.compileExpr(valExpr, nil)
-				if err != nil {
-					continue
-				}
-				is := &exec.IndexScan{Table: t, Index: ix}
+				var sel float64
 				switch cmp {
 				case "=":
-					is.Lo, is.Hi = []exec.Expr{ve}, []exec.Expr{ve}
-					is.LoInc, is.HiInc = true, true
 					if ix.Unique && len(ix.Columns) == 1 {
-						card = 1
+						sel = 1 / rows
 					} else {
-						card *= selEquality
+						sel = eqSelectivity(t, col)
 					}
-				case ">", ">=":
-					is.Lo = []exec.Expr{ve}
-					is.LoInc = cmp == ">="
-					card *= selRange
-				case "<", "<=":
-					is.Hi = []exec.Expr{ve}
-					is.HiInc = cmp == "<="
-					card *= selRange
+				case "<", "<=", ">", ">=":
+					sel = rangeSelectivity(t, col, cmp, valExpr)
 				default:
 					continue
 				}
-				scan = is
-				usedConj = ci
-				break
-			}
-			if scan != nil {
-				break
+				cost := indexProbeCost + sel*rows*randomFetchCost
+				if best == nil || cost < best.cost {
+					best = &candidate{ci: ci, col: col, ix: ix, cmp: cmp, val: valExpr, sel: sel, cost: cost}
+				}
 			}
 		}
 	}
-	if scan == nil {
-		scan = &exec.SeqScan{Table: t}
+
+	var scan exec.Plan
+	usedConj := -1
+	card := rows
+	seqCost := rows
+	useIndex := false
+	if best != nil {
+		if best.cmp == "=" {
+			// Equality probes default to the index — they return few rows,
+			// and cost noise on tiny tables shouldn't flip a point lookup —
+			// unless ANALYZE stats prove the key is common enough that a
+			// sequential scan is actually cheaper.
+			useIndex = true
+			if _, hasStats := colNDV(t, best.col); hasStats &&
+				!(best.ix.Unique && len(best.ix.Columns) == 1) {
+				useIndex = best.cost < seqCost
+			}
+		} else {
+			useIndex = best.cost < seqCost
+		}
 	}
+	if useIndex {
+		ve, err := c.compileExpr(best.val, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		is := &exec.IndexScan{Table: t, Index: best.ix}
+		switch best.cmp {
+		case "=":
+			is.Lo, is.Hi = []exec.Expr{ve}, []exec.Expr{ve}
+			is.LoInc, is.HiInc = true, true
+			is.HiPrefix = len(best.ix.Columns) > 1
+		case ">", ">=":
+			is.Lo = []exec.Expr{ve}
+			is.LoInc = best.cmp == ">="
+			is.LoPrefix = best.cmp == ">" && len(best.ix.Columns) > 1
+		case "<", "<=":
+			is.Hi = []exec.Expr{ve}
+			is.HiInc = best.cmp == "<="
+			is.HiPrefix = best.cmp == "<=" && len(best.ix.Columns) > 1
+		}
+		card = rows * best.sel
+		if card < 1 {
+			card = 1
+		}
+		is.EstRows = card
+		scan = is
+		usedConj = best.ci
+	} else {
+		scan = &exec.SeqScan{Table: t, EstRows: rows}
+	}
+
 	// Remaining conjuncts become a filter; estimate their selectivity.
 	var rest []qgm.Expr
 	for i, cj := range pushed {
@@ -420,7 +491,7 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 			continue
 		}
 		rest = append(rest, cj)
-		card *= conjSelectivity(cj)
+		card *= conjSelectivityOn(t, cj)
 	}
 	if len(rest) > 0 {
 		pred, err := c.compilePredicateFor(rest, map[int]int{anyQuant(rest): 0})
@@ -433,6 +504,84 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 		card = 1
 	}
 	return scan, card, nil
+}
+
+// tryIndexJoin attempts to join the new quantifier st with a batched
+// index-nested-loop operator. It succeeds when st ranges over a base table,
+// some evaluable equi-join conjunct's inner side is a plain column backed by
+// an index's leading column, and the estimated probe cost undercuts the hash
+// build. The inner side's pushed single-quant conjuncts and every other
+// evaluable join conjunct move into the join's residual predicate (st's
+// standalone access path is discarded — the index join reads the base table
+// directly).
+func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
+	offsets, newOffsets map[int]int, outer exec.Plan, outerCard, outCard float64,
+) (exec.Plan, bool, error) {
+	if c.opt.NoIndexes || c.opt.NoIndexJoins || !st.isBase {
+		return nil, false, nil
+	}
+	t := st.box.Table
+	innerRows := tableCard(t)
+
+	// Find the cheapest (conjunct, index) pairing.
+	bestCost := math.Inf(1)
+	bestConj := -1
+	var bestIx *catalog.Index
+	var bestKey qgm.Expr
+	for ci, cj := range now {
+		l, r, ok := equiJoinSides(cj, offsets, st.idx)
+		if !ok {
+			continue
+		}
+		cr, isCol := r.(*qgm.ColRef)
+		if !isCol {
+			continue
+		}
+		for _, ix := range t.Indexes {
+			if t.Schema.Index(ix.Columns[0]) != cr.Col {
+				continue
+			}
+			matches := innerRows * eqSelectivity(t, cr.Col)
+			if ix.Unique && len(ix.Columns) == 1 {
+				matches = 1
+			}
+			cost := outerCard * (indexProbeCost + matches*randomFetchCost)
+			if cost < bestCost {
+				bestCost, bestConj, bestIx, bestKey = cost, ci, ix, l
+			}
+		}
+	}
+	if bestConj < 0 {
+		return nil, false, nil
+	}
+	// Hash join pays the full inner build plus one probe per outer row.
+	hashCost := innerRows + outerCard
+	if bestCost >= hashCost {
+		return nil, false, nil
+	}
+
+	key, err := c.compileExpr(bestKey, offsets)
+	if err != nil {
+		return nil, false, err
+	}
+	// Residual: the other evaluable join conjuncts plus the inner side's
+	// pushed conjuncts, all over the concatenated row.
+	var residual []qgm.Expr
+	for ci, cj := range now {
+		if ci != bestConj {
+			residual = append(residual, cj)
+		}
+	}
+	residual = append(residual, st.pushed...)
+	var resPred exec.Expr
+	if len(residual) > 0 {
+		if resPred, err = c.compilePredicateFor(residual, newOffsets); err != nil {
+			return nil, false, err
+		}
+	}
+	ij := exec.NewIndexJoin(outer, t, bestIx, []exec.Expr{key}, resPred)
+	ij.EstRows = outCard
+	return ij, true, nil
 }
 
 func anyQuant(conj []qgm.Expr) int {

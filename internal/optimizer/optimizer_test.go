@@ -108,16 +108,46 @@ func TestRangeIndexScan(t *testing.T) {
 	}
 }
 
+func TestIndexJoinChosenForIndexedEquiJoin(t *testing.T) {
+	cat := fixture(t)
+	// Small outer (3 depts) × indexed inner join column: the cost model
+	// prefers probing EMP_EDNO per outer row over building a hash table.
+	q := "SELECT d.loc, e.eno FROM DEPT d, EMP e WHERE d.dno = e.edno"
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	if !strings.Contains(exec.Dump(plan), "IndexJoin EMP") {
+		t.Errorf("indexed equi-join with small outer should index-join:\n%s", exec.Dump(plan))
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil || len(rows) != 30 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+	// Ablations agree on results.
+	for _, opt := range []Options{{NoIndexJoins: true}, {NoIndexJoins: true, NoHashJoins: true}} {
+		plan2 := compileSQL(t, cat, q, opt)
+		if strings.Contains(exec.Dump(plan2), "IndexJoin") {
+			t.Error("NoIndexJoins must avoid index joins")
+		}
+		if opt.NoHashJoins && strings.Contains(exec.Dump(plan2), "HashJoin") {
+			t.Error("NoHashJoins must avoid hash joins")
+		}
+		rows2, err := exec.Collect(exec.NewContext(), plan2)
+		if err != nil || len(rows2) != len(rows) {
+			t.Fatalf("ablation %+v rows = %d, %v", opt, len(rows2), err)
+		}
+	}
+}
+
 func TestHashJoinChosenForEquiJoin(t *testing.T) {
 	cat := fixture(t)
-	q := "SELECT d.loc, e.eno FROM DEPT d, EMP e WHERE d.dno = e.edno"
+	// The join column carries no index, so the equi-join hashes.
+	q := "SELECT d.loc, e.eno FROM DEPT d, EMP e WHERE d.dno = e.eno"
 	plan := compileSQL(t, cat, q, DefaultOptions())
 	if !strings.Contains(exec.Dump(plan), "HashJoin") {
 		t.Errorf("equi-join should hash:\n%s", exec.Dump(plan))
 	}
 	rows, err := exec.Collect(exec.NewContext(), plan)
-	if err != nil || len(rows) != 30 {
-		t.Fatalf("rows = %d, %v", len(rows), err)
+	if err != nil {
+		t.Fatal(err)
 	}
 	// Ablation agrees on results.
 	plan2 := compileSQL(t, cat, q, Options{NoHashJoins: true})
@@ -175,5 +205,161 @@ func TestCompileRowExpr(t *testing.T) {
 		types.Row{types.NewInt(1), types.NewInt(1), types.NewFloat(3000)})
 	if err != nil || !ok {
 		t.Fatalf("pred eval: %v %v", ok, err)
+	}
+}
+
+// analyzeAll installs fresh statistics for every fixture table.
+func analyzeAll(t *testing.T, cat *catalog.Catalog) {
+	t.Helper()
+	for _, name := range cat.TableNames() {
+		if _, err := cat.AnalyzeTable(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStatsFlipRangeAccessPath: without stats a range conjunct defaults to
+// the textbook 30% selectivity and takes the index; ANALYZE reveals the
+// range covers nearly the whole table, and the planner flips to a
+// sequential scan. A genuinely narrow range keeps the index.
+func TestStatsFlipRangeAccessPath(t *testing.T) {
+	cat := fixture(t)
+	wide := "SELECT eno FROM EMP WHERE edno >= 1" // all 30 rows
+	if dump := exec.Dump(compileSQL(t, cat, wide, DefaultOptions())); !strings.Contains(dump, "IndexScan EMP") {
+		t.Errorf("without stats the textbook model should take the index:\n%s", dump)
+	}
+	analyzeAll(t, cat)
+	if dump := exec.Dump(compileSQL(t, cat, wide, DefaultOptions())); !strings.Contains(dump, "SeqScan EMP") {
+		t.Errorf("with stats a ~100%% range must seq-scan:\n%s", dump)
+	}
+	narrow := "SELECT eno FROM EMP WHERE edno >= 3" // 10 of 30 rows
+	if dump := exec.Dump(compileSQL(t, cat, narrow, DefaultOptions())); !strings.Contains(dump, "IndexScan EMP") {
+		t.Errorf("with stats a narrow range keeps the index:\n%s", dump)
+	}
+	// Plans agree on results either way.
+	rows, err := exec.Collect(exec.NewContext(), compileSQL(t, cat, wide, DefaultOptions()))
+	if err != nil || len(rows) != 30 {
+		t.Fatalf("wide rows = %d, %v", len(rows), err)
+	}
+}
+
+// TestStatsEqualityEstimate: the distinct-count sketch replaces the fixed
+// 5% equality selectivity — edno has 3 distinct values over 30 rows, so the
+// estimate becomes 10 rows and Explain says so.
+func TestStatsEqualityEstimate(t *testing.T) {
+	cat := fixture(t)
+	analyzeAll(t, cat)
+	dump := exec.Dump(compileSQL(t, cat, "SELECT eno FROM EMP WHERE edno = 2", DefaultOptions()))
+	if !strings.Contains(dump, "est rows=10") {
+		t.Errorf("equality estimate should be rows/NDV = 30/3:\n%s", dump)
+	}
+}
+
+// TestStatsCommonKeyPrefersSeqScan: when ANALYZE shows an equality key is so
+// common that random fetches cost more than the scan, the index is dropped.
+func TestStatsCommonKeyPrefersSeqScan(t *testing.T) {
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	tbl, err := cat.CreateTable("SKEW", types.Schema{
+		{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cat.CreateIndex("skew_k", "SKEW", []string{"k"}, false)
+	for i := 0; i < 200; i++ {
+		r := types.Row{types.NewInt(int64(i % 2)), types.NewInt(int64(i))}
+		rid, err := tbl.Heap.Insert(tbl.Tag, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(tbl.Schema, r)
+		_ = ix.Tree.Insert(key, rid)
+		tbl.Rows++
+	}
+	q := "SELECT v FROM SKEW WHERE k = 1"
+	if dump := exec.Dump(compileSQL(t, cat, q, DefaultOptions())); !strings.Contains(dump, "IndexScan") {
+		t.Errorf("without stats equality defaults to the index:\n%s", dump)
+	}
+	if _, err := cat.AnalyzeTable("SKEW"); err != nil {
+		t.Fatal(err)
+	}
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	if dump := exec.Dump(plan); !strings.Contains(dump, "SeqScan") {
+		t.Errorf("NDV=2 equality should seq-scan:\n%s", dump)
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil || len(rows) != 100 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+}
+
+// TestMultiColumnIndexPrefixEquality: equality on the leading column of a
+// composite index must extend the hi bound over longer composite keys
+// (regression: a bare prefix bound sorts below them and returns nothing).
+func TestMultiColumnIndexPrefixEquality(t *testing.T) {
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	tbl, err := cat.CreateTable("MC", types.Schema{
+		{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cat.CreateIndex("mc_ab", "MC", []string{"a", "b"}, false)
+	for i := 0; i < 20; i++ {
+		r := types.Row{types.NewInt(int64(i % 4)), types.NewInt(int64(i))}
+		rid, err := tbl.Heap.Insert(tbl.Tag, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(tbl.Schema, r)
+		_ = ix.Tree.Insert(key, rid)
+		tbl.Rows++
+	}
+	plan := compileSQL(t, cat, "SELECT b FROM MC WHERE a = 2", DefaultOptions())
+	if dump := exec.Dump(plan); !strings.Contains(dump, "IndexScan MC") {
+		t.Fatalf("leading-column equality should use the composite index:\n%s", dump)
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("prefix probe rows = %d, want 5 (%v)", len(rows), err)
+	}
+	// Range comparisons against the prefix: composite keys sort above the
+	// bare encoded prefix, so exclusive bounds need the PrefixUpper
+	// extension too (regression: `a > 2` used to include a = 2).
+	for _, rc := range []struct {
+		q    string
+		want int
+	}{
+		{"SELECT b FROM MC WHERE a > 2", 5},   // a = 3 only
+		{"SELECT b FROM MC WHERE a >= 2", 10}, // a in {2, 3}
+		{"SELECT b FROM MC WHERE a < 2", 10},  // a in {0, 1}
+		{"SELECT b FROM MC WHERE a <= 2", 15}, // a in {0, 1, 2}
+	} {
+		p := compileSQL(t, cat, rc.q, DefaultOptions())
+		got, err := exec.Collect(exec.NewContext(), p)
+		if err != nil || len(got) != rc.want {
+			t.Errorf("%s: rows = %d, want %d (%v)\n%s", rc.q, len(got), rc.want, err, exec.Dump(p))
+		}
+	}
+}
+
+// TestStatsJoinOrderUsesNDV: with stats, the greedy join order estimates
+// equi-join selectivity as 1/max(NDV) instead of the fixed 5%; results stay
+// correct across the stats boundary.
+func TestStatsJoinOrderUsesNDV(t *testing.T) {
+	cat := fixture(t)
+	q := `SELECT d.loc, a.eno, b.eno FROM DEPT d, EMP a, EMP b
+	      WHERE d.dno = a.edno AND d.dno = b.edno AND a.eno < b.eno`
+	before, err := exec.Collect(exec.NewContext(), compileSQL(t, cat, q, DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzeAll(t, cat)
+	after, err := exec.Collect(exec.NewContext(), compileSQL(t, cat, q, DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 135 || len(after) != 135 {
+		t.Fatalf("rows before/after analyze = %d/%d, want 135", len(before), len(after))
 	}
 }

@@ -404,6 +404,14 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmtNode() {}
 
+// AnalyzeStmt is ANALYZE [table]: recompute optimizer statistics for one
+// table, or for every table when Table is empty.
+type AnalyzeStmt struct {
+	Table string
+}
+
+func (*AnalyzeStmt) stmtNode() {}
+
 // ---------------------------------------------------------------------------
 // XNF statements (the composite object constructor, §3 of the paper)
 // ---------------------------------------------------------------------------

@@ -227,6 +227,13 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Target: inner}, nil
+	case "ANALYZE":
+		p.advance()
+		st := &AnalyzeStmt{}
+		if p.cur().Kind == TokIdent {
+			st.Table = p.advance().Text
+		}
+		return st, nil
 	default:
 		return nil, p.errorf("unexpected keyword %s at statement start", t.Text)
 	}

@@ -23,8 +23,22 @@ type XNFNodeResolver func(view, node string) (types.Schema, [][]types.Value, err
 type Builder struct {
 	cat      *catalog.Catalog
 	resolver XNFNodeResolver
-	depth    int
-	boxSeq   int
+	// ParseView optionally overrides parsing of stored view definitions;
+	// the engine points it at a shared parsed-AST cache so repeated view
+	// references skip the lexer and parser. nil falls back to
+	// parser.ParseOne. The builder treats parsed ASTs as read-only, so a
+	// cached statement may be shared across sessions.
+	ParseView func(definition string) (parser.Statement, error)
+	depth     int
+	boxSeq    int
+}
+
+// parseView parses (or fetches the cached AST of) a view definition.
+func (b *Builder) parseView(definition string) (parser.Statement, error) {
+	if b.ParseView != nil {
+		return b.ParseView(definition)
+	}
+	return parser.ParseOne(definition)
 }
 
 // NewBuilder returns a builder over cat. resolver may be nil (type (3)
@@ -184,7 +198,7 @@ func (b *Builder) buildTableRef(ref parser.TableRef) (*Quantifier, error) {
 		if b.depth >= maxViewDepth {
 			return nil, fmt.Errorf("qgm: view nesting deeper than %d (cycle?)", maxViewDepth)
 		}
-		st, err := parser.ParseOne(v.Definition)
+		st, err := b.parseView(v.Definition)
 		if err != nil {
 			return nil, fmt.Errorf("qgm: stored view %q fails to parse: %v", name, err)
 		}
@@ -883,7 +897,7 @@ func (b *Builder) expandXNFView(name string) (*XNFSpec, error) {
 	if b.depth >= maxViewDepth {
 		return nil, fmt.Errorf("qgm: XNF view nesting deeper than %d (cycle?)", maxViewDepth)
 	}
-	st, err := parser.ParseOne(v.Definition)
+	st, err := b.parseView(v.Definition)
 	if err != nil {
 		return nil, fmt.Errorf("qgm: stored XNF view %q fails to parse: %v", name, err)
 	}

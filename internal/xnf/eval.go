@@ -3,6 +3,7 @@ package xnf
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sqlxnf/internal/qgm"
 	"sqlxnf/internal/storage"
@@ -17,7 +18,8 @@ type Evaluator struct {
 	Stats EvalStats
 }
 
-// EvalStats counts evaluation work.
+// EvalStats counts evaluation work. Counters increment with atomic adds so
+// concurrent workloads can read them race-free.
 type EvalStats struct {
 	NodeQueries     int64
 	EdgeQueries     int64
@@ -298,7 +300,7 @@ func (ev *Evaluator) materializeFull(node *qgm.XNFNode) (*gnode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xnf: node %s: %v", node.Name, err)
 	}
-	ev.Stats.NodeQueries++
+	atomic.AddInt64(&ev.Stats.NodeQueries, 1)
 	gn := &gnode{
 		name: node.Name, schema: node.Def.Out, rows: rows, rids: rids,
 		baseTable: node.BaseTable, colMap: node.ColMap,
@@ -430,7 +432,7 @@ func (ev *Evaluator) materializeTopDown(spec *qgm.XNFSpec, g *egraph) error {
 			if rerr != nil {
 				return fmt.Errorf("xnf: node %s: %v", node.Name, rerr)
 			}
-			ev.Stats.NodeQueries++
+			atomic.AddInt64(&ev.Stats.NodeQueries, 1)
 			for i, row := range rows {
 				var rid storage.RID = storage.NilRID
 				if rids != nil {
@@ -509,7 +511,7 @@ func (ev *Evaluator) resolveEdgeInline(e *qgm.XNFEdge, g *egraph) {
 		}
 		ge.alive = allTrue(len(ge.conns))
 		g.addEdge(ge)
-		ev.Stats.InlineEdges++
+		atomic.AddInt64(&ev.Stats.InlineEdges, 1)
 	case e.LinkTable != "" && conjN == 2 && attrsOnLink(e):
 		pairs, attrRows, attrSchema, err := ev.linkPairs(e, parent)
 		if err != nil {
@@ -542,7 +544,7 @@ func (ev *Evaluator) resolveEdgeInline(e *qgm.XNFEdge, g *egraph) {
 		}
 		ge.alive = allTrue(len(ge.conns))
 		g.addEdge(ge)
-		ev.Stats.InlineEdges++
+		atomic.AddInt64(&ev.Stats.InlineEdges, 1)
 	}
 }
 
@@ -791,7 +793,7 @@ func (ev *Evaluator) evalEdge(edge *qgm.XNFEdge, g *egraph, spec *qgm.XNFSpec) (
 				if _, err := ev.host.RunBox(def); err != nil {
 					return nil, err
 				}
-				ev.Stats.RecomputedNodes++
+				atomic.AddInt64(&ev.Stats.RecomputedNodes, 1)
 			}
 		}
 	}
@@ -840,7 +842,7 @@ func (ev *Evaluator) evalEdge(edge *qgm.XNFEdge, g *egraph, spec *qgm.XNFSpec) (
 	if err != nil {
 		return nil, fmt.Errorf("xnf: relationship %s: %v", edge.Name, err)
 	}
-	ev.Stats.EdgeQueries++
+	atomic.AddInt64(&ev.Stats.EdgeQueries, 1)
 	ge := &gedge{
 		name: edge.Name, parent: parent.name, child: child.name,
 		parentRole: edge.ParentRole, childRole: edge.ChildRole,
@@ -932,7 +934,7 @@ func (ev *Evaluator) reach(g *egraph) map[string][]bool {
 			}
 		}
 		for len(frontier) > 0 {
-			ev.Stats.FixpointRounds++
+			atomic.AddInt64(&ev.Stats.FixpointRounds, 1)
 			it := frontier[len(frontier)-1]
 			frontier = frontier[:len(frontier)-1]
 			for _, tgt := range adjacency[it.node][it.idx] {
@@ -947,7 +949,7 @@ func (ev *Evaluator) reach(g *egraph) map[string][]bool {
 	}
 	// Naive fixpoint.
 	for {
-		ev.Stats.FixpointRounds++
+		atomic.AddInt64(&ev.Stats.FixpointRounds, 1)
 		changed := false
 		for _, e := range g.edges {
 			p, c := g.node(e.parent), g.node(e.child)

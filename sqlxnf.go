@@ -109,6 +109,23 @@ func WithoutHashJoins() Option {
 	return func(o *engine.Options) { o.Optimizer.NoHashJoins = true }
 }
 
+// WithoutIndexJoins disables index-nested-loop joins (ablation).
+func WithoutIndexJoins() Option {
+	return func(o *engine.Options) { o.Optimizer.NoIndexJoins = true }
+}
+
+// WithoutPlanCache disables the prepared-plan cache, forcing a full parse →
+// build → rewrite → optimize pipeline on every statement (the cold-compile
+// ablation of the e15 experiment).
+func WithoutPlanCache() Option {
+	return func(o *engine.Options) { o.PlanCacheSize = -1 }
+}
+
+// WithPlanCacheSize bounds the prepared-plan cache (entries).
+func WithPlanCacheSize(entries int) Option {
+	return func(o *engine.Options) { o.PlanCacheSize = entries }
+}
+
 var _ = optimizer.DefaultOptions // anchor for godoc cross-reference
 
 // DB is one embedded database instance with a default session.
