@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet bench clean
+.PHONY: build test fuzz vet bench clean
 
 build:
 	$(GO) build ./...
 
+# The engine package carries fuzz targets (FuzzExtractLiterals); their seed
+# corpus runs as plain tests here. `make fuzz` explores beyond the seeds.
 test:
 	$(GO) test ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzExtractLiterals -fuzztime 30s ./internal/engine/
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +21,7 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 1x ./internal/exec/
 	$(GO) test -run '^$$' -bench BenchmarkExecRepeated -benchtime 1x ./internal/engine/
+	$(GO) run ./cmd/xnfbench -exp e16
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Differential harness for the parameterized plan cache: randomized
+// SELECT/DML statements run against two engines seeded with identical data —
+// a reference engine with the plan cache disabled (every statement compiles
+// cold) and the engine under test with the cache enabled. SELECTs execute
+// twice on the cached engine, so the first run populates the
+// parameter-shaped entry and the second takes the bind-at-execute hit path;
+// all three results must agree as multisets. A single mis-bound parameter
+// slot silently returns wrong rows, which is exactly the class of bug this
+// net exists to catch. On a mismatch the harness shrinks the statement —
+// dropping predicate conjuncts and projection columns while the mismatch
+// reproduces — and reports the minimal failing SQL.
+
+// diffPair is the engine-under-test plus its cold-compiling reference.
+type diffPair struct {
+	cached *Session
+	ref    *Session
+}
+
+func newDiffPair(t *testing.T, seed int64) *diffPair {
+	t.Helper()
+	p := &diffPair{
+		cached: NewDefault().Session(),
+		ref:    New(Options{PlanCacheSize: -1}).Session(),
+	}
+	ddl := `CREATE TABLE T1 (a INT PRIMARY KEY, b INT, c FLOAT, d VARCHAR, e INT);
+		CREATE INDEX t1_b ON T1 (b);
+		CREATE INDEX t1_eb ON T1 (e, b);
+		CREATE TABLE T2 (k INT PRIMARY KEY, v INT, w VARCHAR)`
+	p.cached.MustExec(ddl)
+	p.ref.MustExec(ddl)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 120; i++ {
+		b := fmt.Sprintf("%d", rng.Intn(20)-10)
+		if rng.Intn(6) == 0 {
+			b = "NULL"
+		}
+		c := fmt.Sprintf("%.2f", rng.Float64()*20-10)
+		if rng.Intn(7) == 0 {
+			c = "NULL"
+		}
+		d := fmt.Sprintf("'s%d'", rng.Intn(8))
+		switch rng.Intn(10) {
+		case 0:
+			d = "NULL"
+		case 1:
+			d = "''"
+		case 2:
+			d = "'it''s'"
+		}
+		stmt := fmt.Sprintf("INSERT INTO T1 VALUES (%d, %s, %s, %s, %d)",
+			i, b, c, d, rng.Intn(5))
+		p.cached.MustExec(stmt)
+		p.ref.MustExec(stmt)
+	}
+	for k := 0; k < 30; k++ {
+		stmt := fmt.Sprintf("INSERT INTO T2 VALUES (%d, %d, 'w%d')", k, rng.Intn(10)-5, k%4)
+		p.cached.MustExec(stmt)
+		p.ref.MustExec(stmt)
+	}
+	return p
+}
+
+// outcome canonicalizes a statement result: the sorted multiset of row
+// renderings, or the fact that execution errored (both engines must agree on
+// error-ness; exact messages may differ in wrapping).
+func outcome(r *Result, err error) string {
+	if err != nil {
+		return "<error>"
+	}
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		lines[i] = row.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// check runs one SELECT on the reference engine and twice on the cached
+// engine, reporting "" on agreement or a description of the first
+// disagreement.
+func (p *diffPair) check(sql string) string {
+	want := outcome(p.ref.Exec(sql))
+	cold := outcome(p.cached.Exec(sql))
+	if cold != want {
+		return fmt.Sprintf("cache-population run diverged:\n  ref:    %q\n  cached: %q", want, cold)
+	}
+	hit := outcome(p.cached.Exec(sql))
+	if hit != want {
+		return fmt.Sprintf("cache-hit run diverged:\n  ref: %q\n  hit: %q", want, hit)
+	}
+	return ""
+}
+
+// diffCase is one generated SELECT, kept decomposed so it can shrink.
+type diffCase struct {
+	proj     []string
+	from     string
+	conjs    []string
+	distinct bool
+	limitAll bool // append LIMIT 1000 (exercises the structural literal)
+}
+
+func (c *diffCase) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if c.distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(c.proj, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(c.from)
+	if len(c.conjs) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(c.conjs, " AND "))
+	}
+	if c.limitAll {
+		b.WriteString(" LIMIT 1000")
+	}
+	return b.String()
+}
+
+// genCase draws a random SELECT over the seeded tables. Literal pools lean
+// on the edge cases the net must cover: NULL, negative ints, empty strings,
+// floats, quoted quotes, and SQL keywords inside strings.
+func genCase(rng *rand.Rand) *diffCase {
+	ints := []string{"-5", "0", "3", "7", "-10", "123456", "NULL"}
+	floats := []string{"-2.25", "0.0", "1.5", "9.75", "NULL", "2e1"}
+	strs := []string{"''", "'s1'", "'s5'", "'it''s'", "'WHERE'", "NULL"}
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+
+	c := &diffCase{from: "T1 t", distinct: rng.Intn(4) == 0, limitAll: rng.Intn(5) == 0}
+	projPool := []string{"t.a", "t.b", "t.c", "t.d", "t.e", "t.b + 1", "-t.a"}
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		c.proj = append(c.proj, projPool[rng.Intn(len(projPool))])
+	}
+	conjPool := []func() string{
+		func() string { return "t.b = " + pick(ints) },
+		func() string { return "t.b <> " + pick(ints) },
+		func() string { return "t.b > " + pick(ints) },
+		func() string { return "t.c < " + pick(floats) },
+		func() string { return "t.c >= " + pick(floats) },
+		func() string { return "t.d = " + pick(strs) },
+		func() string { return "t.b IS NULL" },
+		func() string { return "t.d IS NOT NULL" },
+		func() string { return fmt.Sprintf("t.b IN (%s, %s, %s)", pick(ints), pick(ints), pick(ints)) },
+		func() string { return fmt.Sprintf("t.b BETWEEN %s AND %s", pick(ints), pick(ints)) },
+		func() string { return fmt.Sprintf("t.e = %d AND t.b = %s", rng.Intn(5), pick(ints)) },
+		func() string { return "t.d LIKE 's%'" },
+		func() string {
+			return fmt.Sprintf("EXISTS (SELECT k FROM T2 WHERE v = t.e AND k > %s)", pick(ints))
+		},
+	}
+	for n := rng.Intn(4); n > 0; n-- {
+		c.conjs = append(c.conjs, conjPool[rng.Intn(len(conjPool))]())
+	}
+	if rng.Intn(5) == 0 {
+		// Join shape: T1 against T2 on the low-cardinality column.
+		c.from = "T1 t, T2 u"
+		c.conjs = append(c.conjs, "t.e = u.k")
+		c.proj = append(c.proj, "u.w")
+	}
+	return c
+}
+
+// shrink minimizes a failing case: greedily drop conjuncts, projection
+// columns, DISTINCT and LIMIT while the mismatch still reproduces.
+func (p *diffPair) shrink(c *diffCase) *diffCase {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(c.conjs); i++ {
+			trial := *c
+			trial.conjs = append(append([]string{}, c.conjs[:i]...), c.conjs[i+1:]...)
+			if p.check(trial.SQL()) != "" {
+				c = &trial
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		for i := 0; len(c.proj) > 1 && i < len(c.proj); i++ {
+			trial := *c
+			trial.proj = append(append([]string{}, c.proj[:i]...), c.proj[i+1:]...)
+			if p.check(trial.SQL()) != "" {
+				c = &trial
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		if c.distinct {
+			trial := *c
+			trial.distinct = false
+			if p.check(trial.SQL()) != "" {
+				c = &trial
+				changed = true
+			}
+		}
+		if c.limitAll {
+			trial := *c
+			trial.limitAll = false
+			if p.check(trial.SQL()) != "" {
+				c = &trial
+				changed = true
+			}
+		}
+	}
+	return c
+}
+
+// TestDifferentialSelects: randomized SELECT shapes, cold vs parameterized
+// cache hit.
+func TestDifferentialSelects(t *testing.T) {
+	const rounds = 300
+	p := newDiffPair(t, 42)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < rounds; i++ {
+		c := genCase(rng)
+		if msg := p.check(c.SQL()); msg != "" {
+			minimal := p.shrink(c)
+			t.Fatalf("differential mismatch (round %d): %s\nfull SQL:    %s\nminimal SQL: %s",
+				i, msg, c.SQL(), minimal.SQL())
+		}
+	}
+	// The run must actually have exercised the parameterized hit path.
+	st := p.cached.Engine().PlanCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("harness never hit the plan cache: %+v", st)
+	}
+}
+
+// TestDifferentialDML interleaves INSERT/UPDATE/DELETE with repeated SELECT
+// probes: DML applies once per engine, and the shared probe statements —
+// which hit the parameterized cache on the cached engine — must agree with
+// cold compiles after every mutation (cached plans read live heaps).
+func TestDifferentialDML(t *testing.T) {
+	p := newDiffPair(t, 7)
+	rng := rand.New(rand.NewSource(2))
+	probes := []string{
+		"SELECT a, b, d FROM T1 WHERE b >= -3",
+		"SELECT a FROM T1 WHERE e = 2 AND b = 1",
+		"SELECT a, c FROM T1 WHERE d = 'it''s'",
+		"SELECT a FROM T1 WHERE b IS NULL",
+	}
+	for i := 0; i < 120; i++ {
+		var stmt string
+		switch rng.Intn(3) {
+		case 0:
+			stmt = fmt.Sprintf("INSERT INTO T1 VALUES (%d, %d, %0.2f, 'n%d', %d)",
+				1000+i, rng.Intn(20)-10, rng.Float64()*10-5, rng.Intn(4), rng.Intn(5))
+		case 1:
+			stmt = fmt.Sprintf("UPDATE T1 SET b = %d WHERE a = %d", rng.Intn(20)-10, rng.Intn(130))
+		case 2:
+			stmt = fmt.Sprintf("DELETE FROM T1 WHERE a = %d", rng.Intn(130))
+		}
+		refRes, refErr := p.ref.Exec(stmt)
+		gotRes, gotErr := p.cached.Exec(stmt)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("DML error divergence on %q: ref=%v cached=%v", stmt, refErr, gotErr)
+		}
+		if refErr == nil && refRes.RowsAffected != gotRes.RowsAffected {
+			t.Fatalf("DML rows-affected divergence on %q: ref=%d cached=%d",
+				stmt, refRes.RowsAffected, gotRes.RowsAffected)
+		}
+		probe := probes[i%len(probes)]
+		if msg := p.check(probe); msg != "" {
+			t.Fatalf("probe %q diverged after %q: %s", probe, stmt, msg)
+		}
+	}
+	st := p.cached.Engine().PlanCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("DML harness never hit the plan cache: %+v", st)
+	}
+}

@@ -163,12 +163,18 @@ func (e *Engine) Session() *Session { return &Session{eng: e} }
 // Exec parses and runs a script, returning the last statement's result.
 // A script whose normalized text hits the prepared-plan cache skips the
 // parser entirely: the cache entry proves the text is a single cacheable
-// SELECT, so repeated statements go straight to lock-and-execute.
+// SELECT, so repeated statements go straight to bind-and-execute. Literal
+// extraction makes the key parameter-shaped, so statements differing only in
+// constants share one entry and the extracted literals bind into the cached
+// plan.
 func (s *Session) Exec(sql string) (*Result, error) {
 	if s.eng.plans != nil {
-		key := normalizeSQL(sql)
-		if ent := s.eng.plans.peek(key, s.eng.cat.Epoch()); ent != nil {
-			return s.execCachedSelect(ent)
+		key, binds, ok := extractLiterals(sql)
+		if !ok {
+			key, binds = normalizeSQL(sql), nil
+		}
+		if ent := s.eng.plans.peek(key, s.eng.cat.Epoch()); ent != nil && ent.nParams == len(binds) {
+			return s.execCachedSelect(ent, binds)
 		}
 	}
 	stmts, err := parser.ParseScript(sql)
@@ -411,30 +417,53 @@ func (s *Session) resolveXNFNode(view, node string) (types.Schema, [][]types.Val
 
 // selectStmt compiles and runs a SELECT through the full pipeline. text is
 // the statement's source text when known; it keys the prepared-plan cache
-// (empty disables caching, e.g. for nested INSERT ... SELECT bodies).
+// (empty disables caching, e.g. for nested INSERT ... SELECT bodies and the
+// guard-rejection fallback, which must not overwrite the cached entry).
+// When literal extraction succeeds, the key is parameter-shaped, the builder
+// marks the extracted literals as parameter slots, and the cached template
+// binds constants at execute instead of recompiling per literal.
 func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, error) {
 	var key string
+	var binds []types.Value
+	paramOK := false
 	if s.eng.plans != nil && text != "" {
-		key = normalizeSQL(text)
+		key, binds, paramOK = extractLiterals(text)
+		if !paramOK {
+			key, binds = normalizeSQL(text), nil
+		}
 		// Epoch read precedes the lookup AND the cold compile below: a
 		// concurrent DDL/ANALYZE between this read and entry insertion makes
 		// the new entry conservatively stale (evicted next lookup) rather
 		// than silently current.
 		epoch := s.eng.cat.Epoch()
-		if ent := s.eng.plans.get(key, epoch); ent != nil {
-			return s.runCachedPlan(ent)
+		if ent := s.eng.plans.get(key, epoch); ent != nil && ent.nParams == len(binds) {
+			return s.runCachedPlan(ent, binds)
 		}
 	}
 	epoch := s.eng.cat.Epoch()
-	box, err := s.builder().BuildSelect(stmt)
+	b := s.builder()
+	b.ParamLiterals = paramOK
+	box, err := b.BuildSelect(stmt)
 	if err != nil {
 		return nil, err
+	}
+	if paramOK && !paramSlotsCovered(box, len(binds)) {
+		// A literal landed somewhere the builder treats structurally and the
+		// slot set no longer matches the extracted vector (defense in depth —
+		// the extractor's conservative rules should prevent this). Compile
+		// unparameterized under the literal-text key.
+		paramOK = false
+		key, binds = normalizeSQL(text), nil
+		b.ParamLiterals = false
+		if box, err = b.BuildSelect(stmt); err != nil {
+			return nil, err
+		}
 	}
 	if err := s.lockBoxTables(box, lock.Shared); err != nil {
 		return nil, err
 	}
 	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
-	plan, err := optimizer.CompileWith(box, s.eng.opts.Optimizer)
+	plan, info, err := optimizer.CompileWithInfo(box, s.eng.opts.Optimizer)
 	if err != nil {
 		return nil, err
 	}
@@ -447,15 +476,18 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 		// private to this execution.
 		if tmpl, ok := exec.ClonePlan(plan); ok {
 			s.eng.plans.put(&planEntry{
-				key:    key,
-				epoch:  epoch,
-				tmpl:   tmpl,
-				schema: schema,
-				tables: collectBoxTables(box),
+				key:     key,
+				epoch:   epoch,
+				tmpl:    tmpl,
+				schema:  schema,
+				tables:  collectBoxTables(box),
+				nParams: len(binds),
+				guards:  info.Guards,
 			})
 		}
 	}
 	ctx := exec.NewContext()
+	ctx.Binds = binds
 	rows, err := exec.Collect(ctx, plan)
 	if err != nil {
 		return nil, err
@@ -465,12 +497,12 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 
 // execCachedSelect runs a cache entry with the same autocommit/rollback
 // semantics execStmt gives a SELECT statement.
-func (s *Session) execCachedSelect(ent *planEntry) (*Result, error) {
+func (s *Session) execCachedSelect(ent *planEntry, binds []types.Value) (*Result, error) {
 	auto := !s.inTx
 	if auto {
 		s.begin()
 	}
-	res, err := s.runCachedPlan(ent)
+	res, err := s.runCachedPlan(ent, binds)
 	if err != nil {
 		if rbErr := s.rollback(); rbErr != nil {
 			return nil, fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
@@ -487,12 +519,26 @@ func (s *Session) execCachedSelect(ent *planEntry) (*Result, error) {
 }
 
 // runCachedPlan executes a prepared-plan cache entry: take the same shared
-// locks the cold path would, acquire a pooled (or freshly cloned) instance,
-// and drive it batch-at-a-time.
-func (s *Session) runCachedPlan(ent *planEntry) (*Result, error) {
+// locks the cold path would, re-check the entry's bind guards against this
+// execution's bindings, acquire a pooled (or freshly cloned) instance, and
+// drive it batch-at-a-time with the bindings in the execution context. A
+// guard rejection means the plan was chosen for constants with very
+// different estimated selectivity, so this execution recompiles fresh (the
+// entry stays for conforming bindings).
+func (s *Session) runCachedPlan(ent *planEntry, binds []types.Value) (*Result, error) {
+	if len(binds) != ent.nParams {
+		return nil, fmt.Errorf("engine: cached plan for %q expects %d parameters, got %d",
+			ent.key, ent.nParams, len(binds))
+	}
 	for _, tn := range ent.tables {
 		if err := s.lockTable(tn, lock.Shared); err != nil {
 			return nil, err
+		}
+	}
+	for _, g := range ent.guards {
+		t, err := s.eng.cat.Table(g.Table)
+		if err != nil || g.Param >= len(binds) || !g.Check(t, binds[g.Param]) {
+			return s.recompileBound(ent, binds)
 		}
 	}
 	p, ok := ent.acquire()
@@ -500,12 +546,30 @@ func (s *Session) runCachedPlan(ent *planEntry) (*Result, error) {
 		return nil, fmt.Errorf("engine: cached plan for %q is not executable (clone failed)", ent.key)
 	}
 	ctx := exec.NewContext()
+	ctx.Binds = binds
 	rows, err := exec.Collect(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	ent.release(p)
 	return &Result{Schema: ent.schema, Rows: rows, Stats: *ctx.Stats}, nil
+}
+
+// recompileBound is the bind-time fallback: reinject the bindings into the
+// entry's parameter-shaped key as plain literals and compile that statement
+// cold. The empty text keeps the fresh plan out of the cache — the cached
+// template remains the right plan for bindings that pass the guards.
+func (s *Session) recompileBound(ent *planEntry, binds []types.Value) (*Result, error) {
+	src := reinjectSQL(ent.key, binds)
+	st, err := parser.ParseOne(src)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reparsing %q for bind-time recompile: %v", src, err)
+	}
+	sel, ok := st.(*parser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: cached plan for %q is not a SELECT", ent.key)
+	}
+	return s.selectStmt(sel, "")
 }
 
 // xnfQuery evaluates an XNF composite-object query (TAKE or DELETE).

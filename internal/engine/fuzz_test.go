@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"testing"
+
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/types"
+)
+
+// FuzzExtractLiterals cross-checks the text-level literal extractor against
+// the real lexer and its own reinjection inverse on arbitrary input:
+//
+//  1. Round trip: substituting the extracted literals back into the key
+//     yields a statement that re-extracts to the same key and values — the
+//     contract the bind-time recompile fallback relies on. In particular,
+//     string literals containing quotes or keywords must never mis-split.
+//  2. Lexer agreement: when extraction succeeds, parser.Tokenize must agree
+//     on the literal token sequence (number/string tokens, minus the LIMIT
+//     count) — the ordinals the parser stamps on AST literals count exactly
+//     these tokens, so disagreement would bind wrong values into plans.
+//
+// Run with `go test -fuzz FuzzExtractLiterals ./internal/engine` to explore;
+// the seed corpus runs as part of every normal `go test`.
+func FuzzExtractLiterals(f *testing.F) {
+	seeds := []string{
+		"SELECT dname FROM DEPT WHERE dno = 7",
+		"select e.ename from EMP e where e.sal > 2500.5 and e.edno = 3",
+		"SELECT * FROM T WHERE s = 'it''s a ''WHERE'' clause' AND n = -42",
+		"SELECT a FROM T WHERE b IN (1, 2e3, 'x', '') LIMIT 10",
+		"SELECT a FROM T WHERE b BETWEEN -1.5 AND 1.5e2",
+		"SELECT a, b FROM T WHERE c = '' AND d <> 'SELECT 1; DROP'",
+		"SELECT x FROM \"ALL_DEPS.Xemp\" WHERE x = 1",
+		"SELECT a FROM T -- trailing comment with 'quote\nWHERE b = 1",
+		"SELECT a /* block 'X' */ FROM T WHERE b = 0",
+		"SELECT edno, COUNT(*) FROM EMP GROUP BY edno",
+		"SELECT a FROM T ORDER BY a DESC LIMIT 5",
+		"SELECT a FROM T WHERE b = 9223372036854775807",
+		"SELECT a FROM T WHERE b = 99999999999999999999",
+		"INSERT INTO T VALUES (1, 'one', 1.0)",
+		"SELECT 'unterminated",
+		"'lone string'",
+		"LIMIT LIMIT 5",
+		"?",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		key, binds, ok := extractLiterals(src)
+		if !ok {
+			return
+		}
+		// (2) Lexer agreement.
+		toks, err := parser.Tokenize(src)
+		if err != nil {
+			t.Fatalf("extractor accepted %q but the lexer rejects it: %v", src, err)
+		}
+		var want []types.Value
+		prevLimit := false
+		for _, tok := range toks {
+			switch tok.Kind {
+			case parser.TokNumber:
+				if !prevLimit {
+					v, nerr := parser.NumberValue(tok.Text)
+					if nerr != nil {
+						t.Fatalf("extractor accepted %q but number %q does not parse: %v",
+							src, tok.Text, nerr)
+					}
+					want = append(want, v)
+				}
+			case parser.TokString:
+				want = append(want, types.NewString(tok.Text))
+			}
+			prevLimit = tok.Kind == parser.TokKeyword && tok.Text == "LIMIT"
+		}
+		if len(binds) != len(want) {
+			t.Fatalf("%q: extractor found %d literals, lexer found %d\nkey: %q",
+				src, len(binds), len(want), key)
+		}
+		for i := range binds {
+			if !types.Equal(binds[i], want[i]) || binds[i].Kind() != want[i].Kind() {
+				t.Fatalf("%q: literal %d = %v (%v), lexer says %v (%v)",
+					src, i, binds[i], binds[i].Kind(), want[i], want[i].Kind())
+			}
+		}
+		// (1) Round trip through reinjection.
+		re := reinjectSQL(key, binds)
+		key2, binds2, ok2 := extractLiterals(re)
+		if !ok2 {
+			t.Fatalf("%q: reinjected text %q is not extractable", src, re)
+		}
+		if key2 != key {
+			t.Fatalf("%q: key changed across reinjection:\n  %q\n  %q (via %q)", src, key, key2, re)
+		}
+		if len(binds2) != len(binds) {
+			t.Fatalf("%q: bind count changed across reinjection: %d -> %d (via %q)",
+				src, len(binds), len(binds2), re)
+		}
+		for i := range binds {
+			if !types.Equal(binds[i], binds2[i]) || binds[i].Kind() != binds2[i].Kind() {
+				t.Fatalf("%q: bind %d changed across reinjection: %v (%v) -> %v (%v)",
+					src, i, binds[i], binds[i].Kind(), binds2[i], binds2[i].Kind())
+			}
+		}
+	})
+}

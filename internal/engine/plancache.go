@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sqlxnf/internal/exec"
+	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/parser"
 	"sqlxnf/internal/qgm"
 	"sqlxnf/internal/types"
@@ -32,13 +33,19 @@ type planCache struct {
 	hits, misses, evictions int64
 }
 
-// planEntry is one cached statement.
+// planEntry is one cached statement. Parameterized entries (nParams > 0)
+// additionally carry the binding contract: how many literals the statement
+// shape extracts, and the bind guards recording the value-dependent planning
+// assumptions that must be re-checked per execution (see optimizer.BindGuard
+// and Session.runCachedPlan).
 type planEntry struct {
-	key    string
-	epoch  uint64
-	tmpl   exec.Plan // never executed directly
-	schema types.Schema
-	tables []string // base tables to lock before execution
+	key     string
+	epoch   uint64
+	tmpl    exec.Plan // never executed directly
+	schema  types.Schema
+	tables  []string // base tables to lock before execution
+	nParams int
+	guards  []optimizer.BindGuard
 
 	poolMu sync.Mutex
 	pool   []exec.Plan // idle executable clones

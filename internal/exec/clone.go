@@ -36,7 +36,7 @@ func cloneExpr(e Expr) (Expr, bool) {
 	switch x := e.(type) {
 	case nil:
 		return nil, true
-	case Col, Const, ParamRef:
+	case Col, Const, ParamRef, BindRef:
 		return e, true
 	case BinOp:
 		l, ok := cloneExpr(x.L)

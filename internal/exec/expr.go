@@ -20,11 +20,17 @@ type Stats struct {
 	SubqueryRuns int64
 }
 
-// Context carries per-execution state: correlation parameters for subplans
-// and shared statistics.
+// Context carries per-execution state: correlation parameters for subplans,
+// statement parameter bindings, and shared statistics.
 type Context struct {
 	Params []types.Value
-	Stats  *Stats
+	// Binds are the statement's parameter bindings — the literals the
+	// engine's extractor pulled out of the SQL text, one per BindRef slot.
+	// Unlike Params (which are rebound per outer row of a correlated
+	// subquery), Binds are fixed for the whole execution and propagate
+	// unchanged into subplan contexts.
+	Binds []types.Value
+	Stats *Stats
 }
 
 // NewContext returns a fresh execution context.
@@ -67,6 +73,23 @@ func (p ParamRef) Eval(ctx *Context, _ types.Row) (types.Value, error) {
 		return types.Null(), fmt.Errorf("exec: parameter $%d unbound", p.Idx)
 	}
 	return ctx.Params[p.Idx], nil
+}
+
+// BindRef reads a statement parameter slot from the execution's binding
+// array. It is the bind-at-execute counterpart of Const: the optimizer emits
+// it for constants the engine extracted into the statement's parameter
+// vector, so a cached plan re-executes with new constants without
+// recompiling.
+type BindRef struct {
+	Idx int
+}
+
+// Eval implements Expr.
+func (b BindRef) Eval(ctx *Context, _ types.Row) (types.Value, error) {
+	if ctx == nil || b.Idx < 0 || b.Idx >= len(ctx.Binds) {
+		return types.Null(), fmt.Errorf("exec: statement parameter :%d unbound", b.Idx)
+	}
+	return ctx.Binds[b.Idx], nil
 }
 
 // BinOp evaluates binary operators with SQL three-valued logic.
@@ -271,7 +294,7 @@ func (e ExistsOp) Eval(ctx *Context, row types.Row) (types.Value, error) {
 		}
 		params[i] = v
 	}
-	sub := &Context{Params: params, Stats: ctx.Stats}
+	sub := &Context{Params: params, Binds: ctx.Binds, Stats: ctx.Stats}
 	if ctx.Stats != nil {
 		ctx.Stats.SubqueryRuns++
 	}
@@ -325,6 +348,8 @@ func DumpExpr(e Expr) string {
 		return x.V.SQLLiteral()
 	case ParamRef:
 		return fmt.Sprintf("$%d", x.Idx)
+	case BindRef:
+		return fmt.Sprintf(":%d", x.Idx)
 	case BinOp:
 		return "(" + DumpExpr(x.L) + " " + x.Op + " " + DumpExpr(x.R) + ")"
 	case Not:

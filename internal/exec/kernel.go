@@ -25,6 +25,7 @@ type predKernel struct {
 	op      string      // comparison op for the cmp shapes
 	lc, rc  int         // column indexes; -1 means "use constV"
 	constV  types.Value // constant side for col-vs-const shapes
+	bindIdx int         // >= 0: constV resolves from ctx.Binds per batch
 	isnull  bool        // IS [NOT] NULL kernel (column lc)
 	negate  bool
 	generic Expr // non-nil: fall back to per-row EvalPred
@@ -62,23 +63,30 @@ func compileKernel(e Expr) predKernel {
 			// where Col.Eval surfaces the out-of-range error.
 			if lcol, ok := x.L.(Col); ok && lcol.Idx >= 0 {
 				if rcol, ok := x.R.(Col); ok && rcol.Idx >= 0 {
-					return predKernel{op: x.Op, lc: lcol.Idx, rc: rcol.Idx}
+					return predKernel{op: x.Op, lc: lcol.Idx, rc: rcol.Idx, bindIdx: -1}
 				}
 				if c, ok := x.R.(Const); ok {
-					return predKernel{op: x.Op, lc: lcol.Idx, rc: -1, constV: c.V}
+					return predKernel{op: x.Op, lc: lcol.Idx, rc: -1, constV: c.V, bindIdx: -1}
+				}
+				if b, ok := x.R.(BindRef); ok {
+					return predKernel{op: x.Op, lc: lcol.Idx, rc: -1, bindIdx: b.Idx}
 				}
 			} else if c, ok := x.L.(Const); ok {
 				if rcol, ok := x.R.(Col); ok && rcol.Idx >= 0 {
-					return predKernel{op: x.Op, lc: -1, rc: rcol.Idx, constV: c.V}
+					return predKernel{op: x.Op, lc: -1, rc: rcol.Idx, constV: c.V, bindIdx: -1}
+				}
+			} else if b, ok := x.L.(BindRef); ok {
+				if rcol, ok := x.R.(Col); ok && rcol.Idx >= 0 {
+					return predKernel{op: x.Op, lc: -1, rc: rcol.Idx, bindIdx: b.Idx}
 				}
 			}
 		}
 	case IsNull:
 		if col, ok := x.E.(Col); ok && col.Idx >= 0 {
-			return predKernel{isnull: true, lc: col.Idx, negate: x.Negate}
+			return predKernel{isnull: true, lc: col.Idx, negate: x.Negate, bindIdx: -1}
 		}
 	}
-	return predKernel{generic: e}
+	return predKernel{generic: e, bindIdx: -1}
 }
 
 // apply appends the rows of in that satisfy the kernel to out.
@@ -108,6 +116,14 @@ func (k *predKernel) apply(ctx *Context, in, out []types.Row) ([]types.Row, erro
 			}
 		}
 	default:
+		constV := k.constV
+		if k.bindIdx >= 0 {
+			// Bind-parameter side: resolve the slot once per batch.
+			if k.bindIdx >= len(ctx.Binds) {
+				return out, fmt.Errorf("exec: statement parameter :%d unbound", k.bindIdx)
+			}
+			constV = ctx.Binds[k.bindIdx]
+		}
 		// Decode the comparison once: pass iff sign(Compare) is wanted.
 		var wantLT, wantEQ, wantGT bool
 		switch k.op {
@@ -125,7 +141,7 @@ func (k *predKernel) apply(ctx *Context, in, out []types.Row) ([]types.Row, erro
 			wantGT, wantEQ = true, true
 		}
 		for _, r := range in {
-			lv, rv := k.constV, k.constV
+			lv, rv := constV, constV
 			if k.lc >= 0 {
 				if k.lc >= len(r) {
 					return out, fmt.Errorf("exec: column %d out of range (row arity %d)", k.lc, len(r))

@@ -12,6 +12,7 @@ import (
 
 	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
 )
 
 // Cost model units: a sequential row visit costs 1; an index match costs a
@@ -72,18 +73,31 @@ func eqSelectivity(t *catalog.Table, col int) float64 {
 
 // rangeSelectivity estimates `col <cmp> val` selectivity on a base table by
 // interpolating val against the ANALYZE min/max when both are numeric.
+// Parameter-slot constants interpolate with their compile-time literal; the
+// recorded BindGuard re-checks that assumption per binding.
 func rangeSelectivity(t *catalog.Table, col int, cmp string, val qgm.Expr) float64 {
-	cs := t.Stats().Col(col)
 	cv, isConst := val.(*qgm.Const)
-	if cs == nil || !isConst || !cv.Val.IsNumeric() ||
+	if !isConst {
+		return selRange
+	}
+	sel, _ := rangeSelectivityValue(t, col, cmp, cv.Val)
+	return sel
+}
+
+// rangeSelectivityValue is rangeSelectivity over a concrete value. ok
+// reports whether the estimate came from the min/max interpolation (and so
+// depends on the value) rather than the constant fallback.
+func rangeSelectivityValue(t *catalog.Table, col int, cmp string, v types.Value) (float64, bool) {
+	cs := t.Stats().Col(col)
+	if cs == nil || !v.IsNumeric() ||
 		cs.Min.IsNull() || !cs.Min.IsNumeric() || !cs.Max.IsNumeric() {
-		return selRange
+		return selRange, false
 	}
-	lo, hi, v := cs.Min.Float(), cs.Max.Float(), cv.Val.Float()
+	lo, hi := cs.Min.Float(), cs.Max.Float()
 	if hi <= lo {
-		return selRange
+		return selRange, false
 	}
-	frac := (v - lo) / (hi - lo)
+	frac := (v.Float() - lo) / (hi - lo)
 	if frac < 0 {
 		frac = 0
 	}
@@ -95,12 +109,12 @@ func rangeSelectivity(t *catalog.Table, col int, cmp string, val qgm.Expr) float
 	case ">", ">=":
 		frac = 1 - frac
 	default:
-		return selRange
+		return selRange, false
 	}
 	frac *= notNullFrac(t, col)
 	// Clamp away from 0/1: the histogram-free sketch cannot distinguish an
 	// empty range from a narrow one.
-	return math.Min(math.Max(frac, 0.001), 1)
+	return math.Min(math.Max(frac, 0.001), 1), true
 }
 
 // conjSelectivityOn estimates the selectivity of one pushed conjunct against

@@ -1,0 +1,103 @@
+// Bind guards: the re-optimization safety net for parameterized plans.
+//
+// A cached parameterized plan froze the access-path choices the optimizer
+// made from the statement's original literals. Equality selectivity (1/NDV)
+// does not depend on which constant is probed, so equality probes bind
+// freely; range selectivity does — it interpolates the constant against the
+// ANALYZEd min/max — so a plan compiled for a narrow range may be rerun with
+// a binding that selects most of the table (or vice versa). For every range
+// conjunct over a parameter slot that fed a seq-vs-index decision, the
+// compiler records a BindGuard; the engine re-checks the guards against each
+// execution's bindings in O(guards) and falls back to a fresh compile when a
+// binding's estimate diverges badly from the assumption the plan was built
+// on.
+package optimizer
+
+import (
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
+)
+
+// CompileInfo reports per-plan compilation facts the engine stores alongside
+// a cached plan.
+type CompileInfo struct {
+	Guards []BindGuard
+}
+
+// BindGuard records one value-dependent access-path decision: the range
+// conjunct `col <Cmp> :Param` on Table contributed selectivity Sel to the
+// chosen path (an index scan when ChoseIndex, else a sequential scan).
+type BindGuard struct {
+	Table string
+	Col   int
+	Cmp   string
+	Param int // 0-based binding slot of the range constant
+	// Sel is the range conjunct's selectivity estimated from the
+	// compile-time literal.
+	Sel float64
+	// PrefixSel is the combined selectivity of the candidate's equality
+	// prefix (1 when the range conjunct stood alone). The compile-time cost
+	// used PrefixSel·Sel, so the re-check must too — otherwise a composite
+	// eq+range plan flunks its own original binding and recompiles forever.
+	PrefixSel float64
+	// ChoseIndex records which side of the seq-vs-index comparison won.
+	ChoseIndex bool
+}
+
+// selDriftFactor bounds how far a binding's estimated selectivity may drift
+// from the compile-time assumption before the plan recompiles. Within the
+// factor, row-count estimates stay the right order of magnitude and the
+// cached plan remains reasonable even if not optimal.
+const selDriftFactor = 8.0
+
+// Check reports whether the guard still holds for binding value v against
+// the live table: the seq-vs-index decision must not flip, and the estimated
+// selectivity must stay within selDriftFactor of the compile-time value.
+func (g BindGuard) Check(t *catalog.Table, v types.Value) bool {
+	newSel, statsBased := rangeSelectivityValue(t, g.Col, g.Cmp, v)
+	if !statsBased {
+		// Stats vanished or the binding is non-numeric: the estimate falls
+		// back to the value-independent constant, which cannot be checked
+		// against the compile-time interpolation meaningfully. Recompile.
+		return false
+	}
+	rows := tableCard(t)
+	indexCost := indexProbeCost + g.PrefixSel*newSel*rows*randomFetchCost
+	if g.ChoseIndex != (indexCost < rows) {
+		return false
+	}
+	lo, hi := g.Sel, newSel
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	return hi/lo <= selDriftFactor
+}
+
+// recordRangeGuard emits a BindGuard when the winning access-path candidate
+// includes a range conjunct over a parameter slot whose selectivity came
+// from the ANALYZE min/max interpolation (a constant fallback estimate is
+// value-independent and needs no guard).
+func (c *compiler) recordRangeGuard(t *catalog.Table, cand *accessCandidate, choseIndex bool) {
+	if c.info == nil || cand.rangeCol < 0 {
+		return
+	}
+	pc, ok := cand.rangeVal.(*qgm.Const)
+	if !ok || pc.Param == 0 {
+		return
+	}
+	sel, statsBased := rangeSelectivityValue(t, cand.rangeCol, cand.rangeCmp, pc.Val)
+	if !statsBased {
+		return
+	}
+	// cand.sel is prefixSel·rangeSel; divide the range part back out (it is
+	// clamped ≥ 0.001, so the division is safe).
+	c.info.Guards = append(c.info.Guards, BindGuard{
+		Table: t.Name, Col: cand.rangeCol, Cmp: cand.rangeCmp,
+		Param: pc.Param - 1, Sel: sel, PrefixSel: cand.sel / sel,
+		ChoseIndex: choseIndex,
+	})
+}

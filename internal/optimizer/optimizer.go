@@ -43,8 +43,22 @@ func Compile(box *qgm.Box) (exec.Plan, error) { return CompileWith(box, DefaultO
 
 // CompileWith lowers a box to a physical plan.
 func CompileWith(box *qgm.Box, opt Options) (exec.Plan, error) {
-	c := &compiler{opt: opt}
-	return c.compileBox(box)
+	plan, _, err := CompileWithInfo(box, opt)
+	return plan, err
+}
+
+// CompileWithInfo lowers a box to a physical plan and reports the
+// value-dependent planning assumptions it made (bind guards). The engine
+// stores the guards next to a cached parameterized plan and re-checks them
+// against each execution's bindings; a badly diverging binding falls back to
+// a fresh compile instead of running a plan chosen for a different constant.
+func CompileWithInfo(box *qgm.Box, opt Options) (exec.Plan, *CompileInfo, error) {
+	c := &compiler{opt: opt, info: &CompileInfo{}}
+	plan, err := c.compileBox(box)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, c.info, nil
 }
 
 // CompileRowExpr compiles a scalar expression whose column references all
@@ -61,7 +75,8 @@ func CompileConstExpr(e qgm.Expr) (exec.Expr, error) {
 }
 
 type compiler struct {
-	opt Options
+	opt  Options
+	info *CompileInfo
 }
 
 func (c *compiler) compileBox(box *qgm.Box) (exec.Plan, error) {
@@ -380,98 +395,138 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 	return plan, nil
 }
 
+// accessCandidate is one index access path: an equality-conjunct prefix of
+// the index columns (the composite probe key) plus at most one range
+// conjunct on the column right after the prefix.
+type accessCandidate struct {
+	ix       *catalog.Index
+	eqConjs  []int      // pushed-conjunct index per bound key position
+	eqVals   []qgm.Expr // probe values, in index-column order
+	rangeCol int        // schema column of the range conjunct (-1 = none)
+	rangeCj  int        // pushed-conjunct index of the range conjunct
+	rangeCmp string
+	rangeVal qgm.Expr
+	sel      float64 // fraction of rows the index delivers
+	cost     float64
+}
+
+// usesConj reports whether the candidate consumed pushed conjunct ci.
+func (cand *accessCandidate) usesConj(ci int) bool {
+	if cand.rangeCol >= 0 && cand.rangeCj == ci {
+		return true
+	}
+	for _, used := range cand.eqConjs {
+		if used == ci {
+			return true
+		}
+	}
+	return false
+}
+
 // baseAccessPath picks an index or sequential scan for a base table given
 // its pushed conjuncts, returning the plan and estimated cardinality. The
-// choice is cost-based: every (indexable conjunct × index) pair is costed
-// with the statistics-driven selectivity and compared against the full
-// sequential scan — a low-selectivity range no longer drags the table
-// through random heap fetches just because an index exists.
+// choice is cost-based: for every index, the longest run of equality
+// conjuncts over its leading columns forms one composite probe key
+// (optionally extended by a range conjunct on the next column), each
+// candidate is costed with the statistics-driven selectivity, and the winner
+// is compared against the full sequential scan — a low-selectivity range no
+// longer drags the table through random heap fetches just because an index
+// exists.
 func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, float64, error) {
 	t := base.Table
 	rows := tableCard(t)
 
-	type candidate struct {
-		ci   int
-		col  int
-		ix   *catalog.Index
-		cmp  string
-		val  qgm.Expr
-		sel  float64 // fraction of rows the index delivers
-		cost float64
-	}
-	var best *candidate
+	var best *accessCandidate
 	if !c.opt.NoIndexes {
-		// Consider every equality or range conjunct on the leading column of
-		// an index. Constants only (parameters resolve at Open, also fine).
+		// Indexable conjuncts by schema column. Constants only (parameter
+		// slots resolve at Open, also fine).
+		type colPred struct {
+			ci  int
+			cmp string
+			val qgm.Expr
+		}
+		eqByCol := map[int]colPred{}
+		rangeByCol := map[int][]colPred{}
 		for ci, cj := range pushed {
 			col, cmp, valExpr, ok := indexableConjunct(cj)
 			if !ok {
 				continue
 			}
-			for _, ix := range t.Indexes {
-				if t.Schema.Index(ix.Columns[0]) != col {
-					continue
+			if cmp == "=" {
+				if _, dup := eqByCol[col]; !dup {
+					eqByCol[col] = colPred{ci: ci, cmp: cmp, val: valExpr}
 				}
-				var sel float64
-				switch cmp {
-				case "=":
-					if ix.Unique && len(ix.Columns) == 1 {
-						sel = 1 / rows
-					} else {
-						sel = eqSelectivity(t, col)
+			} else {
+				rangeByCol[col] = append(rangeByCol[col], colPred{ci: ci, cmp: cmp, val: valExpr})
+			}
+		}
+		for _, ix := range t.Indexes {
+			cand := accessCandidate{ix: ix, rangeCol: -1}
+			sel := 1.0
+			for _, colName := range ix.Columns {
+				col := t.Schema.Index(colName)
+				p, ok := eqByCol[col]
+				if !ok {
+					break
+				}
+				cand.eqConjs = append(cand.eqConjs, p.ci)
+				cand.eqVals = append(cand.eqVals, p.val)
+				sel *= eqSelectivity(t, col)
+			}
+			if ix.Unique && len(cand.eqConjs) == len(ix.Columns) {
+				sel = 1 / rows
+			}
+			// One range conjunct on the column right after the prefix.
+			if len(cand.eqConjs) < len(ix.Columns) {
+				col := t.Schema.Index(ix.Columns[len(cand.eqConjs)])
+				for _, p := range rangeByCol[col] {
+					rs := rangeSelectivity(t, col, p.cmp, p.val)
+					if cand.rangeCol < 0 || rs < cand.sel/sel {
+						cand.rangeCol, cand.rangeCj = col, p.ci
+						cand.rangeCmp, cand.rangeVal = p.cmp, p.val
+						cand.sel = sel * rs
 					}
-				case "<", "<=", ">", ">=":
-					sel = rangeSelectivity(t, col, cmp, valExpr)
-				default:
+				}
+			}
+			if cand.rangeCol < 0 {
+				if len(cand.eqConjs) == 0 {
 					continue
 				}
-				cost := indexProbeCost + sel*rows*randomFetchCost
-				if best == nil || cost < best.cost {
-					best = &candidate{ci: ci, col: col, ix: ix, cmp: cmp, val: valExpr, sel: sel, cost: cost}
-				}
+				cand.sel = sel
+			}
+			cand.cost = indexProbeCost + cand.sel*rows*randomFetchCost
+			if best == nil || cand.cost < best.cost {
+				chosen := cand
+				best = &chosen
 			}
 		}
 	}
 
 	var scan exec.Plan
-	usedConj := -1
 	card := rows
 	seqCost := rows
 	useIndex := false
 	if best != nil {
-		if best.cmp == "=" {
+		if len(best.eqConjs) > 0 {
 			// Equality probes default to the index — they return few rows,
 			// and cost noise on tiny tables shouldn't flip a point lookup —
 			// unless ANALYZE stats prove the key is common enough that a
 			// sequential scan is actually cheaper.
 			useIndex = true
-			if _, hasStats := colNDV(t, best.col); hasStats &&
-				!(best.ix.Unique && len(best.ix.Columns) == 1) {
+			leadCol := t.Schema.Index(best.ix.Columns[0])
+			if _, hasStats := colNDV(t, leadCol); hasStats &&
+				!(best.ix.Unique && len(best.eqConjs) == len(best.ix.Columns)) {
 				useIndex = best.cost < seqCost
 			}
 		} else {
 			useIndex = best.cost < seqCost
 		}
+		c.recordRangeGuard(t, best, useIndex)
 	}
 	if useIndex {
-		ve, err := c.compileExpr(best.val, nil)
+		is, err := c.buildIndexScan(t, best)
 		if err != nil {
 			return nil, 0, err
-		}
-		is := &exec.IndexScan{Table: t, Index: best.ix}
-		switch best.cmp {
-		case "=":
-			is.Lo, is.Hi = []exec.Expr{ve}, []exec.Expr{ve}
-			is.LoInc, is.HiInc = true, true
-			is.HiPrefix = len(best.ix.Columns) > 1
-		case ">", ">=":
-			is.Lo = []exec.Expr{ve}
-			is.LoInc = best.cmp == ">="
-			is.LoPrefix = best.cmp == ">" && len(best.ix.Columns) > 1
-		case "<", "<=":
-			is.Hi = []exec.Expr{ve}
-			is.HiInc = best.cmp == "<="
-			is.HiPrefix = best.cmp == "<=" && len(best.ix.Columns) > 1
 		}
 		card = rows * best.sel
 		if card < 1 {
@@ -479,7 +534,6 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 		}
 		is.EstRows = card
 		scan = is
-		usedConj = best.ci
 	} else {
 		scan = &exec.SeqScan{Table: t, EstRows: rows}
 	}
@@ -487,7 +541,7 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 	// Remaining conjuncts become a filter; estimate their selectivity.
 	var rest []qgm.Expr
 	for i, cj := range pushed {
-		if i == usedConj {
+		if useIndex && best.usesConj(i) {
 			continue
 		}
 		rest = append(rest, cj)
@@ -506,14 +560,65 @@ func (c *compiler) baseAccessPath(base *qgm.Box, pushed []qgm.Expr) (exec.Plan, 
 	return scan, card, nil
 }
 
+// buildIndexScan lowers a winning candidate into an IndexScan: the equality
+// prefix becomes both bounds, and a range conjunct extends one side by one
+// more key column. Prefix-extension flags follow the btree key encoding: a
+// bare prefix bound sorts below every longer composite key that starts with
+// it, so inclusive upper bounds over a prefix (and exclusive lower bounds)
+// must extend through PrefixUpper.
+func (c *compiler) buildIndexScan(t *catalog.Table, cand *accessCandidate) (*exec.IndexScan, error) {
+	eqExprs := make([]exec.Expr, len(cand.eqVals))
+	for i, v := range cand.eqVals {
+		e, err := c.compileExpr(v, nil)
+		if err != nil {
+			return nil, err
+		}
+		eqExprs[i] = e
+	}
+	is := &exec.IndexScan{Table: t, Index: cand.ix}
+	m := len(eqExprs)
+	nCols := len(cand.ix.Columns)
+	if cand.rangeCol < 0 {
+		is.Lo, is.Hi = eqExprs, eqExprs
+		is.LoInc, is.HiInc = true, true
+		is.HiPrefix = m < nCols
+		return is, nil
+	}
+	rv, err := c.compileExpr(cand.rangeVal, nil)
+	if err != nil {
+		return nil, err
+	}
+	extended := append(append([]exec.Expr{}, eqExprs...), rv)
+	switch cand.rangeCmp {
+	case ">", ">=":
+		is.Lo = extended
+		is.LoInc = cand.rangeCmp == ">="
+		is.LoPrefix = cand.rangeCmp == ">" && m+1 < nCols
+		if m > 0 {
+			is.Hi = eqExprs
+			is.HiInc, is.HiPrefix = true, true
+		}
+	case "<", "<=":
+		is.Hi = extended
+		is.HiInc = cand.rangeCmp == "<="
+		is.HiPrefix = cand.rangeCmp == "<=" && m+1 < nCols
+		if m > 0 {
+			is.Lo = eqExprs
+			is.LoInc = true
+		}
+	}
+	return is, nil
+}
+
 // tryIndexJoin attempts to join the new quantifier st with a batched
 // index-nested-loop operator. It succeeds when st ranges over a base table,
-// some evaluable equi-join conjunct's inner side is a plain column backed by
-// an index's leading column, and the estimated probe cost undercuts the hash
-// build. The inner side's pushed single-quant conjuncts and every other
-// evaluable join conjunct move into the join's residual predicate (st's
-// standalone access path is discarded — the index join reads the base table
-// directly).
+// some index's leading columns are covered by equality conjuncts — equi-join
+// conjuncts keyed by outer expressions, interleaved with the inner side's
+// pushed `col = const` conjuncts, combined into one composite probe key —
+// and the estimated probe cost undercuts the hash build. Unused evaluable
+// join conjuncts and unused pushed conjuncts move into the join's residual
+// predicate (st's standalone access path is discarded — the index join reads
+// the base table directly).
 func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 	offsets, newOffsets map[int]int, outer exec.Plan, outerCard, outCard float64,
 ) (exec.Plan, bool, error) {
@@ -523,11 +628,14 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 	t := st.box.Table
 	innerRows := tableCard(t)
 
-	// Find the cheapest (conjunct, index) pairing.
-	bestCost := math.Inf(1)
-	bestConj := -1
-	var bestIx *catalog.Index
-	var bestKey qgm.Expr
+	// Equality sources per inner schema column: equi-join conjuncts (keyed
+	// by an outer-side expression) and pushed constant equalities.
+	type eqSource struct {
+		join    bool
+		nowIdx  int      // index into now (join) or st.pushed (constant)
+		keyExpr qgm.Expr // outer expression (join) or constant expression
+	}
+	joinByCol := map[int]eqSource{}
 	for ci, cj := range now {
 		l, r, ok := equiJoinSides(cj, offsets, st.idx)
 		if !ok {
@@ -537,21 +645,57 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 		if !isCol {
 			continue
 		}
-		for _, ix := range t.Indexes {
-			if t.Schema.Index(ix.Columns[0]) != cr.Col {
-				continue
-			}
-			matches := innerRows * eqSelectivity(t, cr.Col)
-			if ix.Unique && len(ix.Columns) == 1 {
-				matches = 1
-			}
-			cost := outerCard * (indexProbeCost + matches*randomFetchCost)
-			if cost < bestCost {
-				bestCost, bestConj, bestIx, bestKey = cost, ci, ix, l
-			}
+		if _, dup := joinByCol[cr.Col]; !dup {
+			joinByCol[cr.Col] = eqSource{join: true, nowIdx: ci, keyExpr: l}
 		}
 	}
-	if bestConj < 0 {
+	constByCol := map[int]eqSource{}
+	for pi, cj := range st.pushed {
+		col, cmp, valExpr, ok := indexableConjunct(cj)
+		if !ok || cmp != "=" {
+			continue
+		}
+		if _, dup := constByCol[col]; !dup {
+			constByCol[col] = eqSource{nowIdx: pi, keyExpr: valExpr}
+		}
+	}
+	if len(joinByCol) == 0 {
+		return nil, false, nil
+	}
+
+	// Pick the cheapest index: bind each leading column to a join conjunct
+	// (preferred — it consumes a join edge) or a pushed constant.
+	bestCost := math.Inf(1)
+	var bestIx *catalog.Index
+	var bestKeys []eqSource
+	for _, ix := range t.Indexes {
+		var keys []eqSource
+		sel := 1.0
+		joins := 0
+		for _, colName := range ix.Columns {
+			col := t.Schema.Index(colName)
+			src, ok := joinByCol[col]
+			if ok {
+				joins++
+			} else if src, ok = constByCol[col]; !ok {
+				break
+			}
+			keys = append(keys, src)
+			sel *= eqSelectivity(t, col)
+		}
+		if joins == 0 {
+			continue
+		}
+		matches := innerRows * sel
+		if ix.Unique && len(keys) == len(ix.Columns) {
+			matches = 1
+		}
+		cost := outerCard * (indexProbeCost + matches*randomFetchCost)
+		if cost < bestCost {
+			bestCost, bestIx, bestKeys = cost, ix, keys
+		}
+	}
+	if bestIx == nil {
 		return nil, false, nil
 	}
 	// Hash join pays the full inner build plus one probe per outer row.
@@ -560,26 +704,43 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 		return nil, false, nil
 	}
 
-	key, err := c.compileExpr(bestKey, offsets)
-	if err != nil {
-		return nil, false, err
+	keyExprs := make([]exec.Expr, len(bestKeys))
+	usedNow := map[int]bool{}
+	usedPushed := map[int]bool{}
+	for i, src := range bestKeys {
+		var err error
+		if src.join {
+			keyExprs[i], err = c.compileExpr(src.keyExpr, offsets)
+			usedNow[src.nowIdx] = true
+		} else {
+			keyExprs[i], err = c.compileExpr(src.keyExpr, nil)
+			usedPushed[src.nowIdx] = true
+		}
+		if err != nil {
+			return nil, false, err
+		}
 	}
-	// Residual: the other evaluable join conjuncts plus the inner side's
-	// pushed conjuncts, all over the concatenated row.
+	// Residual: the unused evaluable join conjuncts plus the inner side's
+	// unused pushed conjuncts, all over the concatenated row.
 	var residual []qgm.Expr
 	for ci, cj := range now {
-		if ci != bestConj {
+		if !usedNow[ci] {
 			residual = append(residual, cj)
 		}
 	}
-	residual = append(residual, st.pushed...)
+	for pi, cj := range st.pushed {
+		if !usedPushed[pi] {
+			residual = append(residual, cj)
+		}
+	}
 	var resPred exec.Expr
 	if len(residual) > 0 {
+		var err error
 		if resPred, err = c.compilePredicateFor(residual, newOffsets); err != nil {
 			return nil, false, err
 		}
 	}
-	ij := exec.NewIndexJoin(outer, t, bestIx, []exec.Expr{key}, resPred)
+	ij := exec.NewIndexJoin(outer, t, bestIx, keyExprs, resPred)
 	ij.EstRows = outCard
 	return ij, true, nil
 }
@@ -760,6 +921,11 @@ func (c *compiler) compileExpr(e qgm.Expr, offsets map[int]int) (exec.Expr, erro
 		}
 		return exec.Col{Idx: off + x.Col}, nil
 	case *qgm.Const:
+		if x.Param > 0 {
+			// Parameter-slot constant: read the per-execution binding array
+			// instead of baking the compile-time literal into the plan.
+			return exec.BindRef{Idx: x.Param - 1}, nil
+		}
 		return exec.Const{V: x.Val}, nil
 	case *qgm.Param:
 		return exec.ParamRef{Idx: x.Idx}, nil

@@ -363,3 +363,209 @@ func TestStatsJoinOrderUsesNDV(t *testing.T) {
 		t.Fatalf("rows before/after analyze = %d/%d, want 135", len(before), len(after))
 	}
 }
+
+// TestCompositeIndexEqualityProbe: several equality conjuncts over a
+// multi-column index combine into one composite probe key — the plan needs
+// no residual filter and touches only the matching rows (ROADMAP
+// "Multi-column index probes").
+func TestCompositeIndexEqualityProbe(t *testing.T) {
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	tbl, err := cat.CreateTable("MC3", types.Schema{
+		{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt},
+		{Name: "c", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cat.CreateIndex("mc3_abc", "MC3", []string{"a", "b", "c"}, false)
+	for i := 0; i < 60; i++ {
+		r := types.Row{types.NewInt(int64(i % 3)), types.NewInt(int64(i % 5)), types.NewInt(int64(i))}
+		rid, err := tbl.Heap.Insert(tbl.Tag, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(tbl.Schema, r)
+		_ = ix.Tree.Insert(key, rid)
+		tbl.Rows++
+	}
+	// Full-prefix equality: both conjuncts fold into the probe key, leaving
+	// no filter above the scan.
+	plan := compileSQL(t, cat, "SELECT c FROM MC3 WHERE a = 2 AND b = 3", DefaultOptions())
+	dump := exec.Dump(plan)
+	if !strings.Contains(dump, "IndexScan MC3") {
+		t.Fatalf("composite equality should index-scan:\n%s", dump)
+	}
+	if strings.Contains(dump, "Filter") {
+		t.Errorf("both equality conjuncts should fold into the probe key:\n%s", dump)
+	}
+	ctx := exec.NewContext()
+	rows, err := exec.Collect(ctx, plan)
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (%v)", len(rows), err)
+	}
+	// The probe reads exactly the matching tuples, not the a=2 superset.
+	if ctx.Stats.RowsScanned != 4 {
+		t.Errorf("RowsScanned = %d, want 4 (composite key must narrow the range)", ctx.Stats.RowsScanned)
+	}
+	// Conjunct order in the WHERE clause must not matter.
+	rows2, err := exec.Collect(exec.NewContext(),
+		compileSQL(t, cat, "SELECT c FROM MC3 WHERE b = 3 AND a = 2", DefaultOptions()))
+	if err != nil || len(rows2) != 4 {
+		t.Fatalf("reordered conjuncts: rows = %d, want 4 (%v)", len(rows2), err)
+	}
+}
+
+// TestCompositeIndexEqualityPlusRange: an equality prefix extends with one
+// range conjunct on the next index column; bounds cover exactly the narrowed
+// range for every comparison shape.
+func TestCompositeIndexEqualityPlusRange(t *testing.T) {
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	tbl, err := cat.CreateTable("MCR", types.Schema{
+		{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt},
+		{Name: "c", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cat.CreateIndex("mcr_abc", "MCR", []string{"a", "b", "c"}, false)
+	for i := 0; i < 40; i++ {
+		r := types.Row{types.NewInt(int64(i % 2)), types.NewInt(int64(i % 10)), types.NewInt(int64(i))}
+		rid, err := tbl.Heap.Insert(tbl.Tag, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(tbl.Schema, r)
+		_ = ix.Tree.Insert(key, rid)
+		tbl.Rows++
+	}
+	// a=1 selects the 20 odd-i rows, whose b cycles over {1,3,5,7,9} with 4
+	// rows each.
+	for _, rc := range []struct {
+		q    string
+		want int
+	}{
+		{"SELECT c FROM MCR WHERE a = 1 AND b < 5", 8},   // b in {1,3}
+		{"SELECT c FROM MCR WHERE a = 1 AND b <= 5", 12}, // b in {1,3,5}
+		{"SELECT c FROM MCR WHERE a = 1 AND b > 5", 8},   // b in {7,9}
+		{"SELECT c FROM MCR WHERE a = 1 AND b >= 5", 12}, // b in {5,7,9}
+		{"SELECT c FROM MCR WHERE a = 0 AND b >= 0", 20}, // all even-i rows
+	} {
+		plan := compileSQL(t, cat, rc.q, DefaultOptions())
+		dump := exec.Dump(plan)
+		if !strings.Contains(dump, "IndexScan MCR") {
+			t.Fatalf("%s: should index-scan:\n%s", rc.q, dump)
+		}
+		ctx := exec.NewContext()
+		rows, err := exec.Collect(ctx, plan)
+		if err != nil || len(rows) != rc.want {
+			t.Errorf("%s: rows = %d, want %d (%v)\n%s", rc.q, len(rows), rc.want, err, dump)
+		}
+		if ctx.Stats.RowsScanned != int64(rc.want) {
+			t.Errorf("%s: RowsScanned = %d, want %d (range must narrow the probe)",
+				rc.q, ctx.Stats.RowsScanned, rc.want)
+		}
+	}
+}
+
+// compositeJoinFixture: LOOKUP (4 rows, columns x/y) and BIG (240 rows,
+// a = i%4, b = i%12, c = i) with a composite index on (a, b).
+func compositeJoinFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 64))
+	lk, err := cat.CreateTable("LOOKUP", types.Schema{
+		{Name: "x", Kind: types.KindInt}, {Name: "y", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := lk.Heap.Insert(lk.Tag, types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i * 3))}); err != nil {
+			t.Fatal(err)
+		}
+		lk.Rows++
+	}
+	big, err := cat.CreateTable("BIG", types.Schema{
+		{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt},
+		{Name: "c", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cat.CreateIndex("big_ab", "BIG", []string{"a", "b"}, false)
+	for i := 0; i < 240; i++ {
+		r := types.Row{types.NewInt(int64(i % 4)), types.NewInt(int64(i % 12)), types.NewInt(int64(i))}
+		rid, err := big.Heap.Insert(big.Tag, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(big.Schema, r)
+		_ = ix.Tree.Insert(key, rid)
+		big.Rows++
+	}
+	return cat
+}
+
+// TestCompositeIndexJoinTwoJoinKeys: two equi-join conjuncts over the
+// composite index columns combine into one two-column probe key.
+func TestCompositeIndexJoinTwoJoinKeys(t *testing.T) {
+	cat := compositeJoinFixture(t)
+	q := "SELECT l.x, t.c FROM LOOKUP l, BIG t WHERE t.a = l.x AND t.b = l.y"
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	dump := exec.Dump(plan)
+	if !strings.Contains(dump, "IndexJoin BIG using BIG_AB on a=") ||
+		!strings.Contains(dump, "AND b=") {
+		t.Fatalf("two equi-join conjuncts should form a composite probe:\n%s", dump)
+	}
+	ctx := exec.NewContext()
+	rows, err := exec.Collect(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b = i%12 = 3x forces a = i%4 = (3x)%4, which equals x only for
+	// x ∈ {0, 2}: those two lookup rows match 20 BIG rows each.
+	if len(rows) != 2*20 {
+		t.Fatalf("rows = %d, want 40\n%s", len(rows), dump)
+	}
+	// The composite probe fetches only true matches — a leading-column-only
+	// probe would fetch 60 rows per outer row and filter most away.
+	if ctx.Stats.RowsScanned != 40+4 {
+		t.Errorf("RowsScanned = %d, want 44 (outer 4 + exact matches 40)", ctx.Stats.RowsScanned)
+	}
+	// Results agree with the hash-join ablation.
+	rows2, err := exec.Collect(exec.NewContext(), compileSQL(t, cat, q, Options{NoIndexJoins: true}))
+	if err != nil || len(rows2) != len(rows) {
+		t.Fatalf("ablation rows = %d, %v", len(rows2), err)
+	}
+}
+
+// TestCompositeIndexJoinConstantFillsKey: an equi-join conjunct on the
+// leading index column plus a pushed constant equality on the second column
+// combine into one composite probe key.
+func TestCompositeIndexJoinConstantFillsKey(t *testing.T) {
+	cat := compositeJoinFixture(t)
+	q := "SELECT l.x, t.c FROM LOOKUP l, BIG t WHERE t.a = l.x AND t.b = 7"
+	plan := compileSQL(t, cat, q, DefaultOptions())
+	dump := exec.Dump(plan)
+	if !strings.Contains(dump, "IndexJoin BIG using BIG_AB on a=") ||
+		!strings.Contains(dump, "AND b=7") {
+		t.Fatalf("join + constant should form a composite probe:\n%s", dump)
+	}
+	ctx := exec.NewContext()
+	rows, err := exec.Collect(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b = i%12 = 7 ⇒ i ≡ 7 (mod 12) ⇒ a = i%4 = 3: only lookup row x=3
+	// matches, 20 times.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20\n%s", len(rows), dump)
+	}
+	if ctx.Stats.RowsScanned != 20+4 {
+		t.Errorf("RowsScanned = %d, want 24 (constant must narrow the probe)", ctx.Stats.RowsScanned)
+	}
+	rows2, err := exec.Collect(exec.NewContext(), compileSQL(t, cat, q, Options{NoIndexJoins: true}))
+	if err != nil || len(rows2) != len(rows) {
+		t.Fatalf("ablation rows = %d, %v", len(rows2), err)
+	}
+}

@@ -32,9 +32,15 @@ func (c *ColumnRef) String() string {
 	return c.Name
 }
 
-// Literal is a constant value.
+// Literal is a constant value. Param, when non-zero, is the 1-based ordinal
+// of this literal among the statement's number/string literal tokens in
+// source-text order — the same numbering the engine's literal extractor
+// produces, so auto-parameterized plans can bind cache keys' `?` slots back
+// to AST constants. Literals that never parameterize (NULL, TRUE, FALSE,
+// and literals built outside the parser) carry Param 0.
 type Literal struct {
-	Val types.Value
+	Val   types.Value
+	Param int
 }
 
 func (*Literal) exprNode() {}

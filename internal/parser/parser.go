@@ -12,6 +12,15 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// litSeq numbers the number/string literal tokens of the statement being
+	// parsed, in source order (see Literal.Param). It resets per statement.
+	litSeq int
+}
+
+// nextLit hands out the next literal ordinal (1-based).
+func (p *Parser) nextLit() int {
+	p.litSeq++
+	return p.litSeq
 }
 
 // NewParser tokenizes src and prepares a parser.
@@ -36,6 +45,7 @@ func Parse(src string) ([]Statement, error) {
 		if p.cur().Kind == TokEOF {
 			return out, nil
 		}
+		p.litSeq = 0
 		st, err := p.parseStatement()
 		if err != nil {
 			return nil, err
@@ -68,6 +78,7 @@ func ParseScript(src string) ([]ScriptStmt, error) {
 			return out, nil
 		}
 		start := p.cur().Off
+		p.litSeq = 0
 		st, err := p.parseStatement()
 		if err != nil {
 			return nil, err
@@ -673,6 +684,25 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 	return st, nil
 }
 
+// NumberValue converts a number token's text to a typed value exactly as the
+// parser does: a '.' or exponent makes it a FLOAT, otherwise an INTEGER. The
+// engine's literal extractor shares it so text-level parameter extraction and
+// AST literals can never disagree on a value.
+func NumberValue(text string) (types.Value, error) {
+	if strings.ContainsAny(text, ".eE") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewFloat(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return types.Null(), err
+	}
+	return types.NewInt(n), nil
+}
+
 func conjoin(a, b Expr) Expr {
 	if a == nil {
 		return b
@@ -953,21 +983,14 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	switch {
 	case t.Kind == TokNumber:
 		p.advance()
-		if strings.ContainsAny(t.Text, ".eE") {
-			f, err := strconv.ParseFloat(t.Text, 64)
-			if err != nil {
-				return nil, p.errorf("bad number %q: %v", t.Text, err)
-			}
-			return &Literal{Val: types.NewFloat(f)}, nil
-		}
-		n, err := strconv.ParseInt(t.Text, 10, 64)
+		v, err := NumberValue(t.Text)
 		if err != nil {
 			return nil, p.errorf("bad number %q: %v", t.Text, err)
 		}
-		return &Literal{Val: types.NewInt(n)}, nil
+		return &Literal{Val: v, Param: p.nextLit()}, nil
 	case t.Kind == TokString:
 		p.advance()
-		return &Literal{Val: types.NewString(t.Text)}, nil
+		return &Literal{Val: types.NewString(t.Text), Param: p.nextLit()}, nil
 	case t.Kind == TokKeyword && t.Text == "NULL":
 		p.advance()
 		return &Literal{Val: types.Null()}, nil

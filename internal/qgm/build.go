@@ -29,8 +29,16 @@ type Builder struct {
 	// parser.ParseOne. The builder treats parsed ASTs as read-only, so a
 	// cached statement may be shared across sessions.
 	ParseView func(definition string) (parser.Statement, error)
-	depth     int
-	boxSeq    int
+	// ParamLiterals enables statement parameterization: literals carrying a
+	// parser ordinal resolve to parameter-slot constants (Const.Param) that
+	// bind at execute instead of baking into the plan. The engine turns it on
+	// only for statements whose text-level literal extraction succeeded, so
+	// ordinals always line up with the extracted binding vector. It is
+	// force-disabled while a stored view expands: view-body literals belong
+	// to the view definition, not to the statement's parameter vector.
+	ParamLiterals bool
+	depth         int
+	boxSeq        int
 }
 
 // parseView parses (or fetches the cached AST of) a view definition.
@@ -207,7 +215,10 @@ func (b *Builder) buildTableRef(ref parser.TableRef) (*Quantifier, error) {
 			return nil, fmt.Errorf("qgm: stored view %q is not a SELECT", name)
 		}
 		b.depth++
+		pm := b.ParamLiterals
+		b.ParamLiterals = false
 		sub, params, err := b.buildSelect(vsel, nil)
+		b.ParamLiterals = pm
 		b.depth--
 		if err != nil {
 			return nil, fmt.Errorf("qgm: expanding view %q: %v", name, err)
@@ -430,6 +441,9 @@ func (b *Builder) inferKind(e Expr, sc *scope) types.Kind {
 func (b *Builder) resolveExpr(e parser.Expr, sc *scope) (Expr, error) {
 	switch x := e.(type) {
 	case *parser.Literal:
+		if b.ParamLiterals && x.Param > 0 {
+			return &Const{Val: x.Val, Param: x.Param}, nil
+		}
 		return &Const{Val: x.Val}, nil
 	case *parser.ColumnRef:
 		return b.resolveColumn(x, sc)
@@ -906,7 +920,10 @@ func (b *Builder) expandXNFView(name string) (*XNFSpec, error) {
 		return nil, fmt.Errorf("qgm: stored XNF view %q is not an XNF query", name)
 	}
 	b.depth++
+	pm := b.ParamLiterals
+	b.ParamLiterals = false
 	spec, err := b.buildXNFSpec(xq)
+	b.ParamLiterals = pm
 	b.depth--
 	return spec, err
 }

@@ -33,15 +33,25 @@ func (*ColRef) exprNode() {}
 // String renders the reference as q<i>.<name>.
 func (c *ColRef) String() string { return fmt.Sprintf("q%d.%s", c.Quant, c.Name) }
 
-// Const is a literal.
+// Const is a literal. Param, when non-zero, marks the constant as statement
+// parameter slot Param-1: Val still holds the literal the statement was
+// compiled from (the optimizer costs with it), but the emitted plan reads the
+// slot from the per-execution binding array instead of embedding the value,
+// so one cached plan serves every binding of the same statement shape.
 type Const struct {
-	Val types.Value
+	Val   types.Value
+	Param int
 }
 
 func (*Const) exprNode() {}
 
-// String renders the literal.
-func (c *Const) String() string { return c.Val.SQLLiteral() }
+// String renders the literal (parameter slots show their ordinal).
+func (c *Const) String() string {
+	if c.Param > 0 {
+		return fmt.Sprintf(":%d=%s", c.Param-1, c.Val.SQLLiteral())
+	}
+	return c.Val.SQLLiteral()
+}
 
 // Binary is a binary operation (arithmetic, comparison, AND/OR, LIKE).
 type Binary struct {

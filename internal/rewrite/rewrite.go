@@ -167,6 +167,18 @@ func foldBox(b *qgm.Box, seen map[*qgm.Box]bool) bool {
 	return changed
 }
 
+// foldableConst narrows to constants that may fold at compile time.
+// Parameter-slot constants (Const.Param > 0) must not fold: their compile
+// value is just the first binding, and folding it into the plan template
+// would freeze that binding for every later execution of the cached plan.
+func foldableConst(e qgm.Expr) (*qgm.Const, bool) {
+	c, ok := e.(*qgm.Const)
+	if !ok || c.Param > 0 {
+		return nil, false
+	}
+	return c, true
+}
+
 // foldExpr evaluates constant subtrees. It never folds across errors
 // (division by zero etc. stay for runtime).
 func foldExpr(e qgm.Expr) (qgm.Expr, bool) {
@@ -175,8 +187,8 @@ func foldExpr(e qgm.Expr) (qgm.Expr, bool) {
 		l, lc := foldExpr(x.L)
 		r, rc := foldExpr(x.R)
 		out := &qgm.Binary{Op: x.Op, L: l, R: r}
-		lcst, lok := l.(*qgm.Const)
-		rcst, rok := r.(*qgm.Const)
+		lcst, lok := foldableConst(l)
+		rcst, rok := foldableConst(r)
 		if lok && rok {
 			if v, ok := evalConstBinary(x.Op, lcst.Val, rcst.Val); ok {
 				return &qgm.Const{Val: v}, true
@@ -202,7 +214,7 @@ func foldExpr(e qgm.Expr) (qgm.Expr, bool) {
 		return out, lc || rc
 	case *qgm.Unary:
 		inner, c := foldExpr(x.E)
-		if cst, ok := inner.(*qgm.Const); ok {
+		if cst, ok := foldableConst(inner); ok {
 			switch x.Op {
 			case "-":
 				if v, err := types.Neg(cst.Val); err == nil {
@@ -217,7 +229,7 @@ func foldExpr(e qgm.Expr) (qgm.Expr, bool) {
 		return &qgm.Unary{Op: x.Op, E: inner}, c
 	case *qgm.IsNull:
 		inner, c := foldExpr(x.E)
-		if cst, ok := inner.(*qgm.Const); ok {
+		if cst, ok := foldableConst(inner); ok {
 			r := cst.Val.IsNull()
 			if x.Negate {
 				r = !r
