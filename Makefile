@@ -22,6 +22,7 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 1x ./internal/exec/
 	$(GO) test -run '^$$' -bench BenchmarkExecRepeated -benchtime 1x ./internal/engine/
 	$(GO) run ./cmd/xnfbench -exp e16
+	$(GO) run ./cmd/xnfbench -exp e17 -json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAutoAnalyzeOnDrift: once a table has been ANALYZEd, a >2× drift of its
+// live row count refreshes the statistics snapshot (distinct counts
+// included) on the next planning touchpoint — no manual ANALYZE needed.
+func TestAutoAnalyzeOnDrift(t *testing.T) {
+	e := NewDefault()
+	s := e.Session()
+	s.MustExec("CREATE TABLE D (id INT PRIMARY KEY, grp INT)")
+	for i := 0; i < 20; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO D VALUES (%d, %d)", i, i%4))
+	}
+	s.MustExec("ANALYZE D")
+	tbl, err := e.Catalog().Table("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := tbl.Stats(); ts.Rows != 20 || ts.Col(1).Distinct != 4 {
+		t.Fatalf("snapshot after ANALYZE = %+v", ts)
+	}
+	// Grow within the 2x window: no refresh on planning.
+	for i := 20; i < 35; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO D VALUES (%d, %d)", i, i%8))
+	}
+	s.MustExec("SELECT id FROM D WHERE grp = 1")
+	if ts := tbl.Stats(); ts.Rows != 20 {
+		t.Fatalf("within-window drift should not refresh: %+v", ts)
+	}
+	// Cross the 2x threshold: the next SELECT's planning refreshes the
+	// snapshot, including distinct counts.
+	for i := 35; i < 50; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO D VALUES (%d, %d)", i, i%8))
+	}
+	s.MustExec("SELECT id FROM D WHERE grp = 1")
+	if ts := tbl.Stats(); ts.Rows != 50 || ts.Col(1).Distinct != 8 {
+		t.Fatalf("drifted snapshot should have refreshed: %+v", ts)
+	}
+}
+
+// TestAutoAnalyzeCachedHitPath: the refresh also fires on the prepared-plan
+// hit path, where planning is otherwise skipped entirely — a growing table
+// served only by cached plans must not keep stale estimates forever. The
+// drifted execution recompiles (and still answers correctly); the stale
+// entry evicts on the epoch bump and the shape re-caches fresh.
+func TestAutoAnalyzeCachedHitPath(t *testing.T) {
+	e := NewDefault()
+	s := e.Session()
+	s.MustExec("CREATE TABLE H (id INT PRIMARY KEY, v INT)")
+	for i := 0; i < 30; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO H VALUES (%d, %d)", i, i))
+	}
+	s.MustExec("ANALYZE H")
+	q := "SELECT v FROM H WHERE id = 7"
+	s.MustExec(q) // caches the shape
+	if n := len(s.MustExec(q).Rows); n != 1 {
+		t.Fatalf("warm hit rows = %d, want 1", n)
+	}
+	tbl, err := e.Catalog().Table("H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 100; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO H VALUES (%d, %d)", i, i))
+	}
+	if r := s.MustExec("SELECT v FROM H WHERE id = 77"); len(r.Rows) != 1 || r.Rows[0][0].Int() != 77 {
+		t.Fatalf("post-drift execution wrong: %v", r.Rows)
+	}
+	if ts := tbl.Stats(); ts.Rows != 100 {
+		t.Fatalf("hit-path drift should have refreshed the snapshot: %+v", ts)
+	}
+	// Steady state afterwards: the shape re-caches and hits again.
+	s.MustExec(q)
+	st0 := e.PlanCacheStats()
+	if n := len(s.MustExec(q).Rows); n != 1 {
+		t.Fatal("steady-state execution wrong")
+	}
+	if st1 := e.PlanCacheStats(); st1.Hits != st0.Hits+1 {
+		t.Fatalf("steady state should hit the cache: %+v -> %+v", st0, st1)
+	}
+}
+
+// TestNoAutoAnalyzeWithoutSnapshot: tables never ANALYZEd stay un-sketched —
+// statistics remain opt-in.
+func TestNoAutoAnalyzeWithoutSnapshot(t *testing.T) {
+	e := NewDefault()
+	s := e.Session()
+	s.MustExec("CREATE TABLE N (id INT)")
+	for i := 0; i < 100; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO N VALUES (%d)", i))
+	}
+	s.MustExec("SELECT id FROM N WHERE id = 5")
+	tbl, err := e.Catalog().Table("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != nil {
+		t.Fatalf("never-ANALYZEd table grew a snapshot: %+v", tbl.Stats())
+	}
+}

@@ -462,6 +462,7 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 	if err := s.lockBoxTables(box, lock.Shared); err != nil {
 		return nil, err
 	}
+	s.maybeAutoAnalyze(collectBoxTables(box))
 	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
 	plan, info, err := optimizer.CompileWithInfo(box, s.eng.opts.Optimizer)
 	if err != nil {
@@ -535,6 +536,12 @@ func (s *Session) runCachedPlan(ent *planEntry, binds []types.Value) (*Result, e
 			return nil, err
 		}
 	}
+	if s.maybeAutoAnalyze(ent.tables) {
+		// Statistics just refreshed: the entry's epoch stamp is stale (it
+		// evicts on next lookup), so this execution plans fresh against the
+		// new estimates instead of running a plan costed on drifted stats.
+		return s.recompileBound(ent, binds)
+	}
 	for _, g := range ent.guards {
 		t, err := s.eng.cat.Table(g.Table)
 		if err != nil || g.Param >= len(binds) || !g.Check(t, binds[g.Param]) {
@@ -570,6 +577,41 @@ func (s *Session) recompileBound(ent *planEntry, binds []types.Value) (*Result, 
 		return nil, fmt.Errorf("engine: cached plan for %q is not a SELECT", ent.key)
 	}
 	return s.selectStmt(sel, "")
+}
+
+// statsDriftFactor is the auto-ANALYZE trigger: when a table's live row
+// count drifts beyond this factor from its last statistics snapshot, the
+// snapshot's distinct counts refresh on the next planning touchpoint instead
+// of waiting for a manual ANALYZE. Tables that were never ANALYZEd stay
+// un-sketched — opting into statistics remains explicit.
+const statsDriftFactor = 2
+
+// statsDrifted reports whether the table's live row count left the snapshot
+// window in either direction.
+func statsDrifted(t *catalog.Table) bool {
+	ts := t.Stats()
+	if ts == nil {
+		return false
+	}
+	return t.Rows > statsDriftFactor*ts.Rows || ts.Rows > statsDriftFactor*t.Rows
+}
+
+// maybeAutoAnalyze refreshes drifted statistics snapshots for the given
+// tables, reporting whether any refresh happened (each bumps the catalog
+// epoch, invalidating cached plans costed on the stale estimates). Callers
+// hold shared locks on the tables, the same protocol as manual ANALYZE.
+func (s *Session) maybeAutoAnalyze(tables []string) bool {
+	refreshed := false
+	for _, tn := range tables {
+		t, err := s.eng.cat.Table(tn)
+		if err != nil || !statsDrifted(t) {
+			continue
+		}
+		if _, err := s.eng.cat.AnalyzeTable(tn); err == nil {
+			refreshed = true
+		}
+	}
+	return refreshed
 }
 
 // xnfQuery evaluates an XNF composite-object query (TAKE or DELETE).

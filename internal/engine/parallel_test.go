@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlxnf/internal/optimizer"
+)
+
+// parallelFixture loads a table and fakes a big live row count so the DOP
+// decision (serial below ~10k estimated rows) goes parallel while the test
+// stays fast. Estimates steer plan choice only; results come from the data.
+func parallelFixture(t *testing.T, e *Engine) *Session {
+	t.Helper()
+	s := e.Session()
+	s.MustExec("CREATE TABLE P (id INT PRIMARY KEY, v INT, g INT)")
+	for i := 0; i < 400; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO P VALUES (%d, %d, %d)", i, i%100, i%7))
+	}
+	tbl, err := e.Catalog().Table("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Rows = 40_000
+	return s
+}
+
+func sortedStrings(rs *Result) []string {
+	out := make([]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelQueryEndToEnd drives a parallel plan through the full engine
+// path — parameterized cache key, bind propagation into worker contexts,
+// pooled Gather clones on the hit path — and checks results against a
+// serial-only engine.
+func TestParallelQueryEndToEnd(t *testing.T) {
+	par := New(Options{Optimizer: optimizer.Options{MaxDOP: 4}})
+	ser := New(Options{Optimizer: optimizer.Options{MaxDOP: -1}})
+	ps := parallelFixture(t, par)
+	ss := parallelFixture(t, ser)
+
+	q := "SELECT id FROM P WHERE v < 37"
+	ex := ps.MustExec("EXPLAIN " + q)
+	if !strings.Contains(ex.Explain, "Gather (parallel=") {
+		t.Fatalf("expected a parallel plan:\n%s", ex.Explain)
+	}
+	want := sortedStrings(ss.MustExec(q))
+	// Cold compile, then two cache hits exercising the pooled Gather clone.
+	for rep := 0; rep < 3; rep++ {
+		got := sortedStrings(ps.MustExec(q))
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: %d rows, want %d", rep, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: row %d differs: %s vs %s", rep, i, got[i], want[i])
+			}
+		}
+	}
+	st := par.PlanCacheStats()
+	if st.Hits < 2 {
+		t.Fatalf("parallel plan should serve from the cache: %+v", st)
+	}
+
+	// Aggregation with ORDER BY: parallel drain, deterministic output.
+	aq := "SELECT g, COUNT(*), MIN(v), MAX(v) FROM P GROUP BY g ORDER BY g"
+	pg := ps.MustExec(aq)
+	sg := ss.MustExec(aq)
+	if len(pg.Rows) != len(sg.Rows) {
+		t.Fatalf("group rows = %d, want %d", len(pg.Rows), len(sg.Rows))
+	}
+	for i := range pg.Rows {
+		if pg.Rows[i].String() != sg.Rows[i].String() {
+			t.Fatalf("group row %d differs: %s vs %s", i, pg.Rows[i], sg.Rows[i])
+		}
+	}
+}
+
+// TestParallelQueryConcurrentSessions: several sessions running the same
+// parallel shape concurrently through the shared plan cache (pooled clones)
+// must each get exact results. Run under -race in CI.
+func TestParallelQueryConcurrentSessions(t *testing.T) {
+	e := New(Options{Optimizer: optimizer.Options{MaxDOP: 4}})
+	s := parallelFixture(t, e)
+	q := "SELECT id FROM P WHERE v < 25"
+	want := len(s.MustExec(q).Rows)
+	if want == 0 {
+		t.Fatal("fixture returned no rows")
+	}
+	const sessions = 6
+	errs := make(chan error, sessions)
+	for g := 0; g < sessions; g++ {
+		go func() {
+			sess := e.Session()
+			for i := 0; i < 10; i++ {
+				r, err := sess.Exec(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(r.Rows) != want {
+					errs <- fmt.Errorf("got %d rows, want %d", len(r.Rows), want)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < sessions; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

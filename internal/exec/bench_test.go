@@ -148,3 +148,19 @@ func benchGroupAgg(b *testing.B, n int) {
 
 func BenchmarkExecGroupAgg10k(b *testing.B)  { benchGroupAgg(b, 10_000) }
 func BenchmarkExecGroupAgg100k(b *testing.B) { benchGroupAgg(b, 100_000) }
+
+// benchSort exercises the precompiled key comparator: single-key integer
+// (the fast path) and a two-key mixed ordering.
+func benchSort(b *testing.B, n int, keys []SortKey) {
+	t := benchTable(b, n)
+	b.ResetTimer()
+	benchArms(b, func() Plan {
+		return &Sort{Child: &SeqScan{Table: t}, Keys: keys}
+	}, n)
+}
+
+func BenchmarkExecSort10k(b *testing.B)  { benchSort(b, 10_000, []SortKey{{Idx: 1}}) }
+func BenchmarkExecSort100k(b *testing.B) { benchSort(b, 100_000, []SortKey{{Idx: 1}}) }
+func BenchmarkExecSortTwoKey100k(b *testing.B) {
+	benchSort(b, 100_000, []SortKey{{Idx: 2, Desc: true}, {Idx: 1}})
+}

@@ -222,7 +222,7 @@ func (j *HashJoin) Clone() Plan {
 		return nil
 	}
 	return &HashJoin{Left: l, Right: r, LeftKeys: lk, RightKeys: rk,
-		Residual: res, out: j.out, hash: j.hash}
+		Residual: res, Shared: j.Shared, out: j.out, hash: j.hash}
 }
 
 // Clone implements Cloneable.
@@ -258,5 +258,5 @@ func (g *GroupAgg) Clone() Plan {
 	if !ok {
 		return nil
 	}
-	return &GroupAgg{Child: child, KeyIdxs: g.KeyIdxs, Aggs: g.Aggs, Out: g.Out}
+	return &GroupAgg{Child: child, KeyIdxs: g.KeyIdxs, Aggs: g.Aggs, Out: g.Out, DOP: g.DOP}
 }

@@ -1,0 +1,671 @@
+package exec
+
+// Morsel-driven intra-query parallelism (Leis et al., SIGMOD 2014). A
+// parallel plan runs DOP clones of a pipeline segment — scans, filters,
+// projections, hash-join probes — each fed page-range morsels from a shared
+// atomic dispatcher, and a Gather operator funnels the workers' batches back
+// into the serial NextBatch contract. Everything above the Gather (Sort,
+// GroupAgg drains, Limit, Distinct, the XNF machinery, EXISTS drivers) is an
+// untouched serial consumer.
+//
+// Shared per-execution state is wired by cloneWorkers: each MorselScan
+// position in the template gets one dispatcher shared by all worker clones
+// (so the table is scanned exactly once), and each shared-build HashJoin
+// position gets one sharedBuild whose table is built in parallel — workers
+// fill per-worker entry slabs, then a lock-free partitioned merge indexes
+// them into one flat chained table (see hashTable.mergeSlabs).
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// add folds another worker's counters into s. Callers serialize: merges run
+// on the consumer goroutine after the workers' WaitGroup has drained.
+func (s *Stats) add(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	s.RowsScanned += o.RowsScanned
+	s.RowsEmitted += o.RowsEmitted
+	s.IndexProbes += o.IndexProbes
+	s.SubqueryRuns += o.SubqueryRuns
+}
+
+// ---------------------------------------------------------------------------
+// MorselScan
+// ---------------------------------------------------------------------------
+
+// morselGroup is the per-execution shared state behind one MorselScan
+// template position: all worker clones of that position pull page-range
+// morsels from the same dispatcher, so together they scan the table exactly
+// once.
+type morselGroup struct {
+	disp *storage.MorselDispatcher
+}
+
+// MorselScan is the parallel counterpart of SeqScan: a scan leaf that reads
+// whatever page-range morsels it can claim from a dispatcher shared with its
+// sibling worker clones. Decoding runs through a private MorselReader arena,
+// so workers share no allocation state. A MorselScan only executes inside a
+// parallel operator (Gather or a parallel GroupAgg/hash-join build), which
+// wires the shared dispatcher before Open.
+type MorselScan struct {
+	Table *catalog.Table
+	// EstRows is the optimizer's output-cardinality estimate (0 = unknown).
+	EstRows float64
+
+	group   *morselGroup
+	reader  *storage.MorselReader
+	pending []storage.PageID
+	buf     []types.Row
+	pos     int
+	done    bool
+}
+
+// Schema implements Plan.
+func (s *MorselScan) Schema() types.Schema { return s.Table.Schema }
+
+// Open implements Plan.
+func (s *MorselScan) Open(ctx *Context) error {
+	if s.group == nil || s.group.disp == nil {
+		return fmt.Errorf("exec: MorselScan of %s opened outside a parallel execution (no dispatcher wired)", s.Table.Name)
+	}
+	if s.reader == nil {
+		s.reader = s.Table.Heap.MorselReader(s.Table.Tag)
+	}
+	s.pending = nil
+	s.buf = s.buf[:0]
+	s.pos = 0
+	s.done = false
+	return nil
+}
+
+// fill replaces the buffer with rows from the next claimed pages.
+func (s *MorselScan) fill(ctx *Context) error {
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for len(s.buf) < BatchSize {
+		if len(s.pending) == 0 {
+			s.pending = s.group.disp.Claim()
+			if len(s.pending) == 0 {
+				s.done = true
+				break
+			}
+		}
+		id := s.pending[0]
+		s.pending = s.pending[1:]
+		var err error
+		s.buf, err = s.reader.ReadPage(id, s.buf)
+		if err != nil {
+			return err
+		}
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.RowsScanned += int64(len(s.buf))
+	}
+	return nil
+}
+
+// Next implements Plan.
+func (s *MorselScan) Next(ctx *Context) (types.Row, bool, error) {
+	for s.pos >= len(s.buf) {
+		if s.done {
+			return nil, false, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+	r := s.buf[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// NextBatch implements Plan.
+func (s *MorselScan) NextBatch(ctx *Context) ([]types.Row, error) {
+	for {
+		if s.done {
+			return nil, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+		if len(s.buf) > 0 || s.done {
+			return s.buf, nil
+		}
+	}
+}
+
+// Close implements Plan. The reader keeps its decoder arena for reopen.
+func (s *MorselScan) Close() error {
+	s.buf = s.buf[:0]
+	s.pending = nil
+	return nil
+}
+
+// Explain implements Plan.
+func (s *MorselScan) Explain() string {
+	return "MorselScan " + s.Table.Name + estSuffix(s.EstRows)
+}
+
+// Children implements Plan.
+func (s *MorselScan) Children() []Plan { return nil }
+
+// Clone implements Cloneable. The dispatcher group is per-execution state
+// and is wired by cloneWorkers, never copied.
+func (s *MorselScan) Clone() Plan {
+	return &MorselScan{Table: s.Table, EstRows: s.EstRows}
+}
+
+// ---------------------------------------------------------------------------
+// Worker cloning and shared-state wiring
+// ---------------------------------------------------------------------------
+
+// cloneWorkers clones a worker-pipeline template n times and wires the
+// per-execution shared state across the clones: every MorselScan position in
+// the template gets one fresh dispatcher shared by all n clones, and every
+// shared-build HashJoin position gets one sharedBuild. The template itself is
+// never executed, so pooled prepared-plan instances that run concurrently in
+// different sessions never share runtime state.
+func cloneWorkers(template Plan, n int) ([]Plan, error) {
+	workers := make([]Plan, n)
+	for i := range workers {
+		w, ok := ClonePlan(template)
+		if !ok {
+			return nil, fmt.Errorf("exec: parallel worker pipeline is not cloneable")
+		}
+		workers[i] = w
+	}
+	var wire func(tmpl Plan, clones []Plan) error
+	wire = func(tmpl Plan, clones []Plan) error {
+		switch tn := tmpl.(type) {
+		case *Gather:
+			// A nested Gather wires its own workers at Open; its subtree is
+			// not this worker set's to share.
+			return nil
+		case *MorselScan:
+			disp, err := tn.Table.Heap.MorselDispatcher(0)
+			if err != nil {
+				return err
+			}
+			grp := &morselGroup{disp: disp}
+			for _, c := range clones {
+				c.(*MorselScan).group = grp
+			}
+			return nil
+		case *HashJoin:
+			if tn.Shared {
+				sb := newSharedBuild(tn, n)
+				sub := make([]Plan, len(clones))
+				for i, c := range clones {
+					cj := c.(*HashJoin)
+					cj.shared = sb
+					sub[i] = cj.Left
+				}
+				// The build side belongs to the sharedBuild (which clones it
+				// afresh); the workers' own Right subtrees never open, so only
+				// the probe side needs wiring.
+				return wire(tn.Left, sub)
+			}
+		}
+		kids := tmpl.Children()
+		for ki := range kids {
+			sub := make([]Plan, len(clones))
+			for i, c := range clones {
+				sub[i] = c.Children()[ki]
+			}
+			if err := wire(kids[ki], sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := wire(template, workers); err != nil {
+		return nil, err
+	}
+	return workers, nil
+}
+
+// hasMorselLeaf reports whether a pipeline contains a MorselScan reachable
+// for splitting (and so can usefully run with more than one worker). A
+// nested Gather is a boundary, not a leaf: it is a serial consumer whose own
+// Open clones and wires its workers.
+func hasMorselLeaf(p Plan) bool {
+	switch p.(type) {
+	case *MorselScan:
+		return true
+	case *Gather:
+		return false
+	}
+	for _, c := range p.Children() {
+		if hasMorselLeaf(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// workerContext derives a worker's private execution context: bindings and
+// correlation parameters are shared (read-only per execution), statistics are
+// private and merged back when the worker finishes.
+func workerContext(parent *Context) *Context {
+	return &Context{Params: parent.Params, Binds: parent.Binds, Stats: &Stats{}}
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------------
+
+// gatherMsg is one worker-to-consumer hand-off: a batch the worker copied out
+// of its pipeline's reused buffer, or a terminal error.
+type gatherMsg struct {
+	rows []types.Row
+	err  error
+}
+
+// Gather is the pipeline breaker between parallel workers and the serial
+// plan above them: Open clones the worker template DOP times (sharing morsel
+// dispatchers and hash-join builds across the clones), runs each clone in
+// its own goroutine, and NextBatch hands the workers' batches to the
+// consumer in arrival order. Row order across workers is nondeterministic —
+// order-sensitive consumers (Sort with a total key order) restore it.
+type Gather struct {
+	// Child is the worker pipeline template; it is cloned per worker and
+	// never opened directly.
+	Child Plan
+	// DOP is the number of worker goroutines.
+	DOP int
+
+	workers  []Plan
+	ch       chan gatherMsg
+	cancel   chan struct{}
+	stopOnce *sync.Once
+	// wg is allocated fresh per Open (like ch/cancel): the previous cycle's
+	// channel-closer goroutine may still be inside its Wait when a pooled
+	// instance reopens, and WaitGroup reuse forbids Add concurrent with a
+	// prior Wait. Workers and the closer capture their cycle's pointer.
+	wg *sync.WaitGroup
+	// Worker stats stay private until every worker has exited (operators
+	// above the Gather write the consumer's ctx.Stats concurrently with the
+	// workers, so merging from a worker goroutine would race); the consumer
+	// folds them in once at end-of-stream, on error, or at Close.
+	wstats      []*Stats
+	pstats      *Stats
+	statsMerged bool
+	buf         []types.Row // row-mode window
+	pos         int
+	err         error
+	done        bool
+}
+
+// NewGather wraps a worker template at the given degree of parallelism.
+func NewGather(template Plan, dop int) *Gather {
+	return &Gather{Child: template, DOP: dop}
+}
+
+// Schema implements Plan.
+func (g *Gather) Schema() types.Schema { return g.Child.Schema() }
+
+// Open implements Plan: clone, wire, and launch the workers.
+func (g *Gather) Open(ctx *Context) error {
+	dop := g.DOP
+	if dop < 1 {
+		dop = 1
+	}
+	// Without a morsel leaf there is nothing to split: N workers would each
+	// drain a full clone of the pipeline and duplicate every row.
+	if dop > 1 && !hasMorselLeaf(g.Child) {
+		dop = 1
+	}
+	workers, err := cloneWorkers(g.Child, dop)
+	if err != nil {
+		return err
+	}
+	g.workers = workers
+	g.ch = make(chan gatherMsg, dop)
+	g.cancel = make(chan struct{})
+	g.stopOnce = new(sync.Once)
+	g.wg = new(sync.WaitGroup)
+	g.pstats = ctx.Stats
+	g.wstats = make([]*Stats, len(workers))
+	g.statsMerged = false
+	g.buf, g.pos = nil, 0
+	g.err = nil
+	g.done = false
+	g.wg.Add(len(workers))
+	for i, w := range workers {
+		wctx := workerContext(ctx)
+		g.wstats[i] = wctx.Stats
+		go g.runWorker(w, wctx, g.wg)
+	}
+	// Close the channel when every worker is done, so NextBatch observes
+	// end-of-stream exactly once all batches are delivered.
+	go func(ch chan gatherMsg, wg *sync.WaitGroup) {
+		wg.Wait()
+		close(ch)
+	}(g.ch, g.wg)
+	return nil
+}
+
+// runWorker drives one worker pipeline to completion, copying each batch out
+// of the pipeline's reused buffer before handing it to the consumer.
+func (g *Gather) runWorker(w Plan, wctx *Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	if err := g.drive(w, wctx); err != nil {
+		select {
+		case g.ch <- gatherMsg{err: err}:
+		case <-g.cancel:
+		}
+	}
+}
+
+func (g *Gather) drive(w Plan, wctx *Context) error {
+	if err := w.Open(wctx); err != nil {
+		return err
+	}
+	defer w.Close()
+	for {
+		select {
+		case <-g.cancel:
+			return nil
+		default:
+		}
+		batch, err := w.NextBatch(wctx)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		out := make([]types.Row, len(batch))
+		copy(out, batch)
+		select {
+		case g.ch <- gatherMsg{rows: out}:
+		case <-g.cancel:
+			return nil
+		}
+	}
+}
+
+// shutdown cancels the workers and waits for them to exit; safe to call from
+// both the error path and Close.
+func (g *Gather) shutdown() {
+	if g.cancel == nil {
+		return
+	}
+	g.stopOnce.Do(func() { close(g.cancel) })
+	g.wg.Wait()
+}
+
+// mergeWorkerStats folds the workers' private counters into the consumer's
+// context, exactly once per Open. Callers must have observed all workers
+// finished (closed channel, or shutdown's wg.Wait), which orders the
+// workers' final Stats writes before this read.
+func (g *Gather) mergeWorkerStats() {
+	if g.statsMerged {
+		return
+	}
+	g.statsMerged = true
+	for _, st := range g.wstats {
+		g.pstats.add(st)
+	}
+}
+
+// NextBatch implements Plan.
+func (g *Gather) NextBatch(ctx *Context) ([]types.Row, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
+	if g.done {
+		return nil, nil
+	}
+	msg, ok := <-g.ch
+	if !ok {
+		g.done = true
+		g.mergeWorkerStats()
+		return nil, nil
+	}
+	if msg.err != nil {
+		g.err = msg.err
+		g.shutdown()
+		g.mergeWorkerStats()
+		return nil, g.err
+	}
+	return msg.rows, nil
+}
+
+// Next implements Plan (row drive drains gathered batches one row at a
+// time).
+func (g *Gather) Next(ctx *Context) (types.Row, bool, error) {
+	for g.pos >= len(g.buf) {
+		batch, err := g.NextBatch(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(batch) == 0 {
+			return nil, false, nil
+		}
+		g.buf, g.pos = batch, 0
+	}
+	r := g.buf[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close implements Plan: cancel and reap the workers (each worker closes its
+// own pipeline on the way out of its goroutine).
+func (g *Gather) Close() error {
+	g.shutdown()
+	if g.wstats != nil {
+		g.mergeWorkerStats()
+	}
+	g.workers = nil
+	g.buf = nil
+	g.pos = 0
+	return nil
+}
+
+// Explain implements Plan.
+func (g *Gather) Explain() string { return fmt.Sprintf("Gather (parallel=%d)", g.DOP) }
+
+// Children implements Plan.
+func (g *Gather) Children() []Plan { return []Plan{g.Child} }
+
+// Clone implements Cloneable.
+func (g *Gather) Clone() Plan {
+	child, ok := ClonePlan(g.Child)
+	if !ok {
+		return nil
+	}
+	return &Gather{Child: child, DOP: g.DOP}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hash-join build
+// ---------------------------------------------------------------------------
+
+// sharedBuild is the once-per-execution parallel build of a shared hash-join
+// table: all worker clones of a parallel HashJoin point at one sharedBuild,
+// and the first clone to Open runs the build — DOP build workers drain
+// clones of the build-side pipeline into per-worker entry slabs, then a
+// partitioned merge indexes the slabs into one flat chained table without
+// locks. Later clones (and the first) probe the same table.
+type sharedBuild struct {
+	template Plan   // build-side pipeline; cloned per build worker
+	keys     []Expr // build key expressions
+	dop      int
+	hash     func(types.Row) uint64
+
+	mu    sync.Mutex
+	built bool
+	ht    hashTable
+	err   error
+}
+
+// newSharedBuild prepares the build for a template join. The build runs with
+// n workers when its pipeline has a morsel leaf to split, serially otherwise
+// (a small or non-scannable build side costs nothing extra).
+func newSharedBuild(j *HashJoin, n int) *sharedBuild {
+	dop := 1
+	if n > 1 && hasMorselLeaf(j.Right) {
+		dop = n
+	}
+	h := j.hash
+	if h == nil {
+		h = types.Row.Hash
+	}
+	return &sharedBuild{template: j.Right, keys: j.RightKeys, dop: dop, hash: h}
+}
+
+// table returns the built hash table, running the build on first call.
+func (sb *sharedBuild) table(ctx *Context) (*hashTable, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if !sb.built {
+		sb.err = sb.run(ctx)
+		sb.built = true
+	}
+	if sb.err != nil {
+		return nil, sb.err
+	}
+	return &sb.ht, nil
+}
+
+// run executes the two build phases: parallel slab fill, partitioned merge.
+func (sb *sharedBuild) run(ctx *Context) error {
+	workers, err := cloneWorkers(sb.template, sb.dop)
+	if err != nil {
+		return err
+	}
+	slabs := make([][]buildEnt, len(workers))
+	errs := make([]error, len(workers))
+	stats := make([]*Stats, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w Plan) {
+			defer wg.Done()
+			wctx := workerContext(ctx)
+			stats[i] = wctx.Stats
+			slabs[i], errs[i] = fillSlab(wctx, w, sb.keys, sb.hash)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, st := range stats {
+		ctx.Stats.add(st)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	sb.ht.mergeSlabs(slabs, sb.dop)
+	return nil
+}
+
+// fillSlab drains one build worker into a private entry slab: key evaluation
+// uses the same scratch-row path as the serial build, and entries carry their
+// bucket hash so the merge never re-hashes.
+func fillSlab(ctx *Context, w Plan, keys []Expr, hash func(types.Row) uint64) ([]buildEnt, error) {
+	if err := w.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	var slab []buildEnt
+	scratch := make(types.Row, len(keys))
+	keyArena := rowArena{arity: len(keys)}
+	for {
+		batch, err := w.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return slab, nil
+		}
+		for _, row := range batch {
+			null, err := evalKeysInto(ctx, keys, row, scratch)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			k := keyArena.next()
+			copy(k, scratch)
+			slab = append(slab, buildEnt{h: hash(k), keys: k, row: row})
+		}
+	}
+}
+
+// mergeSlabs concatenates per-worker slabs into the flat entry table and
+// indexes the hash chains with one worker per hash partition. Phase one runs
+// per slab: copy the slab into its flat range and bucket each entry's flat
+// index by partition (h & mask), so phase two's partition workers touch only
+// their own entries — O(total) work overall, not O(partitions·total).
+// Partitions are disjoint, so each worker owns its head map outright and
+// writes only its own entries' link slots — distinct elements of the shared
+// links slice — which makes the whole merge lock-free. Walking slabs in
+// order keeps flat-index order within every chain, exactly like the serial
+// build.
+func (ht *hashTable) mergeSlabs(slabs [][]buildEnt, dop int) {
+	total := 0
+	offs := make([]int, len(slabs))
+	for i, s := range slabs {
+		offs[i] = total
+		total += len(s)
+	}
+	nparts := 1
+	for nparts < dop {
+		nparts *= 2
+	}
+	ht.mask = uint64(nparts - 1)
+	ht.ents = make([]buildEnt, total)
+	ht.links = make([]int32, total)
+	buckets := make([][][]int32, len(slabs)) // [slab][partition] -> flat indexes
+	var wg sync.WaitGroup
+	for si, s := range slabs {
+		wg.Add(1)
+		go func(si int, s []buildEnt) {
+			defer wg.Done()
+			copy(ht.ents[offs[si]:], s)
+			bucket := make([][]int32, nparts)
+			for i := range s {
+				p := s[i].h & ht.mask
+				bucket[p] = append(bucket[p], int32(offs[si]+i))
+			}
+			buckets[si] = bucket
+		}(si, s)
+	}
+	wg.Wait()
+	ht.heads = make([]map[uint64]chainRef, nparts)
+	for p := range ht.heads {
+		ht.heads[p] = make(map[uint64]chainRef)
+	}
+	var iw sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		iw.Add(1)
+		go func(p int) {
+			defer iw.Done()
+			m := ht.heads[p]
+			for _, bucket := range buckets {
+				for _, idx := range bucket[p] {
+					h := ht.ents[idx].h
+					ht.links[idx] = -1
+					if ref, ok := m[h]; ok {
+						ht.links[ref.tail] = idx
+						ref.tail = idx
+						m[h] = ref
+					} else {
+						m[h] = chainRef{head: idx, tail: idx}
+					}
+				}
+			}
+		}(p)
+	}
+	iw.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sqlxnf/internal/btree"
 	"sqlxnf/internal/catalog"
@@ -805,11 +806,13 @@ func (j *NLJoin) Explain() string {
 // Children implements Plan.
 func (j *NLJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
 
-// buildEnt is one hash-table entry: the build row plus its evaluated key,
-// kept so probes verify true key equality instead of trusting 64-bit hashes
-// (two distinct keys may collide) and never re-evaluate build-side key
-// expressions.
+// buildEnt is one hash-table entry: the build row plus its evaluated key and
+// bucket hash. Keys are kept so probes verify true key equality instead of
+// trusting 64-bit hashes (two distinct keys may collide) and never
+// re-evaluate build-side key expressions; the hash is kept so the parallel
+// build's partitioned merge never re-hashes.
 type buildEnt struct {
+	h    uint64
 	keys types.Row
 	row  types.Row
 }
@@ -819,29 +822,87 @@ type chainRef struct {
 	head, tail int32
 }
 
+// hashTable is the join table shared by the serial and parallel build paths:
+// a flat entry slice with chain links and per-partition hash→head indexes.
+// One growing allocation holds all entries instead of a bucket slice per
+// distinct key, which keeps build-side GC pressure flat. The serial build
+// uses a single partition (mask 0); the parallel build shards hash space
+// across partitions so the merge can index chains without locks.
+type hashTable struct {
+	mask  uint64
+	heads []map[uint64]chainRef
+	ents  []buildEnt
+	links []int32
+}
+
+// init prepares a single-partition table for a serial build, keeping entry
+// capacity across Open cycles.
+func (ht *hashTable) init() {
+	ht.mask = 0
+	ht.heads = []map[uint64]chainRef{make(map[uint64]chainRef)}
+	ht.ents = ht.ents[:0]
+	ht.links = ht.links[:0]
+}
+
+// insert appends one entry to its hash chain (serial build path).
+func (ht *hashTable) insert(h uint64, keys, row types.Row) {
+	idx := int32(len(ht.ents))
+	ht.ents = append(ht.ents, buildEnt{h: h, keys: keys, row: row})
+	ht.links = append(ht.links, -1)
+	m := ht.heads[h&ht.mask]
+	if ref, ok := m[h]; ok {
+		ht.links[ref.tail] = idx
+		ref.tail = idx
+		m[h] = ref
+	} else {
+		m[h] = chainRef{head: idx, tail: idx}
+	}
+}
+
+// head returns the first entry index of the chain for hash h, or -1.
+func (ht *hashTable) head(h uint64) int32 {
+	if len(ht.heads) == 0 {
+		return -1
+	}
+	if ref, ok := ht.heads[h&ht.mask][h]; ok {
+		return ref.head
+	}
+	return -1
+}
+
+// drop releases the table's row memory (it scales with the build input and
+// must not pin memory in pooled prepared plans).
+func (ht *hashTable) drop() {
+	ht.heads = nil
+	ht.ents = nil
+	ht.links = nil
+}
+
 // HashJoin is an equi-join: build a hash table on the right input keyed by
 // RightKeys, probe with LeftKeys. Residual (optional) filters concatenated
 // rows for non-equi conjuncts. Build and probe are batch-at-a-time with
 // reusable key scratch buffers, so key evaluation allocates nothing per row.
-//
-// The table is a flat entry slice with chain links and a hash→head index:
-// one growing allocation for all entries instead of a bucket slice per
-// distinct key, which keeps build-side GC pressure flat.
 type HashJoin struct {
 	Left, Right         Plan
 	LeftKeys, RightKeys []Expr
 	Residual            Expr
-	out                 types.Schema
-	heads               map[uint64]chainRef
-	ents                []buildEnt
-	links               []int32
-	cur                 types.Row
-	chain               int32     // cursor into the current probe chain (-1 = none)
-	curKeys             types.Row // probe-side scratch, len(LeftKeys)
-	lbatch              []types.Row
-	lpos                int
-	obuf                []types.Row
-	arena               rowArena
+	// Shared marks the join for parallel execution: worker clones of the
+	// join share one build (see sharedBuild in parallel.go) — the table is
+	// built once, in parallel, and probed by every worker. Set by the
+	// optimizer when it wraps the probe pipeline in a Gather.
+	Shared bool
+	shared *sharedBuild // wired by cloneWorkers per execution
+
+	out     types.Schema
+	own     hashTable  // serial build storage
+	tab     *hashTable // table probed (own or shared)
+	cur     types.Row
+	chain   int32     // cursor into the current probe chain (-1 = none)
+	curKeys types.Row // probe-side scratch, len(LeftKeys)
+	lbatch  []types.Row
+	lpos    int
+	obuf    []types.Row
+	arena   rowArena
 	// hash is the bucket hash for keys; the collision regression test
 	// overrides it to force every key into one chain and prove probe-side
 	// key comparison, not the hash, decides matches. Nil means Row.Hash.
@@ -859,52 +920,51 @@ func (j *HashJoin) Schema() types.Schema { return j.out }
 
 // Open implements Plan: builds the hash table from the right input batch by
 // batch. Evaluated keys land in a chunked arena (copied once from the shared
-// scratch row) alongside their rows.
+// scratch row) alongside their rows. A shared join instead fetches the table
+// from its sharedBuild — the first worker clone to arrive runs the parallel
+// build, the rest probe the same flat table.
 func (j *HashJoin) Open(ctx *Context) error {
 	if err := j.Left.Open(ctx); err != nil {
-		return err
-	}
-	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
 	if j.hash == nil {
 		j.hash = types.Row.Hash
 	}
-	j.heads = make(map[uint64]chainRef)
-	j.ents = j.ents[:0]
-	j.links = j.links[:0]
-	scratch := make(types.Row, len(j.RightKeys))
-	keyArena := rowArena{arity: len(j.RightKeys)}
-	for {
-		batch, err := j.Right.NextBatch(ctx)
+	if j.shared != nil {
+		tab, err := j.shared.table(ctx)
 		if err != nil {
 			return err
 		}
-		if len(batch) == 0 {
-			break
+		j.tab = tab
+	} else {
+		if err := j.Right.Open(ctx); err != nil {
+			return err
 		}
-		for _, row := range batch {
-			null, err := evalKeysInto(ctx, j.RightKeys, row, scratch)
+		j.own.init()
+		scratch := make(types.Row, len(j.RightKeys))
+		keyArena := rowArena{arity: len(j.RightKeys)}
+		for {
+			batch, err := j.Right.NextBatch(ctx)
 			if err != nil {
 				return err
 			}
-			if null {
-				continue // NULL keys never join
+			if len(batch) == 0 {
+				break
 			}
-			keys := keyArena.next()
-			copy(keys, scratch)
-			h := j.hash(keys)
-			idx := int32(len(j.ents))
-			j.ents = append(j.ents, buildEnt{keys: keys, row: row})
-			j.links = append(j.links, -1)
-			if ref, ok := j.heads[h]; ok {
-				j.links[ref.tail] = idx
-				ref.tail = idx
-				j.heads[h] = ref
-			} else {
-				j.heads[h] = chainRef{head: idx, tail: idx}
+			for _, row := range batch {
+				null, err := evalKeysInto(ctx, j.RightKeys, row, scratch)
+				if err != nil {
+					return err
+				}
+				if null {
+					continue // NULL keys never join
+				}
+				keys := keyArena.next()
+				copy(keys, scratch)
+				j.own.insert(j.hash(keys), keys, row)
 			}
 		}
+		j.tab = &j.own
 	}
 	j.cur = nil
 	j.chain = -1
@@ -923,11 +983,7 @@ func (j *HashJoin) probe(ctx *Context, row types.Row) (bool, error) {
 		return false, err
 	}
 	j.cur = row
-	if ref, ok := j.heads[j.hash(j.curKeys)]; ok {
-		j.chain = ref.head
-	} else {
-		j.chain = -1
-	}
+	j.chain = j.tab.head(j.hash(j.curKeys))
 	return true, nil
 }
 
@@ -935,8 +991,8 @@ func (j *HashJoin) probe(ctx *Context, row types.Row) (bool, error) {
 // equals the current probe key (the hash collision guard), or nil.
 func (j *HashJoin) nextMatch() *buildEnt {
 	for j.chain >= 0 {
-		ent := &j.ents[j.chain]
-		j.chain = j.links[j.chain]
+		ent := &j.tab.ents[j.chain]
+		j.chain = j.tab.links[j.chain]
 		if ent.keys.Equal(j.curKeys) {
 			return ent
 		}
@@ -1022,18 +1078,24 @@ func (j *HashJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 
 // Close implements Plan. The bounded output buffer keeps its capacity for
 // reopen; the hash table drops — it scales with the build input and would
-// pin arbitrary row memory in pooled prepared plans.
+// pin arbitrary row memory in pooled prepared plans. A shared join never
+// opened its Right subtree (the sharedBuild ran its own clones), so it must
+// not close it either.
 func (j *HashJoin) Close() error {
-	j.heads = nil
-	j.ents = nil
-	j.links = nil
+	j.own.drop()
+	j.tab = nil
 	j.obuf = j.obuf[:0]
 	j.lbatch = nil
 	if err := j.Left.Close(); err != nil {
-		j.Right.Close()
+		if j.shared == nil {
+			j.Right.Close()
+		}
 		return err
 	}
-	return j.Right.Close()
+	if j.shared == nil {
+		return j.Right.Close()
+	}
+	return nil
 }
 
 // Explain implements Plan.
@@ -1042,7 +1104,11 @@ func (j *HashJoin) Explain() string {
 	for i := range j.LeftKeys {
 		parts = append(parts, DumpExpr(j.LeftKeys[i])+"="+DumpExpr(j.RightKeys[i]))
 	}
-	return "HashJoin " + strings.Join(parts, " AND ")
+	out := "HashJoin " + strings.Join(parts, " AND ")
+	if j.Shared {
+		out += " (shared build)"
+	}
+	return out
 }
 
 // Children implements Plan.
@@ -1245,11 +1311,62 @@ type SortKey struct {
 }
 
 // Sort materializes and orders child output. NULLs sort first ascending.
+// The key comparison precompiles once per operator (Keys are immutable):
+// the single-key case runs without the per-comparison key loop and integer
+// keys compare inline without the generic types.Compare dispatch.
 type Sort struct {
 	Child Plan
 	Keys  []SortKey
+	cmp   rowCompare
 	rows  []types.Row
 	pos   int
+}
+
+// rowCompare orders two rows; comparison errors (mixed incomparable kinds)
+// land in *errOut, first one wins.
+type rowCompare func(a, b types.Row, errOut *error) int
+
+// compareKeyVals orders two key values with the NULLs-first rule and an
+// inline integer fast path.
+func compareKeyVals(a, b types.Value, errOut *error) int {
+	if a.Kind() == types.KindInt && b.Kind() == types.KindInt {
+		ai, bi := a.Int(), b.Int()
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	}
+	return compareNullsFirst(a, b, errOut)
+}
+
+// compileComparator builds the precompiled comparator for a key list.
+func compileComparator(keys []SortKey) rowCompare {
+	if len(keys) == 1 {
+		idx, desc := keys[0].Idx, keys[0].Desc
+		return func(a, b types.Row, errOut *error) int {
+			c := compareKeyVals(a[idx], b[idx], errOut)
+			if desc {
+				c = -c
+			}
+			return c
+		}
+	}
+	ks := append([]SortKey(nil), keys...)
+	return func(a, b types.Row, errOut *error) int {
+		for _, key := range ks {
+			c := compareKeyVals(a[key.Idx], b[key.Idx], errOut)
+			if key.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
 }
 
 // Schema implements Plan.
@@ -1272,19 +1389,12 @@ func (s *Sort) Open(ctx *Context) error {
 		}
 		s.rows = append(s.rows, batch...)
 	}
+	if s.cmp == nil {
+		s.cmp = compileComparator(s.Keys)
+	}
 	var sortErr error
 	sort.SliceStable(s.rows, func(i, k int) bool {
-		for _, key := range s.Keys {
-			a, b := s.rows[i][key.Idx], s.rows[k][key.Idx]
-			c := compareNullsFirst(a, b, &sortErr)
-			if key.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
+		return s.cmp(s.rows[i], s.rows[k], &sortErr) < 0
 	})
 	return sortErr
 }
@@ -1363,8 +1473,14 @@ type GroupAgg struct {
 	KeyIdxs []int
 	Aggs    []AggDef
 	Out     types.Schema
-	groups  []types.Row
-	pos     int
+	// DOP, when > 1, aggregates in parallel: DOP workers each drain a clone
+	// of Child (whose morsel leaves share one dispatcher) into a private
+	// group table, and Open merges the worker tables at drain. Merged groups
+	// emit in canonical encoded-key order so results are deterministic
+	// across DOP values; the serial path keeps first-seen order.
+	DOP    int
+	groups []types.Row
+	pos    int
 }
 
 // Schema implements Plan.
@@ -1378,106 +1494,195 @@ type aggState struct {
 	seen  map[uint64][]types.Value // DISTINCT tracking
 }
 
-// Open implements Plan.
-func (g *GroupAgg) Open(ctx *Context) error {
-	if err := g.Child.Open(ctx); err != nil {
-		return err
-	}
-	g.pos = 0
-	g.groups = g.groups[:0]
-	type group struct {
-		key    types.Row
-		states []*aggState
-	}
-	index := map[uint64][]*group{}
-	var order []*group
-	newGroup := func(key types.Row) *group {
-		gr := &group{key: key, states: make([]*aggState, len(g.Aggs))}
-		for i := range gr.states {
-			gr.states[i] = &aggState{sum: types.Null(), min: types.Null(), max: types.Null()}
-			if g.Aggs[i].Distinct {
-				gr.states[i].seen = map[uint64][]types.Value{}
+// observe folds one non-NULL value into the state. For DISTINCT aggregates
+// it is also the merge primitive: replaying one worker's seen set into
+// another state deduplicates across workers exactly like within one.
+func (st *aggState) observe(v types.Value, distinct bool) error {
+	if distinct {
+		vh := v.Hash()
+		for _, prev := range st.seen[vh] {
+			if types.Equal(prev, v) {
+				return nil
 			}
 		}
-		order = append(order, gr)
-		return gr
+		st.seen[vh] = append(st.seen[vh], v)
 	}
-	keyScratch := make(types.Row, len(g.KeyIdxs))
-	for {
-		batch, err := g.Child.NextBatch(ctx)
+	st.count++
+	if st.sum.IsNull() {
+		st.sum = v
+	} else {
+		sum, err := types.Arith("+", st.sum, v)
 		if err != nil {
 			return err
 		}
-		if len(batch) == 0 {
-			break
-		}
-		for _, row := range batch {
-			for i, k := range g.KeyIdxs {
-				keyScratch[i] = row[k]
-			}
-			h := keyScratch.Hash()
-			var gr *group
-			for _, cand := range index[h] {
-				if cand.key.Equal(keyScratch) {
-					gr = cand
-					break
-				}
-			}
-			if gr == nil {
-				gr = newGroup(keyScratch.Clone())
-				index[h] = append(index[h], gr)
-			}
-			for i, def := range g.Aggs {
-				st := gr.states[i]
-				if def.Kind == AggCountStar {
-					st.count++
-					continue
-				}
-				v := row[def.ArgIdx]
-				if v.IsNull() {
-					continue
-				}
-				if def.Distinct {
-					vh := v.Hash()
-					dup := false
-					for _, prev := range st.seen[vh] {
-						if types.Equal(prev, v) {
-							dup = true
-							break
-						}
-					}
-					if dup {
-						continue
-					}
-					st.seen[vh] = append(st.seen[vh], v)
-				}
-				st.count++
-				if st.sum.IsNull() {
-					st.sum = v
-				} else {
-					sum, err := types.Arith("+", st.sum, v)
-					if err != nil {
-						return err
-					}
-					st.sum = sum
-				}
-				if st.min.IsNull() {
-					st.min = v
-				} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
-					st.min = v
-				}
-				if st.max.IsNull() {
-					st.max = v
-				} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
-					st.max = v
+		st.sum = sum
+	}
+	if st.min.IsNull() {
+		st.min = v
+	} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
+		st.min = v
+	}
+	if st.max.IsNull() {
+		st.max = v
+	} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
+		st.max = v
+	}
+	return nil
+}
+
+// mergeAggState folds one worker's state into another. Non-distinct states
+// combine their summaries directly; distinct states replay the source's
+// value set through observe, which re-deduplicates against the destination.
+func mergeAggState(dst, src *aggState, def AggDef) error {
+	if def.Distinct {
+		for _, vals := range src.seen {
+			for _, v := range vals {
+				if err := dst.observe(v, true); err != nil {
+					return err
 				}
 			}
 		}
+		return nil
 	}
-	if len(g.KeyIdxs) == 0 && len(order) == 0 {
-		newGroup(types.Row{})
+	dst.count += src.count
+	if !src.sum.IsNull() {
+		if dst.sum.IsNull() {
+			dst.sum = src.sum
+		} else {
+			sum, err := types.Arith("+", dst.sum, src.sum)
+			if err != nil {
+				return err
+			}
+			dst.sum = sum
+		}
 	}
-	for _, gr := range order {
+	if !src.min.IsNull() {
+		if dst.min.IsNull() {
+			dst.min = src.min
+		} else if c, err := types.Compare(src.min, dst.min); err == nil && c < 0 {
+			dst.min = src.min
+		}
+	}
+	if !src.max.IsNull() {
+		if dst.max.IsNull() {
+			dst.max = src.max
+		} else if c, err := types.Compare(src.max, dst.max); err == nil && c > 0 {
+			dst.max = src.max
+		}
+	}
+	return nil
+}
+
+// aggGroup is one group's key and aggregate states.
+type aggGroup struct {
+	key    types.Row
+	states []*aggState
+}
+
+// groupTable is the aggregation hash table one drain writes into. The serial
+// path uses one; the parallel path gives each worker its own and merges them
+// at drain, so workers never synchronize per row.
+type groupTable struct {
+	keyIdxs []int
+	aggs    []AggDef
+	index   map[uint64][]*aggGroup
+	order   []*aggGroup
+	scratch types.Row
+}
+
+func newGroupTable(keyIdxs []int, aggs []AggDef) *groupTable {
+	return &groupTable{
+		keyIdxs: keyIdxs,
+		aggs:    aggs,
+		index:   map[uint64][]*aggGroup{},
+		scratch: make(types.Row, len(keyIdxs)),
+	}
+}
+
+// newGroup registers an empty group under key (which must be safe to retain).
+func (gt *groupTable) newGroup(key types.Row) *aggGroup {
+	gr := &aggGroup{key: key, states: make([]*aggState, len(gt.aggs))}
+	for i := range gr.states {
+		gr.states[i] = &aggState{sum: types.Null(), min: types.Null(), max: types.Null()}
+		if gt.aggs[i].Distinct {
+			gr.states[i].seen = map[uint64][]types.Value{}
+		}
+	}
+	gt.order = append(gt.order, gr)
+	return gr
+}
+
+// lookup finds the group for key (hash h), or nil.
+func (gt *groupTable) lookup(h uint64, key types.Row) *aggGroup {
+	for _, cand := range gt.index[h] {
+		if cand.key.Equal(key) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// add folds one input row into its group.
+func (gt *groupTable) add(row types.Row) error {
+	for i, k := range gt.keyIdxs {
+		gt.scratch[i] = row[k]
+	}
+	h := gt.scratch.Hash()
+	gr := gt.lookup(h, gt.scratch)
+	if gr == nil {
+		gr = gt.newGroup(gt.scratch.Clone())
+		gt.index[h] = append(gt.index[h], gr)
+	}
+	for i, def := range gt.aggs {
+		st := gr.states[i]
+		if def.Kind == AggCountStar {
+			st.count++
+			continue
+		}
+		v := row[def.ArgIdx]
+		if v.IsNull() {
+			continue
+		}
+		if err := st.observe(v, def.Distinct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge folds another worker's table into this one.
+func (gt *groupTable) merge(o *groupTable) error {
+	for _, og := range o.order {
+		h := og.key.Hash()
+		gr := gt.lookup(h, og.key)
+		if gr == nil {
+			gr = gt.newGroup(og.key)
+			gt.index[h] = append(gt.index[h], gr)
+		}
+		for i, def := range gt.aggs {
+			if err := mergeAggState(gr.states[i], og.states[i], def); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finish turns a drained group table into output rows, handling the
+// zero-row no-key case. canonical orders groups by encoded key so parallel
+// drains emit deterministically regardless of worker interleaving.
+func (g *GroupAgg) finish(gt *groupTable, canonical bool) error {
+	if len(g.KeyIdxs) == 0 && len(gt.order) == 0 {
+		gt.newGroup(types.Row{})
+	}
+	if canonical {
+		enc := make([]string, len(gt.order))
+		for i, gr := range gt.order {
+			enc[i] = string(types.EncodeKey(gr.key))
+		}
+		sort.Sort(&groupsByKey{order: gt.order, enc: enc})
+	}
+	for _, gr := range gt.order {
 		out := make(types.Row, 0, len(gr.key)+len(g.Aggs))
 		out = append(out, gr.key...)
 		for i, def := range g.Aggs {
@@ -1508,6 +1713,115 @@ func (g *GroupAgg) Open(ctx *Context) error {
 	return nil
 }
 
+// groupsByKey sorts groups and their encoded keys together.
+type groupsByKey struct {
+	order []*aggGroup
+	enc   []string
+}
+
+func (s *groupsByKey) Len() int           { return len(s.order) }
+func (s *groupsByKey) Less(i, k int) bool { return s.enc[i] < s.enc[k] }
+func (s *groupsByKey) Swap(i, k int) {
+	s.order[i], s.order[k] = s.order[k], s.order[i]
+	s.enc[i], s.enc[k] = s.enc[k], s.enc[i]
+}
+
+// Open implements Plan.
+func (g *GroupAgg) Open(ctx *Context) error {
+	g.pos = 0
+	g.groups = g.groups[:0]
+	// A morsel-leafed child always drains through the worker path (a lone
+	// worker still needs the dispatcher wired); without a morsel leaf the
+	// input cannot split — DOP clones would each see the whole input and
+	// double-count — so the child drains serially whatever DOP says.
+	if hasMorselLeaf(g.Child) {
+		return g.openParallel(ctx)
+	}
+	if err := g.Child.Open(ctx); err != nil {
+		return err
+	}
+	gt := newGroupTable(g.KeyIdxs, g.Aggs)
+	for {
+		batch, err := g.Child.NextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, row := range batch {
+			if err := gt.add(row); err != nil {
+				return err
+			}
+		}
+	}
+	return g.finish(gt, false)
+}
+
+// openParallel runs the parallel aggregation: DOP workers drain clones of
+// the child pipeline into private group tables, merged after the barrier.
+// The child template itself never opens.
+func (g *GroupAgg) openParallel(ctx *Context) error {
+	dop := g.DOP
+	if dop < 1 {
+		dop = 1
+	}
+	workers, err := cloneWorkers(g.Child, dop)
+	if err != nil {
+		return err
+	}
+	tables := make([]*groupTable, len(workers))
+	errs := make([]error, len(workers))
+	stats := make([]*Stats, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w Plan) {
+			defer wg.Done()
+			wctx := workerContext(ctx)
+			stats[i] = wctx.Stats
+			gt := newGroupTable(g.KeyIdxs, g.Aggs)
+			tables[i] = gt
+			errs[i] = func() error {
+				if err := w.Open(wctx); err != nil {
+					return err
+				}
+				defer w.Close()
+				for {
+					batch, err := w.NextBatch(wctx)
+					if err != nil {
+						return err
+					}
+					if len(batch) == 0 {
+						return nil
+					}
+					for _, row := range batch {
+						if err := gt.add(row); err != nil {
+							return err
+						}
+					}
+				}
+			}()
+		}(i, w)
+	}
+	wg.Wait()
+	for _, st := range stats {
+		ctx.Stats.add(st)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	gt := tables[0]
+	for _, o := range tables[1:] {
+		if err := gt.merge(o); err != nil {
+			return err
+		}
+	}
+	return g.finish(gt, true)
+}
+
 // Next implements Plan.
 func (g *GroupAgg) Next(*Context) (types.Row, bool, error) {
 	if g.pos >= len(g.groups) {
@@ -1528,7 +1842,11 @@ func (g *GroupAgg) Close() error { g.groups = nil; return g.Child.Close() }
 
 // Explain implements Plan.
 func (g *GroupAgg) Explain() string {
-	return fmt.Sprintf("GroupAgg keys=%v aggs=%d", g.KeyIdxs, len(g.Aggs))
+	out := fmt.Sprintf("GroupAgg keys=%v aggs=%d", g.KeyIdxs, len(g.Aggs))
+	if g.DOP > 1 {
+		out += fmt.Sprintf(" (parallel=%d)", g.DOP)
+	}
+	return out
 }
 
 // Children implements Plan.

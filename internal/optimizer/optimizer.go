@@ -23,6 +23,10 @@ type Options struct {
 	NoIndexes    bool
 	NoHashJoins  bool
 	NoIndexJoins bool
+	// MaxDOP caps intra-query parallelism: < 0 disables it, 0 means
+	// automatic (GOMAXPROCS, capped — see parallel.go), > 0 forces that cap
+	// even on fewer cores (benchmarks and the parallel parity tests use it).
+	MaxDOP int
 }
 
 // DefaultOptions enables everything.
@@ -58,6 +62,7 @@ func CompileWithInfo(box *qgm.Box, opt Options) (exec.Plan, *CompileInfo, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	plan = c.parallelize(plan)
 	return plan, c.info, nil
 }
 
@@ -288,14 +293,55 @@ func (c *compiler) compileSelect(box *qgm.Box) (exec.Plan, error) {
 		}
 		newOffsets[best] = len(joinedSchema)
 
-		// Index-nested-loop candidate: when the new quantifier is a base
-		// table whose index leading column appears in an equi-join conjunct
-		// and the outer side is estimated small, probing the index per outer
-		// row beats building a hash table over the whole inner table — the
-		// paper's parent/child edge-join shape.
-		if ijPlan, ok, err := c.tryIndexJoin(box, st, now, offsets, newOffsets, plan, curCard, bestCard); err != nil {
+		// Index-nested-loop candidates. (a) The new quantifier as the probed
+		// inner — a base table whose index leading columns are covered by
+		// equality conjuncts, probed once per outer row: the paper's
+		// parent/child edge-join shape. (b) The sides swapped: when exactly
+		// one base quantifier is joined so far, the new input can instead be
+		// the outer probing the already-joined table's index, which wins when
+		// the new input is small and the joined table's own access path would
+		// scan it whole (the ROADMAP index-join sidedness item).
+		ijPlan, ijCost, ijOK, err := c.tryIndexJoin(box, st, now, offsets, newOffsets, plan, curCard, bestCard)
+		if err != nil {
 			return nil, err
-		} else if ok {
+		}
+		// Hash join pays the full inner build plus one probe per outer row.
+		useIJ := false
+		if ijOK {
+			useIJ = ijCost < tableCard(st.box.Table)+curCard
+		}
+		if joinedCount == 1 && states[first].isBase {
+			swOuter := map[int]int{best: 0}
+			swNew := map[int]int{best: 0, first: len(st.schema)}
+			swPlan, swCost, swOK, err := c.tryIndexJoin(box, states[first], now, swOuter, swNew, st.plan, st.card, bestCard)
+			if err != nil {
+				return nil, err
+			}
+			if swOK {
+				// Whole-pipeline comparison: keeping the seed as outer pays
+				// its access path plus the chosen join; swapping drops the
+				// seed's access path entirely — the probes read only the
+				// tuples the new outer reaches.
+				keepCost := accessCostOr(states[first].plan, curCard)
+				if useIJ {
+					keepCost += ijCost
+				} else {
+					keepCost += accessCostOr(st.plan, st.card) + curCard
+				}
+				if accessCostOr(st.plan, st.card)+swCost < keepCost {
+					plan = swPlan
+					joinedSchema = st.schema.Concat(joinedSchema)
+					offsets = swNew
+					states[best].joined = true
+					curCard = bestCard
+					if curCard < 1 {
+						curCard = 1
+					}
+					continue
+				}
+			}
+		}
+		if useIJ {
 			plan = ijPlan
 			joinedSchema = joinedSchema.Concat(st.schema)
 			offsets = newOffsets
@@ -610,34 +656,37 @@ func (c *compiler) buildIndexScan(t *catalog.Table, cand *accessCandidate) (*exe
 	return is, nil
 }
 
-// tryIndexJoin attempts to join the new quantifier st with a batched
-// index-nested-loop operator. It succeeds when st ranges over a base table,
-// some index's leading columns are covered by equality conjuncts — equi-join
-// conjuncts keyed by outer expressions, interleaved with the inner side's
-// pushed `col = const` conjuncts, combined into one composite probe key —
-// and the estimated probe cost undercuts the hash build. Unused evaluable
-// join conjuncts and unused pushed conjuncts move into the join's residual
-// predicate (st's standalone access path is discarded — the index join reads
-// the base table directly).
-func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
-	offsets, newOffsets map[int]int, outer exec.Plan, outerCard, outCard float64,
-) (exec.Plan, bool, error) {
-	if c.opt.NoIndexes || c.opt.NoIndexJoins || !st.isBase {
-		return nil, false, nil
+// tryIndexJoin builds the cheapest batched index-nested-loop candidate that
+// joins quantifier inner — probed through one of its indexes — under an
+// outer plan whose row layout is described by outerOffsets. It succeeds when
+// inner ranges over a base table and some index's leading columns are
+// covered by equality conjuncts: equi-join conjuncts keyed by outer
+// expressions, interleaved with the inner side's pushed `col = const`
+// conjuncts, combined into one composite probe key. Unused evaluable join
+// conjuncts and unused pushed conjuncts move into the join's residual
+// predicate (inner's standalone access path is discarded — the index join
+// reads the base table directly). The returned cost is the probe-side
+// estimate outerCard·(probe + matches·fetch); the caller weighs it against
+// the alternatives.
+func (c *compiler) tryIndexJoin(box *qgm.Box, inner *quantState, now []qgm.Expr,
+	outerOffsets, newOffsets map[int]int, outer exec.Plan, outerCard, outCard float64,
+) (exec.Plan, float64, bool, error) {
+	if c.opt.NoIndexes || c.opt.NoIndexJoins || !inner.isBase {
+		return nil, 0, false, nil
 	}
-	t := st.box.Table
+	t := inner.box.Table
 	innerRows := tableCard(t)
 
 	// Equality sources per inner schema column: equi-join conjuncts (keyed
 	// by an outer-side expression) and pushed constant equalities.
 	type eqSource struct {
 		join    bool
-		nowIdx  int      // index into now (join) or st.pushed (constant)
+		nowIdx  int      // index into now (join) or inner.pushed (constant)
 		keyExpr qgm.Expr // outer expression (join) or constant expression
 	}
 	joinByCol := map[int]eqSource{}
 	for ci, cj := range now {
-		l, r, ok := equiJoinSides(cj, offsets, st.idx)
+		l, r, ok := equiJoinSides(cj, outerOffsets, inner.idx)
 		if !ok {
 			continue
 		}
@@ -650,7 +699,7 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 		}
 	}
 	constByCol := map[int]eqSource{}
-	for pi, cj := range st.pushed {
+	for pi, cj := range inner.pushed {
 		col, cmp, valExpr, ok := indexableConjunct(cj)
 		if !ok || cmp != "=" {
 			continue
@@ -660,7 +709,7 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 		}
 	}
 	if len(joinByCol) == 0 {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 
 	// Pick the cheapest index: bind each leading column to a join conjunct
@@ -696,12 +745,7 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 		}
 	}
 	if bestIx == nil {
-		return nil, false, nil
-	}
-	// Hash join pays the full inner build plus one probe per outer row.
-	hashCost := innerRows + outerCard
-	if bestCost >= hashCost {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 
 	keyExprs := make([]exec.Expr, len(bestKeys))
@@ -710,14 +754,14 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 	for i, src := range bestKeys {
 		var err error
 		if src.join {
-			keyExprs[i], err = c.compileExpr(src.keyExpr, offsets)
+			keyExprs[i], err = c.compileExpr(src.keyExpr, outerOffsets)
 			usedNow[src.nowIdx] = true
 		} else {
 			keyExprs[i], err = c.compileExpr(src.keyExpr, nil)
 			usedPushed[src.nowIdx] = true
 		}
 		if err != nil {
-			return nil, false, err
+			return nil, 0, false, err
 		}
 	}
 	// Residual: the unused evaluable join conjuncts plus the inner side's
@@ -728,7 +772,7 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 			residual = append(residual, cj)
 		}
 	}
-	for pi, cj := range st.pushed {
+	for pi, cj := range inner.pushed {
 		if !usedPushed[pi] {
 			residual = append(residual, cj)
 		}
@@ -737,12 +781,38 @@ func (c *compiler) tryIndexJoin(box *qgm.Box, st *quantState, now []qgm.Expr,
 	if len(residual) > 0 {
 		var err error
 		if resPred, err = c.compilePredicateFor(residual, newOffsets); err != nil {
-			return nil, false, err
+			return nil, 0, false, err
 		}
 	}
 	ij := exec.NewIndexJoin(outer, t, bestIx, keyExprs, resPred)
 	ij.EstRows = outCard
-	return ij, true, nil
+	return ij, bestCost, true, nil
+}
+
+// accessCostOr approximates the cost of producing one quantifier's input
+// stream: the rows its scan visits (index scans pay probe plus fetches).
+// Filters and projections ride along for free at this granularity; derived
+// inputs without a physical cost fall back to the given cardinality.
+func accessCostOr(p exec.Plan, fallback float64) float64 {
+	switch n := p.(type) {
+	case *exec.SeqScan:
+		return tableCard(n.Table)
+	case *exec.IndexScan:
+		est := n.EstRows
+		if est < 1 {
+			est = 1
+		}
+		return indexProbeCost + est*randomFetchCost
+	case *exec.Filter:
+		return accessCostOr(n.Child, fallback)
+	case *exec.Project:
+		return accessCostOr(n.Child, fallback)
+	default:
+		if fallback < 1 {
+			return 1
+		}
+		return fallback
+	}
 }
 
 func anyQuant(conj []qgm.Expr) int {

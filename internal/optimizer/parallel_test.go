@@ -1,0 +1,182 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/storage"
+	"sqlxnf/internal/types"
+)
+
+// TestParallelDOPDecision: the optimizer wraps big scan pipelines in a
+// Gather with the configured DOP, leaves small ones serial (so point lookups
+// and the prepared-plan hit path pay nothing), and honors MaxDOP < 0.
+func TestParallelDOPDecision(t *testing.T) {
+	cat := fixture(t)
+	emp, err := cat.Table("EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sql := "SELECT eno FROM EMP WHERE sal > 0"
+	// Small table: serial plan even with parallelism enabled.
+	small := exec.Dump(compileSQL(t, cat, sql, Options{MaxDOP: 4}))
+	if strings.Contains(small, "Gather") || strings.Contains(small, "MorselScan") {
+		t.Fatalf("small scan should stay serial:\n%s", small)
+	}
+
+	// Fake a big table: the DOP decision reads the live row count.
+	emp.Rows = 50_000
+	defer func() { emp.Rows = 30 }()
+	big := exec.Dump(compileSQL(t, cat, sql, Options{MaxDOP: 4}))
+	if !strings.Contains(big, "Gather (parallel=4)") || !strings.Contains(big, "MorselScan EMP") {
+		t.Fatalf("big scan should parallelize:\n%s", big)
+	}
+	// MaxDOP < 0 disables parallelism outright.
+	off := exec.Dump(compileSQL(t, cat, sql, Options{MaxDOP: -1}))
+	if strings.Contains(off, "Gather") {
+		t.Fatalf("MaxDOP=-1 should disable parallelism:\n%s", off)
+	}
+
+	// Group-agg over a big scan aggregates with per-worker tables.
+	agg := exec.Dump(compileSQL(t, cat, "SELECT edno, COUNT(*) FROM EMP GROUP BY edno", Options{MaxDOP: 4}))
+	if !strings.Contains(agg, "GroupAgg") || !strings.Contains(agg, "(parallel=") ||
+		!strings.Contains(agg, "MorselScan EMP") {
+		t.Fatalf("big group-agg should parallelize its drain:\n%s", agg)
+	}
+	if strings.Contains(agg, "Gather") {
+		t.Fatalf("parallel group-agg runs its own workers, no Gather expected:\n%s", agg)
+	}
+
+	// Hash join with the big table on the build side still parallelizes —
+	// the shared build is where the work is.
+	join := exec.Dump(compileSQL(t, cat,
+		"SELECT e.eno FROM EMP e, DEPT d WHERE e.edno = d.dno",
+		Options{MaxDOP: 4, NoIndexJoins: true}))
+	if !strings.Contains(join, "Gather (parallel=4)") || !strings.Contains(join, "shared build") {
+		t.Fatalf("big-build hash join should run a shared parallel build:\n%s", join)
+	}
+}
+
+// TestParallelPlanExecutes: a compiled parallel plan over real data returns
+// the same rows as the serial compilation of the same statement.
+func TestParallelPlanExecutes(t *testing.T) {
+	cat := fixture(t)
+	emp, err := cat.Table("EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp.Rows = 50_000 // decision only; data stays the fixture's 30 rows
+	defer func() { emp.Rows = 30 }()
+
+	sql := "SELECT eno FROM EMP WHERE sal > 1500"
+	serial := compileSQL(t, cat, sql, Options{MaxDOP: -1})
+	par := compileSQL(t, cat, sql, Options{MaxDOP: 4})
+	if !strings.Contains(exec.Dump(par), "Gather") {
+		t.Fatalf("expected a parallel plan:\n%s", exec.Dump(par))
+	}
+	want, err := exec.Collect(exec.NewContext(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(exec.NewContext(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range want {
+		seen[r.String()]++
+	}
+	for _, r := range got {
+		seen[r.String()]--
+	}
+	for k, n := range seen {
+		if n != 0 {
+			t.Fatalf("parallel result differs from serial at %s (delta %d)", k, n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel rows = %d, serial rows = %d", len(got), len(want))
+	}
+}
+
+// sidednessFixture: BIG (unique index on the join column, filtered on an
+// unindexed column) and SMALL (no indexes). The greedy order seeds with
+// filtered BIG (estimated smallest), so pre-swap planning could only hash
+// join — paying BIG's full scan — even though probing BIG's index once per
+// SMALL row reads a fraction of it.
+func sidednessFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(), 1<<12))
+	big, err := cat.CreateTable("BIG", types.Schema{
+		{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := cat.CreateTable("SMALL", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := cat.CreateIndex("big_k", "BIG", []string{"k"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		row := types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 10))}
+		rid, err := big.Heap.Insert(big.Tag, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _ := ix.KeyFor(big.Schema, row)
+		if err := ix.Tree.Insert(key, rid); err != nil {
+			t.Fatal(err)
+		}
+		big.Rows++
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := small.Heap.Insert(small.Tag, types.Row{types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		small.Rows++
+	}
+	return cat
+}
+
+// TestIndexJoinSidednessSwap is the ROADMAP sidedness item: the greedy join
+// order now considers the already-joined indexed table as the probed inner
+// when the small newly-joined input makes a better outer.
+func TestIndexJoinSidednessSwap(t *testing.T) {
+	cat := sidednessFixture(t)
+	sql := "SELECT s.k, b.v FROM BIG b, SMALL s WHERE b.k = s.k AND b.v = 5"
+	plan := compileSQL(t, cat, sql, Options{})
+	dump := exec.Dump(plan)
+	if !strings.Contains(dump, "IndexJoin BIG") {
+		t.Fatalf("expected BIG probed as the index-join inner:\n%s", dump)
+	}
+	if !strings.Contains(dump, "SeqScan SMALL") {
+		t.Fatalf("expected SMALL as the outer:\n%s", dump)
+	}
+	rows, err := exec.Collect(exec.NewContext(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k in 0..99 with k%10 == 5: exactly 10 matches.
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10:\n%v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r[0].Int()%10 != 5 || r[1].Int() != 5 {
+			t.Fatalf("wrong join result row %v", r)
+		}
+	}
+	// The ablation switch still turns the swap off with index joins.
+	noIJ := exec.Dump(compileSQL(t, cat, sql, Options{NoIndexJoins: true}))
+	if strings.Contains(noIJ, "IndexJoin") {
+		t.Fatalf("NoIndexJoins should suppress the swap:\n%s", noIJ)
+	}
+}
