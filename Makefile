@@ -5,13 +5,15 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# The engine package carries fuzz targets (FuzzExtractLiterals); their seed
-# corpus runs as plain tests here. `make fuzz` explores beyond the seeds.
+# The engine and comat packages carry fuzz targets (FuzzExtractLiterals,
+# FuzzDepKey); their seed corpora run as plain tests here. `make fuzz`
+# explores beyond the seeds.
 test:
 	$(GO) test ./...
 
 fuzz:
 	$(GO) test -fuzz FuzzExtractLiterals -fuzztime 30s ./internal/engine/
+	$(GO) test -fuzz FuzzDepKey -fuzztime 15s ./internal/comat/
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +25,7 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkExecRepeated -benchtime 1x ./internal/engine/
 	$(GO) run ./cmd/xnfbench -exp e16
 	$(GO) run ./cmd/xnfbench -exp e17 -json
+	$(GO) run ./cmd/xnfbench -exp e18 -json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,32 @@
+package sqlxnf
+
+import (
+	"testing"
+
+	"sqlxnf/internal/workload"
+)
+
+// BenchmarkCOCheckoutHit measures a warm composite-object checkout — the
+// e18 cached arm in Go-bench form (see cmd/xnfbench runE18).
+func BenchmarkCOCheckoutHit(b *testing.B) {
+	db := Open()
+	if _, err := workload.LoadDesign(db.Session(), workload.DesignConfig{
+		Designs: 500, CompsPerDesign: 16, SubsPerComp: 4, Seed: 7}); err != nil {
+		b.Fatal(err)
+	}
+	q := workload.WorkingSetQuery("model-3", 1)
+	if _, err := db.QueryCO(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryCO(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := db.Engine().COCacheStats(); st.Hits < int64(b.N) {
+		b.Fatalf("not hitting: %+v", st)
+	}
+}

@@ -2,7 +2,8 @@
 // statements terminated by ';'. Results print as tables; XNF TAKE queries
 // print the composite object's components and connections.
 //
-// Meta commands: \d (list tables and views), \q (quit).
+// Meta commands: \d (list tables and views), \costats (composite-object
+// cache entries and counters), \q (quit).
 package main
 
 import (
@@ -20,7 +21,7 @@ func main() {
 	s := db.Session()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\q quit)")
+	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\q quit)")
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -42,6 +43,10 @@ func main() {
 			fmt.Println("views: ", strings.Join(cat.ViewNames(), ", "))
 			prompt()
 			continue
+		case "\\costats":
+			printCOStats(db)
+			prompt()
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -60,6 +65,36 @@ func main() {
 		printResult(r)
 		prompt()
 	}
+}
+
+// printCOStats renders the composite-object cache: aggregate counters, then
+// one line per resident entry (most recently used first) with its
+// dependency snapshot — the tables whose DML versions gate its validity.
+func printCOStats(db *sqlxnf.DB) {
+	eng := db.Engine()
+	st := eng.COCacheStats()
+	fmt.Printf("co-cache: entries=%d resident=%s hits=%d misses=%d invalidations=%d evictions=%d waits=%d\n",
+		st.Entries, fmtBytes(st.ResidentBytes), st.Hits, st.Misses, st.Invalidations, st.Evictions, st.Waits)
+	fmt.Printf("spec-cache: hits=%d misses=%d\n", st.SpecHits, st.SpecMisses)
+	ents := eng.COCacheEntries()
+	if len(ents) == 0 {
+		fmt.Println("(no resident composite objects)")
+		return
+	}
+	for _, e := range ents {
+		fmt.Printf("  %-40s tuples=%-6d bytes=%-10s hits=%-6d deps=%s\n",
+			e.Key, e.Tuples, fmtBytes(e.Bytes), e.Hits, e.DepKey)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func printResult(r *sqlxnf.Result) {

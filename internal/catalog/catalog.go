@@ -54,7 +54,20 @@ type Table struct {
 	// swaps atomically so statistics refresh without blocking concurrent
 	// plan compilation.
 	stats atomic.Pointer[TableStats]
+	// version counts DML mutations to this table (insert/update/delete and
+	// their rollback compensations). Unlike the catalog epoch — which tracks
+	// schema and statistics changes — the version tracks *data* changes, at
+	// the granularity the composite-object cache needs: a materialized CO
+	// records the versions of its component tables, and a mismatch on any of
+	// them invalidates exactly the COs that read that table.
+	version atomic.Uint64
 }
+
+// Version returns the table's DML version counter.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// BumpVersion records one data mutation.
+func (t *Table) BumpVersion() { t.version.Add(1) }
 
 // Stats returns the current statistics snapshot, or nil before ANALYZE.
 func (t *Table) Stats() *TableStats { return t.stats.Load() }
@@ -171,6 +184,18 @@ func (c *Catalog) Table(name string) (*Table, error) {
 		return nil, fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	return t, nil
+}
+
+// TableVersion reports a table's current DML version; ok is false when the
+// table does not exist (dropped tables invalidate dependents through this).
+func (c *Catalog) TableVersion(name string) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[norm(name)]
+	if !ok {
+		return 0, false
+	}
+	return t.Version(), true
 }
 
 // HasTable reports table existence without an error value.

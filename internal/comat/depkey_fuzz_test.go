@@ -1,0 +1,50 @@
+package comat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDepKey holds the dependency-key encoder to its contract: decoding
+// never panics, anything that decodes re-encodes to the identical canonical
+// string (so a key can never validate against a different dependency set),
+// and encoding a decoded set is lossless.
+func FuzzDepKey(f *testing.F) {
+	f.Add("EMP@1;DEPT@2")
+	f.Add("")
+	f.Add(`WE\;IRD@0`)
+	f.Add(`A\\@18446744073709551615`)
+	f.Add("EMP@01")
+	f.Add("@0")
+	f.Add("EMP@1;;DEPT@2")
+	f.Add(strings.Repeat("T@1;", 50) + "Z@9")
+	f.Fuzz(func(t *testing.T, s string) {
+		deps, err := DecodeDepKey(s)
+		if err != nil {
+			return // malformed input is rejected, never guessed at
+		}
+		enc := EncodeDepKey(deps)
+		deps2, err := DecodeDepKey(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form %q failed: %v", enc, err)
+		}
+		if EncodeDepKey(deps2) != enc {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q", enc, EncodeDepKey(deps2))
+		}
+		if len(deps2) != len(deps) {
+			t.Fatalf("round trip changed arity: %d -> %d", len(deps), len(deps2))
+		}
+		// The decoded multiset must match: compare after canonical sort via
+		// encoding of each singleton.
+		seen := map[TableDep]int{}
+		for _, d := range deps {
+			seen[d]++
+		}
+		for _, d := range deps2 {
+			seen[d]--
+			if seen[d] < 0 {
+				t.Fatalf("round trip invented dependency %+v (input %q)", d, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package engine
+
+// Composite-object cache wiring: the session-side fetch protocol over
+// internal/comat. The protocol that keeps cached materializations
+// transactionally sound is lock-before-validate:
+//
+//  1. take shared locks on every base table the CO depends on (for a cached
+//     entry, the dependency set recorded at materialization; otherwise the
+//     spec's transitive table set),
+//  2. only then compare the entry's recorded per-table DML versions against
+//     the catalog's current counters.
+//
+// DML bumps a table's version at write time under an exclusive lock, so
+// once the shared locks are held, a version match proves no writer —
+// committed or in-flight — has touched any component table since the entry
+// materialized, and strict 2PL keeps that true for the rest of the
+// statement's transaction. A mismatch (or a concurrent flight's failure)
+// falls through to single-flight materialization under the same locks.
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlxnf/internal/catalog"
+	"sqlxnf/internal/comat"
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/lock"
+	"sqlxnf/internal/parser"
+	"sqlxnf/internal/qgm"
+	"sqlxnf/internal/types"
+	"sqlxnf/internal/xnf"
+)
+
+// maxCOFetchDepth bounds nested composite-object fetches (a node definition
+// may itself read FROM "VIEW.NODE"). View cycles cannot be created — CREATE
+// VIEW validates its body, and closing a cycle would require resolving a
+// view that does not exist yet — so this is a defense against builder bugs,
+// not a semantic limit. The counter is atomic because parallel workers
+// resolving a node reference on a hash-join build side share the session.
+const maxCOFetchDepth = 32
+
+// newExecContext returns an execution context with the session's
+// composite-object handle bound, so plans containing NodeScan leaves can
+// resolve FROM "VIEW.NODE" rows at Open.
+func (s *Session) newExecContext() *exec.Context {
+	ctx := exec.NewContext()
+	ctx.NodeRows = s.nodeRows
+	return ctx
+}
+
+// nodeRows is the bind-time node-instance handle (exec.Context.NodeRows):
+// it resolves a component table of an XNF view to its current rows, served
+// from the CO cache when the materialization is still valid. The returned
+// rows are shared with the cache; NodeScan copies them into its batches.
+// Safe for concurrent calls from parallel workers.
+func (s *Session) nodeRows(view, node string) ([]types.Row, error) {
+	co, _, err := s.fetchViewCO(view)
+	if err != nil {
+		return nil, err
+	}
+	n := co.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("engine: XNF view %q has no node %q", view, node)
+	}
+	return n.Rows, nil
+}
+
+// resolveXNFNode implements the builder's XNFNodeResolver: it materializes
+// (or fetches) the view's CO to learn the node's schema and current row
+// count, but hands the builder only the reference — rows bind at execute
+// through nodeRows, which is what makes node-ref plans cacheable.
+func (s *Session) resolveXNFNode(view, node string) (*qgm.XNFNodeRef, error) {
+	co, hit, err := s.fetchViewCO(view)
+	if err != nil {
+		return nil, err
+	}
+	n := co.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("engine: XNF view %q has no node %q", view, node)
+	}
+	return &qgm.XNFNodeRef{
+		View: strings.ToUpper(view), Node: n.Name, Schema: n.Schema,
+		EstRows: int64(len(n.Rows)), Cached: hit,
+	}, nil
+}
+
+// fetchViewCO returns the materialized composite object of a stored XNF
+// view, cached under key "VIEW:<name>".
+func (s *Session) fetchViewCO(view string) (*xnf.CO, bool, error) {
+	v, err := s.eng.cat.View(view)
+	if err != nil {
+		return nil, false, err
+	}
+	if !v.XNF {
+		return nil, false, fmt.Errorf("engine: %q is not an XNF view", view)
+	}
+	return s.fetchCO("VIEW:"+v.Name, func() (*qgm.XNFSpec, error) {
+		return s.viewSpec(v)
+	})
+}
+
+// viewSpec returns the compiled spec of a stored XNF view, through the
+// comat spec cache when enabled (checkouts are private deep clones).
+func (s *Session) viewSpec(v *catalog.View) (*qgm.XNFSpec, error) {
+	build := func() (*qgm.XNFSpec, error) {
+		st, err := s.eng.stmts.parse(v.Definition)
+		if err != nil {
+			return nil, err
+		}
+		xq, ok := st.(*parser.XNFQuery)
+		if !ok {
+			return nil, fmt.Errorf("engine: stored XNF view %q is not an XNF query", v.Name)
+		}
+		box, err := s.builder().BuildXNF(xq)
+		if err != nil {
+			return nil, err
+		}
+		return box.XNF, nil
+	}
+	if cm := s.eng.comat; cm != nil {
+		return cm.Spec("VIEW:"+v.Name, s.eng.cat.Epoch(), build)
+	}
+	return build()
+}
+
+// viewSpecReadOnly returns a view's compiled spec for read-only traversal
+// (table enumeration): the shared cached spec when resident — no deep clone
+// — else a freshly checked-out one.
+func (s *Session) viewSpecReadOnly(v *catalog.View) (*qgm.XNFSpec, error) {
+	if cm := s.eng.comat; cm != nil {
+		if spec, ok := cm.PeekSpec("VIEW:"+v.Name, s.eng.cat.Epoch()); ok {
+			return spec, nil
+		}
+	}
+	return s.viewSpec(v)
+}
+
+// fetchCO is the core checkout: serve the cached CO for key when its
+// dependency versions still hold, otherwise materialize with single-flight.
+// The returned CO is shared and read-only — TAKE results clone it before
+// reaching the application. hit reports a served cache entry.
+func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf.CO, bool, error) {
+	if s.coFetchDepth.Add(1) > maxCOFetchDepth {
+		s.coFetchDepth.Add(-1)
+		return nil, false, fmt.Errorf("engine: composite-object references nest deeper than %d (cycle?)", maxCOFetchDepth)
+	}
+	defer s.coFetchDepth.Add(-1)
+
+	cm := s.eng.comat
+	if cm == nil || key == "" {
+		spec, err := specFn()
+		if err != nil {
+			return nil, false, err
+		}
+		tables, err := s.specTables(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := s.lockTablesShared(tables); err != nil {
+			return nil, false, err
+		}
+		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+		return co, false, err
+	}
+
+	// Epoch precedes every read and the materialization below, mirroring
+	// the prepared-plan cache: a concurrent DDL/ANALYZE makes the stored
+	// entry conservatively stale rather than silently current.
+	epoch := s.eng.cat.Epoch()
+	vf := s.eng.cat.TableVersion
+
+	// Fast path: a cached entry names its own dependency tables, so the
+	// hit path never builds (or even checks out) the spec — lock the
+	// recorded dependency set, then validate under those locks.
+	if tables, ok := cm.PeekDeps(key, epoch); ok {
+		if err := s.lockTablesShared(tables); err != nil {
+			return nil, false, err
+		}
+		if co, ok := cm.Get(key, epoch, vf); ok {
+			return co, true, nil
+		}
+	}
+
+	spec, err := specFn()
+	if err != nil {
+		return nil, false, err
+	}
+	tables, err := s.specTables(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.lockTablesShared(tables); err != nil {
+		return nil, false, err
+	}
+	return cm.FetchCO(key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {
+		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Dependency snapshot: versions read under the shared locks held
+		// across the whole fetch, so they describe exactly the data the
+		// evaluator saw.
+		deps := make([]comat.TableDep, 0, len(tables))
+		for _, tn := range tables {
+			ver, ok := vf(tn)
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: table %q vanished during CO materialization", tn)
+			}
+			deps = append(deps, comat.TableDep{Table: tn, Version: ver})
+		}
+		return co, deps, nil
+	})
+}
+
+// lockTablesShared takes shared locks on the given tables.
+func (s *Session) lockTablesShared(tables []string) error {
+	for _, tn := range tables {
+		if err := s.lockTable(tn, lock.Shared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specTables returns every base table a spec's materialization reads —
+// the tables under node definitions and edge USING inputs, plus,
+// transitively, the tables behind any FROM "VIEW.NODE" reference inside a
+// node definition. This transitive closure is the CO's dependency set: DML
+// to a table reachable only through a nested view still changes the outer
+// CO's contents, so it must invalidate the outer entry too.
+func (s *Session) specTables(spec *qgm.XNFSpec) ([]string, error) {
+	seen := map[string]bool{}
+	seenViews := map[string]bool{}
+	var out []string
+	var addSpec func(sp *qgm.XNFSpec) error
+	addBox := func(box *qgm.Box) error {
+		for _, tn := range collectBoxTables(box) {
+			if !seen[tn] {
+				seen[tn] = true
+				out = append(out, tn)
+			}
+		}
+		for _, vn := range collectNodeRefViews(box) {
+			if seenViews[vn] {
+				continue
+			}
+			seenViews[vn] = true
+			v, err := s.eng.cat.View(vn)
+			if err != nil {
+				return err
+			}
+			sub, err := s.viewSpecReadOnly(v)
+			if err != nil {
+				return err
+			}
+			if err := addSpec(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	addSpec = func(sp *qgm.XNFSpec) error {
+		for _, n := range sp.AllNodes() {
+			if n.Def != nil {
+				if err := addBox(n.Def); err != nil {
+					return err
+				}
+			}
+		}
+		for _, e := range sp.AllEdges() {
+			for _, u := range e.Using {
+				if err := addBox(u.Input); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := addSpec(spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectNodeRefViews lists the distinct XNF views referenced by NodeRef
+// boxes under a box tree.
+func collectNodeRefViews(box *qgm.Box) []string {
+	seen := map[string]bool{}
+	var out []string
+	walkBoxes(box, func(b *qgm.Box) bool {
+		if b.Kind == qgm.KindNodeRef && !seen[b.View] {
+			seen[b.View] = true
+			out = append(out, b.View)
+		}
+		return true
+	})
+	return out
+}
+
+// nodeRefPlanDeps resolves the statement-level dependency metadata of a box
+// that references XNF view nodes: the transitive base tables behind each
+// referenced view (to complete the plan's lock set) and their current
+// version snapshot (to invalidate the cached plan when a component table
+// changes — which also refreshes the NodeRef cardinality estimates baked
+// into the plan).
+func (s *Session) nodeRefPlanDeps(box *qgm.Box) (tables []string, deps []comat.TableDep, err error) {
+	views := collectNodeRefViews(box)
+	if len(views) == 0 {
+		return nil, nil, nil
+	}
+	seen := map[string]bool{}
+	for _, vn := range views {
+		v, err := s.eng.cat.View(vn)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := s.viewSpecReadOnly(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		vtabs, err := s.specTables(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, tn := range vtabs {
+			if seen[tn] {
+				continue
+			}
+			seen[tn] = true
+			tables = append(tables, tn)
+			ver, ok := s.eng.cat.TableVersion(tn)
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: table %q behind view %q does not exist", tn, vn)
+			}
+			deps = append(deps, comat.TableDep{Table: tn, Version: ver})
+		}
+	}
+	return tables, deps, nil
+}
+
+// COCacheStats snapshots the composite-object cache counters (zero value
+// when the cache is disabled).
+func (e *Engine) COCacheStats() comat.Stats {
+	if e.comat == nil {
+		return comat.Stats{}
+	}
+	return e.comat.Stats()
+}
+
+// COCacheEntries lists resident composite-object cache entries, most
+// recently used first (nil when the cache is disabled).
+func (e *Engine) COCacheEntries() []comat.Entry {
+	if e.comat == nil {
+		return nil
+	}
+	return e.comat.Entries()
+}

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlxnf/internal/xnf"
+)
+
+// coFixture seeds an engine with the DEPT/EMP schema plus a disjoint TAGS
+// table, an XNF view over the former, and one over the latter.
+func coFixture(t *testing.T, opts ...func(*Options)) (*Engine, *Session) {
+	t.Helper()
+	o := DefaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	e := New(o)
+	s := e.Session()
+	s.MustExec(`CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR);
+		CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal FLOAT, edno INT);
+		CREATE INDEX emp_edno ON EMP (edno);
+		CREATE TABLE TAGS (tid INT PRIMARY KEY, label VARCHAR)`)
+	for d := 1; d <= 4; d++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO DEPT VALUES (%d, 'd%d')", d, d))
+		for i := 0; i < 5; i++ {
+			eno := d*10 + i
+			s.MustExec(fmt.Sprintf("INSERT INTO EMP VALUES (%d, 'e%d', %d, %d)", eno, eno, 1000+eno, d))
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO TAGS VALUES (%d, 't%d')", i, i))
+	}
+	s.MustExec(`CREATE VIEW DEPS AS
+		OUT OF Xd AS DEPT, Xe AS EMP, emp AS (RELATE Xd, Xe WHERE Xd.dno = Xe.edno) TAKE *`)
+	s.MustExec(`CREATE VIEW TAGV AS OUT OF Xt AS TAGS TAKE *`)
+	return e, s
+}
+
+// coFingerprint canonicalizes a CO: every node's rows and every edge's
+// connections (resolved to endpoint row renderings) as sorted multisets.
+func coFingerprint(co *xnf.CO) string {
+	var parts []string
+	for _, n := range co.Nodes {
+		lines := make([]string, len(n.Rows))
+		for i, r := range n.Rows {
+			lines[i] = r.String()
+		}
+		parts = append(parts, "node "+strings.ToUpper(n.Name)+"\n"+strings.Join(sortedCopy(lines), "\n"))
+	}
+	for _, e := range co.Edges {
+		p, c := co.Node(e.Parent), co.Node(e.Child)
+		lines := make([]string, len(e.Conns))
+		for i, conn := range e.Conns {
+			lines[i] = p.Rows[conn.P].String() + "->" + c.Rows[conn.C].String() + "/" + conn.Attrs.String()
+		}
+		parts = append(parts, "edge "+strings.ToUpper(e.Name)+"\n"+strings.Join(sortedCopy(lines), "\n"))
+	}
+	return strings.Join(sortedCopy(parts), "\n---\n")
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+const takeDeps = "OUT OF DEPS TAKE *"
+
+// TestCOCacheTakeHit: repeated TAKE checkouts serve the cached
+// materialization; component-table DML invalidates and the refetch sees
+// the change.
+func TestCOCacheTakeHit(t *testing.T) {
+	e, s := coFixture(t)
+	co0 := s.MustExec(takeDeps).CO
+	st0 := e.COCacheStats()
+	if st0.Misses != 1 || st0.Entries != 1 {
+		t.Fatalf("first checkout stats = %+v", st0)
+	}
+	co1 := s.MustExec(takeDeps).CO
+	st1 := e.COCacheStats()
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("second checkout did not hit: %+v", st1)
+	}
+	if coFingerprint(co0) != coFingerprint(co1) {
+		t.Fatal("cached checkout differs from cold materialization")
+	}
+	// DML to EMP invalidates; the refetch includes the new employee.
+	s.MustExec("INSERT INTO EMP VALUES (999, 'new', 5000, 2)")
+	co2 := s.MustExec(takeDeps).CO
+	st2 := e.COCacheStats()
+	if st2.Invalidations != 1 {
+		t.Fatalf("DML did not invalidate: %+v", st2)
+	}
+	if len(co2.Node("Xe").Rows) != len(co1.Node("Xe").Rows)+1 {
+		t.Fatalf("refetch missed the inserted employee: %d -> %d",
+			len(co1.Node("Xe").Rows), len(co2.Node("Xe").Rows))
+	}
+}
+
+// TestCOCacheFastPathTerminatedText: the parser-skipping fast path must
+// hit for ';'-terminated input (what xnfsh submits) — the stored key comes
+// from parser-delimited statement text, which ends before the terminator.
+func TestCOCacheFastPathTerminatedText(t *testing.T) {
+	e, s := coFixture(t)
+	s.MustExec(takeDeps + ";")
+	base := coFingerprint(s.MustExec(takeDeps).CO)
+	hits0 := e.COCacheStats().Hits
+	for _, variant := range []string{takeDeps + ";", takeDeps + " ;\n", "  " + takeDeps + ";;"} {
+		r := s.MustExec(variant)
+		if coFingerprint(r.CO) != base {
+			t.Fatalf("terminated variant %q returned a different CO", variant)
+		}
+	}
+	if st := e.COCacheStats(); st.Hits != hits0+3 {
+		t.Fatalf("terminated variants missed the fast path: hits %d -> %d (stats %+v)",
+			hits0, st.Hits, st)
+	}
+}
+
+// TestCOCacheInvalidationPrecision: DML to one CO's component table leaves
+// entries over disjoint tables serving hits.
+func TestCOCacheInvalidationPrecision(t *testing.T) {
+	e, s := coFixture(t)
+	s.MustExec(takeDeps)
+	s.MustExec("OUT OF TAGV TAKE *")
+	hits0 := e.COCacheStats().Hits
+	s.MustExec("INSERT INTO EMP VALUES (999, 'new', 5000, 2)") // touches DEPS only
+	s.MustExec("OUT OF TAGV TAKE *")                           // must still hit
+	s.MustExec("OUT OF TAGV TAKE *")
+	st := e.COCacheStats()
+	if st.Hits != hits0+2 {
+		t.Fatalf("non-dependent entry stopped hitting after unrelated DML: %+v", st)
+	}
+	if st.Invalidations != 0 {
+		t.Fatalf("unrelated DML invalidated something: %+v", st)
+	}
+	// The dependent entry does invalidate on its next touch.
+	s.MustExec(takeDeps)
+	if st := e.COCacheStats(); st.Invalidations != 1 {
+		t.Fatalf("dependent entry did not invalidate: %+v", st)
+	}
+}
+
+// TestCOCacheResultsArePrivate: mutating a checked-out CO (as an
+// application may) must not corrupt the cache-resident materialization.
+func TestCOCacheResultsArePrivate(t *testing.T) {
+	_, s := coFixture(t)
+	co := s.MustExec(takeDeps).CO
+	co.Node("Xe").Rows[0][1] = co.Node("Xe").Rows[0][0] // scribble on the result
+	co2 := s.MustExec(takeDeps).CO
+	for _, r := range co2.Node("Xe").Rows {
+		if r[1].Kind() == r[0].Kind() && r[1].String() == r[0].String() {
+			t.Fatal("application mutation reached the cached CO")
+		}
+	}
+}
+
+// TestCOCacheDisabled: a negative budget turns the subsystem off.
+func TestCOCacheDisabled(t *testing.T) {
+	e, s := coFixture(t, func(o *Options) { o.COCacheBytes = -1 })
+	s.MustExec(takeDeps)
+	s.MustExec(takeDeps)
+	if st := e.COCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("disabled CO cache has activity: %+v", st)
+	}
+	// Node references still work (uncached path).
+	if got := len(s.MustExec(`SELECT eno FROM "DEPS.Xe"`).Rows); got != 20 {
+		t.Fatalf("node-ref rows = %d, want 20", got)
+	}
+}
+
+// TestCOCacheViewSharedAcrossStatements: a TAKE over the view and a
+// node-ref SELECT share the "VIEW:DEPS" materialization with the view's
+// own checkout.
+func TestCOCacheNodeRefSharesViewEntry(t *testing.T) {
+	e, s := coFixture(t)
+	s.MustExec(`SELECT COUNT(*) FROM "DEPS.Xe"`) // materializes VIEW:DEPS
+	misses0 := e.COCacheStats().Misses
+	s.MustExec(`SELECT COUNT(*) FROM "DEPS.Xd"`) // same view, other node
+	st := e.COCacheStats()
+	if st.Misses != misses0 {
+		t.Fatalf("second node of the same view re-materialized: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("node-ref execution did not hit the view entry: %+v", st)
+	}
+}
+
+// TestCOCacheNodeRefFreshAfterDML re-pins the original regression: node-ref
+// queries must never serve a stale snapshot, now from the cache layer.
+func TestCOCacheNodeRefFreshAfterDML(t *testing.T) {
+	_, s := coFixture(t)
+	q := `SELECT COUNT(*) FROM "DEPS.Xe"`
+	n0 := s.MustExec(q).Rows[0][0].Int()
+	s.MustExec("INSERT INTO EMP VALUES (998, 'x', 100, 1)")
+	if n1 := s.MustExec(q).Rows[0][0].Int(); n1 != n0+1 {
+		t.Fatalf("node-ref query served stale data: %d -> %d", n0, n1)
+	}
+	s.MustExec("DELETE FROM EMP WHERE eno = 998")
+	if n2 := s.MustExec(q).Rows[0][0].Int(); n2 != n0 {
+		t.Fatalf("node-ref query stale after delete: %d, want %d", n2, n0)
+	}
+}
+
+// TestCOCacheUncommittedWritesStayPrivate: a transaction's own writes are
+// visible to its checkouts, but a concurrent session blocks on locks and
+// sees only the committed (or rolled-back) state afterwards.
+func TestCOCacheRollbackInvalidates(t *testing.T) {
+	e, s := coFixture(t)
+	before := len(s.MustExec(takeDeps).CO.Node("Xe").Rows)
+	s.MustExec("BEGIN")
+	s.MustExec("INSERT INTO EMP VALUES (999, 'ghost', 1, 1)")
+	// The transaction's own checkout sees its uncommitted insert.
+	if got := len(s.MustExec(takeDeps).CO.Node("Xe").Rows); got != before+1 {
+		t.Fatalf("own uncommitted write invisible: %d, want %d", got, before+1)
+	}
+	s.MustExec("ROLLBACK")
+	// The undo bumped the version again, so the mid-transaction entry never
+	// serves: the next checkout re-materializes the committed state.
+	if got := len(s.MustExec(takeDeps).CO.Node("Xe").Rows); got != before {
+		t.Fatalf("rolled-back write leaked into the cache: %d, want %d", got, before)
+	}
+	_ = e
+}
+
+// TestCOCacheConcurrentSessions drives TAKE checkouts, node-ref SELECTs and
+// DML from many sessions against one engine (run with -race): results must
+// stay internally consistent and the suite must be data-race free.
+func TestCOCacheConcurrentSessions(t *testing.T) {
+	e, _ := coFixture(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := e.Session()
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					r, err := sess.Exec(takeDeps)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := r.CO.Validate(); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := r.CO.CheckReachability(); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := sess.Exec(`SELECT ename FROM "DEPS.Xe" WHERE sal > 0`); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := sess.Exec("OUT OF TAGV TAKE *"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					eno := 2000 + g*100 + i
+					if _, err := sess.Exec(fmt.Sprintf(
+						"INSERT INTO EMP VALUES (%d, 'c%d', 1500, %d)", eno, eno, 1+i%4)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Final checkout reflects every committed insert: 20 seeded + 8*8
+	// (case 3 runs ~7-8 times per goroutine depending on phase).
+	final := e.Session().MustExec(takeDeps).CO
+	emp, err := e.Catalog().Table("EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(final.Node("Xe").Rows); int64(got) != emp.Rows {
+		t.Fatalf("final CO has %d employees, table has %d", got, emp.Rows)
+	}
+}
+
+// TestNodeRefInDMLPredicates: UPDATE and DELETE predicates may embed an
+// EXISTS subquery over FROM "VIEW.NODE"; their execution contexts must
+// carry the node-reference handle (regression: the DML paths built bare
+// contexts and failed with "no NodeRows handle bound").
+func TestNodeRefInDMLPredicates(t *testing.T) {
+	_, s := coFixture(t)
+	r := s.MustExec(`UPDATE EMP SET sal = 1 WHERE EXISTS (
+		SELECT eno FROM "DEPS.Xe" x WHERE x.eno = EMP.eno AND x.edno = 1)`)
+	if r.RowsAffected != 5 {
+		t.Fatalf("UPDATE via node-ref EXISTS affected %d rows, want 5", r.RowsAffected)
+	}
+	r = s.MustExec(`DELETE FROM EMP WHERE EXISTS (
+		SELECT eno FROM "DEPS.Xe" x WHERE x.eno = EMP.eno AND x.sal = 1)`)
+	if r.RowsAffected != 5 {
+		t.Fatalf("DELETE via node-ref EXISTS affected %d rows, want 5", r.RowsAffected)
+	}
+	if got := s.MustExec("SELECT COUNT(*) FROM EMP").Rows[0][0].Int(); got != 15 {
+		t.Fatalf("EMP rows after delete = %d, want 15", got)
+	}
+}
+
+// TestExplainNodeRefCoCache: EXPLAIN surfaces the CO-cache state of
+// node-reference plans.
+func TestExplainNodeRefCoCache(t *testing.T) {
+	e, s := coFixture(t)
+	// Cold engine: the first resolution materializes (miss at build time).
+	ex0 := s.MustExec(`EXPLAIN SELECT ename FROM "DEPS.Xe"`).Explain
+	if !strings.Contains(ex0, "NodeRef DEPS.Xe (co-cache miss)") {
+		t.Fatalf("first EXPLAIN missing co-cache miss marker:\n%s", ex0)
+	}
+	ex1 := s.MustExec(`EXPLAIN SELECT ename FROM "DEPS.Xe"`).Explain
+	if !strings.Contains(ex1, "NodeRef DEPS.Xe (co-cache hit)") {
+		t.Fatalf("second EXPLAIN missing co-cache hit marker:\n%s", ex1)
+	}
+	_ = e
+}

@@ -285,3 +285,97 @@ func TestDifferentialDML(t *testing.T) {
 		t.Fatalf("DML harness never hit the plan cache: %+v", st)
 	}
 }
+
+// TestDifferentialXNFCoCache extends the harness to the composite-object
+// cache: randomized interleavings of XNF TAKE checkouts, FROM "VIEW.NODE"
+// selects, and DML on component tables run against two engines — the
+// engine under test with the CO cache (and plan cache) enabled, and a
+// reference engine with both disabled so every checkout re-materializes
+// cold. Node rows and CO fingerprints must agree as multisets after every
+// step: a stale entry surviving a component-table mutation, a mis-tracked
+// dependency, or a shared materialization leaking a private mutation all
+// surface as a divergence here.
+func TestDifferentialXNFCoCache(t *testing.T) {
+	cached := NewDefault().Session()
+	refOpts := DefaultOptions()
+	refOpts.PlanCacheSize = -1
+	refOpts.COCacheBytes = -1
+	ref := New(refOpts).Session()
+
+	ddl := `CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR, budget INT);
+		CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal INT, edno INT);
+		CREATE INDEX emp_edno ON EMP (edno);
+		CREATE VIEW ORG AS
+		 OUT OF Xd AS DEPT, Xe AS (SELECT eno, ename, sal, edno FROM EMP WHERE sal >= 0),
+		  works AS (RELATE Xd, Xe WHERE Xd.dno = Xe.edno)
+		 TAKE *`
+	cached.MustExec(ddl)
+	ref.MustExec(ddl)
+	rng := rand.New(rand.NewSource(11))
+	seed := func(stmt string) {
+		cached.MustExec(stmt)
+		ref.MustExec(stmt)
+	}
+	for d := 1; d <= 6; d++ {
+		seed(fmt.Sprintf("INSERT INTO DEPT VALUES (%d, 'd%d', %d)", d, d, 1000*d))
+	}
+	for i := 0; i < 40; i++ {
+		seed(fmt.Sprintf("INSERT INTO EMP VALUES (%d, 'e%d', %d, %d)", i, i, rng.Intn(5000), 1+rng.Intn(6)))
+	}
+
+	takes := []string{
+		"OUT OF ORG TAKE *",
+		"OUT OF ORG WHERE Xe e SUCH THAT e.sal > 2000 TAKE *",
+		"OUT OF ORG TAKE Xd(*), works, Xe(eno, sal)",
+	}
+	nodeSelects := []string{
+		`SELECT eno, sal FROM "ORG.Xe" WHERE sal > 1000`,
+		`SELECT COUNT(*) FROM "ORG.Xe"`,
+		`SELECT d.dname, e.ename FROM "ORG.Xd" d, "ORG.Xe" e WHERE d.dno = e.edno`,
+	}
+	nextENO := 1000
+	for round := 0; round < 150; round++ {
+		switch rng.Intn(6) {
+		case 0: // INSERT into a component table
+			stmt := fmt.Sprintf("INSERT INTO EMP VALUES (%d, 'n%d', %d, %d)",
+				nextENO, nextENO, rng.Intn(5000), 1+rng.Intn(6))
+			nextENO++
+			seed(stmt)
+		case 1: // UPDATE a component column (including the FK)
+			col, val := "sal", rng.Intn(5000)
+			if rng.Intn(3) == 0 {
+				col, val = "edno", 1+rng.Intn(6)
+			}
+			seed(fmt.Sprintf("UPDATE EMP SET %s = %d WHERE eno = %d", col, val, rng.Intn(nextENO)))
+		case 2: // DELETE from a component table
+			seed(fmt.Sprintf("DELETE FROM EMP WHERE eno = %d", rng.Intn(nextENO)))
+		case 3: // node-ref select, run twice on the cached engine (hit path)
+			q := nodeSelects[rng.Intn(len(nodeSelects))]
+			want := outcome(ref.Exec(q))
+			if got := outcome(cached.Exec(q)); got != want {
+				t.Fatalf("round %d: node-ref cold diverged on %q:\n ref:    %q\n cached: %q", round, q, want, got)
+			}
+			if got := outcome(cached.Exec(q)); got != want {
+				t.Fatalf("round %d: node-ref hit diverged on %q vs %q", round, q, want)
+			}
+		default: // TAKE checkout, compared as CO fingerprints
+			q := takes[rng.Intn(len(takes))]
+			refCO, err := ref.Exec(q)
+			if err != nil {
+				t.Fatalf("round %d: reference TAKE failed: %v", round, err)
+			}
+			gotCO, err := cached.Exec(q)
+			if err != nil {
+				t.Fatalf("round %d: cached TAKE failed: %v", round, err)
+			}
+			if coFingerprint(refCO.CO) != coFingerprint(gotCO.CO) {
+				t.Fatalf("round %d: TAKE diverged on %q:\nref:\n%s\ncached:\n%s",
+					round, q, coFingerprint(refCO.CO), coFingerprint(gotCO.CO))
+			}
+		}
+	}
+	st := cached.Engine().COCacheStats()
+	if st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("harness exercised neither hits nor invalidations: %+v", st)
+	}
+}

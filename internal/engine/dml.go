@@ -171,6 +171,7 @@ func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.
 		return storage.NilRID, err
 	}
 	t.Rows++
+	t.BumpVersion()
 	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: rid, After: coerced.Clone()})
 	return rid, nil
@@ -187,6 +188,7 @@ func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
 	}
 	s.removeIndexEntries(t, row, rid)
 	t.Rows--
+	t.BumpVersion()
 	t.Stats().ObserveDelete(row)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDelete, Table: t.Name, RID: rid, Before: row.Clone()})
 	return nil
@@ -231,6 +233,7 @@ func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Ro
 	if err := s.addIndexEntries(t, coerced, newRID); err != nil {
 		return storage.NilRID, err
 	}
+	t.BumpVersion()
 	t.Stats().ObserveDelete(old)
 	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecUpdate, Table: t.Name,
@@ -280,6 +283,7 @@ func (s *Session) undoInsert(r wal.Record) error {
 	}
 	s.removeIndexEntries(t, r.After, r.RID)
 	t.Rows--
+	t.BumpVersion()
 	// Compensate the incremental sketch. NULL counts reverse exactly;
 	// min/max extensions from the undone row cannot shrink without a rescan
 	// and stay until the next ANALYZE (a conservative over-wide range).
@@ -297,6 +301,7 @@ func (s *Session) undoDelete(r wal.Record) error {
 		return err
 	}
 	t.Rows++
+	t.BumpVersion()
 	t.Stats().ObserveInsert(r.Before)
 	return s.addIndexEntries(t, r.Before, rid)
 }
@@ -315,6 +320,7 @@ func (s *Session) undoUpdate(r wal.Record) error {
 	if err != nil {
 		return err
 	}
+	t.BumpVersion()
 	t.Stats().ObserveInsert(r.Before)
 	return s.addIndexEntries(t, r.Before, rid)
 }
@@ -356,7 +362,7 @@ func (s *Session) insert(stmt *parser.InsertStmt) (*Result, error) {
 		sourceRows = sub.Rows
 	default:
 		b := s.builder()
-		ctx := exec.NewContext()
+		ctx := s.newExecContext()
 		for _, exprRow := range stmt.Rows {
 			if len(exprRow) != len(positions) {
 				return nil, fmt.Errorf("engine: INSERT expects %d values, got %d", len(positions), len(exprRow))
@@ -437,7 +443,7 @@ func (s *Session) update(stmt *parser.UpdateStmt) (*Result, error) {
 		}
 		sets = append(sets, setOp{col: p, expr: ce})
 	}
-	ctx := exec.NewContext()
+	ctx := s.newExecContext()
 	// Collect matches first, then mutate (no mutation under scan).
 	type match struct {
 		rid storage.RID
@@ -489,7 +495,7 @@ func (s *Session) deleteStmt(stmt *parser.DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext()
+	ctx := s.newExecContext()
 	var rids []storage.RID
 	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
 		ok, perr := exec.EvalPred(ctx, pred, row)
@@ -545,14 +551,16 @@ func (s *Session) autoTx(fn func() error) error {
 	return nil
 }
 
-// RunBox implements xnf.Host: rewrite, optimize, execute.
+// RunBox implements xnf.Host: rewrite, optimize, execute. The context
+// carries the session's node-reference handle so node definitions that
+// themselves read FROM "VIEW.NODE" resolve through the CO cache.
 func (s *Session) RunBox(box *qgm.Box) ([]types.Row, error) {
 	box = rewrite.Rewrite(box, s.eng.opts.Rewrite)
 	plan, err := optimizer.CompileWith(box, s.eng.opts.Optimizer)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Collect(exec.NewContext(), plan)
+	return exec.Collect(s.newExecContext(), plan)
 }
 
 // RunBoxWithRIDs implements xnf.Host. Single-table selections (after the
@@ -622,7 +630,7 @@ func (s *Session) runSingleTableWithRIDs(box *qgm.Box) ([]types.Row, []storage.R
 			return nil, nil, err
 		}
 	}
-	ctx := exec.NewContext()
+	ctx := s.newExecContext()
 	var rows []types.Row
 	var rids []storage.RID
 	emit := func(rid storage.RID, row types.Row) error {
@@ -801,6 +809,7 @@ func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID
 			return ierr
 		}
 		t.Rows++
+		t.BumpVersion()
 		t.Stats().ObserveInsert(coerced)
 		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: r, After: coerced.Clone()})
 		rid = r

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"sqlxnf/internal/comat"
 	"sqlxnf/internal/exec"
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/parser"
@@ -28,6 +29,11 @@ type planCache struct {
 	cap     int
 	lru     *list.List // of *planEntry; front = most recently used
 	entries map[string]*list.Element
+	// versions reads a table's current DML version counter; entries carrying
+	// a dependency snapshot (node-reference plans) evict when any recorded
+	// version moves, so their cardinality estimates re-derive from the
+	// view's fresh materialization.
+	versions comat.VersionFn
 
 	// Counters (read via Stats) let tests and benches observe behavior.
 	hits, misses, evictions int64
@@ -46,6 +52,13 @@ type planEntry struct {
 	tables  []string // base tables to lock before execution
 	nParams int
 	guards  []optimizer.BindGuard
+	// deps is the version snapshot of the base tables behind FROM
+	// "VIEW.NODE" references (nil for plans without node references). DML
+	// still does not invalidate ordinary plans — they read live heaps — but
+	// a node-ref plan's NodeScan estimates were derived from a specific
+	// materialization, so a component-table change evicts the entry and the
+	// next execution replans against the refreshed CO.
+	deps []comat.TableDep
 
 	poolMu sync.Mutex
 	pool   []exec.Plan // idle executable clones
@@ -55,8 +68,9 @@ type planEntry struct {
 // simply dropped (cheap — the template still avoids recompilation).
 const maxPooledPlans = 4
 
-func newPlanCache(capacity int) *planCache {
-	return &planCache{cap: capacity, lru: list.New(), entries: map[string]*list.Element{}}
+func newPlanCache(capacity int, versions comat.VersionFn) *planCache {
+	return &planCache{cap: capacity, lru: list.New(),
+		entries: map[string]*list.Element{}, versions: versions}
 }
 
 // PlanCacheStats is a snapshot of cache activity.
@@ -82,7 +96,7 @@ func (pc *planCache) lookup(key string, epoch uint64, countMiss bool) *planEntry
 	el, ok := pc.entries[key]
 	if ok {
 		ent := el.Value.(*planEntry)
-		if ent.epoch == epoch {
+		if ent.epoch == epoch && pc.depsCurrent(ent) {
 			pc.lru.MoveToFront(el)
 			pc.hits++
 			return ent
@@ -95,6 +109,18 @@ func (pc *planCache) lookup(key string, epoch uint64, countMiss bool) *planEntry
 		pc.misses++
 	}
 	return nil
+}
+
+// depsCurrent reports whether the entry's node-reference dependency
+// versions still match the catalog.
+func (pc *planCache) depsCurrent(ent *planEntry) bool {
+	for _, d := range ent.deps {
+		cur, ok := pc.versions(d.Table)
+		if !ok || cur != d.Version {
+			return false
+		}
+	}
+	return true
 }
 
 // get is the compile-path lookup: absence counts as a miss.
@@ -244,8 +270,10 @@ func collectBoxTables(box *qgm.Box) []string {
 }
 
 // boxSnapshotsData reports whether the box tree embeds data materialized at
-// build time (KindValues boxes — XNF node references resolve to one). Such
-// plans would freeze that snapshot if cached, so they stay uncached.
+// build time (KindValues boxes — today only FROM-less SELECTs produce one
+// at the statement level; XNF node references build KindNodeRef boxes that
+// bind rows at execute and cache freely). Plans embedding a Values snapshot
+// would freeze it if cached, so they stay uncached.
 func boxSnapshotsData(box *qgm.Box) bool {
 	found := false
 	walkBoxes(box, func(b *qgm.Box) bool {

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+
+	"sqlxnf/internal/types"
 )
 
 func cacheFixture(t *testing.T) (*Engine, *Session) {
@@ -179,20 +182,79 @@ func TestPlanCacheDisabled(t *testing.T) {
 	}
 }
 
-// TestPlanCacheXNFNodeNotCached: FROM "VIEW.NODE" bakes materialized rows
-// into the plan (a build-time snapshot); such statements must not cache.
-func TestPlanCacheXNFNodeNotCached(t *testing.T) {
+// TestPlanCacheXNFNodeCached: FROM "VIEW.NODE" plans no longer snapshot
+// rows at build — the NodeScan leaf resolves the component table through
+// the CO cache at Open — so they live in the prepared-plan cache like any
+// SELECT: re-execution hits, a component table's DML version bump evicts
+// the entry (its cardinality estimates derive from the materialization),
+// and results immediately after DML equal a cold compile as multisets.
+func TestPlanCacheXNFNodeCached(t *testing.T) {
 	e, s := cacheFixture(t)
 	s.MustExec(`CREATE VIEW DEPS AS
 		OUT OF Xd AS DEPT, Xe AS EMP, emp AS (RELATE Xd, Xe WHERE Xd.dno = Xe.edno) TAKE *`)
-	q := `SELECT COUNT(*) FROM "DEPS.Xe"`
-	n0 := s.MustExec(q).Rows[0][0].Int()
-	s.MustExec("INSERT INTO EMP VALUES (998, 'x', 100, 1)")
-	n1 := s.MustExec(q).Rows[0][0].Int()
-	if n1 != n0+1 {
-		t.Fatalf("XNF node query served stale snapshot: %d -> %d", n0, n1)
+	q := `SELECT ename FROM "DEPS.Xe" WHERE sal > 1200`
+	cold := s.MustExec(q)
+	st0 := e.PlanCacheStats()
+	if st0.Entries != 1 {
+		t.Fatalf("node-ref statement did not cache: %+v", st0)
 	}
-	_ = e
+	hit := s.MustExec(q)
+	st1 := e.PlanCacheStats()
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("re-execution was not a cache hit: %+v -> %+v", st0, st1)
+	}
+	if multiset(cold.Rows) != multiset(hit.Rows) {
+		t.Fatalf("cache hit differs from cold compile:\n%s\nvs\n%s",
+			multiset(cold.Rows), multiset(hit.Rows))
+	}
+
+	// DML to a component table bumps its version: the entry evicts, the
+	// next execution recompiles against the refreshed materialization, and
+	// the result matches a cold engine immediately.
+	s.MustExec("INSERT INTO EMP VALUES (998, 'fresh', 9999, 1)")
+	hits0 := e.PlanCacheStats().Hits
+	after := s.MustExec(q)
+	st2 := e.PlanCacheStats()
+	if st2.Hits != hits0 {
+		t.Fatalf("post-DML execution must recompile, not hit (%+v)", st2)
+	}
+	if st2.Evictions < 1 {
+		t.Fatalf("component-table DML did not evict the node-ref plan: %+v", st2)
+	}
+	found := false
+	for _, row := range after.Rows {
+		if row[0].Str() == "fresh" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-DML node-ref query served stale rows: %v", after.Rows)
+	}
+	// And the refreshed entry serves hits again.
+	s.MustExec(q)
+	if st3 := e.PlanCacheStats(); st3.Hits != st2.Hits+1 {
+		t.Fatalf("refreshed entry did not hit: %+v", st3)
+	}
+
+	// DML to a table outside the view's component set must NOT evict.
+	s.MustExec("CREATE TABLE UNRELATED (x INT)")
+	s.MustExec(q) // recompile once for the DDL epoch bump
+	hits1 := e.PlanCacheStats().Hits
+	s.MustExec("INSERT INTO UNRELATED VALUES (1)")
+	s.MustExec(q)
+	if st4 := e.PlanCacheStats(); st4.Hits != hits1+1 {
+		t.Fatalf("non-component DML disturbed the node-ref plan: %+v", st4)
+	}
+}
+
+// multiset canonicalizes rows order-insensitively.
+func multiset(rows []types.Row) string {
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = r.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
 }
 
 // TestNormalizeSQL pins the keying rules: whitespace collapses, identifiers

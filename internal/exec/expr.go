@@ -30,7 +30,12 @@ type Context struct {
 	// subquery), Binds are fixed for the whole execution and propagate
 	// unchanged into subplan contexts.
 	Binds []types.Value
-	Stats *Stats
+	// NodeRows resolves a FROM "VIEW.NODE" reference to the component
+	// table's current rows. The engine binds it per execution, serving from
+	// the composite-object cache; plans never embed the rows themselves
+	// (see exec.NodeScan). Returned rows are shared and read-only.
+	NodeRows func(view, node string) ([]types.Row, error)
+	Stats    *Stats
 }
 
 // NewContext returns a fresh execution context.
@@ -294,7 +299,7 @@ func (e ExistsOp) Eval(ctx *Context, row types.Row) (types.Value, error) {
 		}
 		params[i] = v
 	}
-	sub := &Context{Params: params, Binds: ctx.Binds, Stats: ctx.Stats}
+	sub := &Context{Params: params, Binds: ctx.Binds, NodeRows: ctx.NodeRows, Stats: ctx.Stats}
 	if ctx.Stats != nil {
 		ctx.Stats.SubqueryRuns++
 	}

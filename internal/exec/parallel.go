@@ -254,7 +254,7 @@ func hasMorselLeaf(p Plan) bool {
 // correlation parameters are shared (read-only per execution), statistics are
 // private and merged back when the worker finishes.
 func workerContext(parent *Context) *Context {
-	return &Context{Params: parent.Params, Binds: parent.Binds, Stats: &Stats{}}
+	return &Context{Params: parent.Params, Binds: parent.Binds, NodeRows: parent.NodeRows, Stats: &Stats{}}
 }
 
 // ---------------------------------------------------------------------------

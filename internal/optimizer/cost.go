@@ -274,6 +274,13 @@ func (c *compiler) estimateBoxCard(box *qgm.Box) float64 {
 			sum = 1
 		}
 		return sum
+	case qgm.KindNodeRef:
+		// The builder stamps the component table's row count at resolution
+		// time — exact then, an estimate by the time a cached plan re-runs.
+		if box.EstRows >= 1 {
+			return float64(box.EstRows)
+		}
+		return 1
 	default:
 		return defaultCard
 	}

@@ -94,6 +94,9 @@ func (c *compiler) compileBox(box *qgm.Box) (exec.Plan, error) {
 			rows[i] = types.Row(r)
 		}
 		return &exec.Values{Out: box.Out, Rows: rows}, nil
+	case qgm.KindNodeRef:
+		return &exec.NodeScan{View: box.View, Node: box.Node, Out: box.Out,
+			EstRows: float64(box.EstRows), COCached: box.COCached}, nil
 	case qgm.KindSelect:
 		return c.compileSelect(box)
 	case qgm.KindGroup:

@@ -20,6 +20,7 @@ const (
 	KindUnion
 	KindValues
 	KindXNF
+	KindNodeRef
 )
 
 // String names the kind.
@@ -37,6 +38,8 @@ func (k BoxKind) String() string {
 		return "VALUES"
 	case KindXNF:
 		return "XNF"
+	case KindNodeRef:
+		return "NODEREF"
 	default:
 		return "BOX?"
 	}
@@ -104,6 +107,19 @@ type Box struct {
 
 	// XNF.
 	XNF *XNFSpec
+
+	// NodeRef: a FROM "VIEW.NODE" reference. Unlike the old Values lowering
+	// — which snapshotted the materialized node rows into the plan at build
+	// time and made such plans uncacheable — a NodeRef box carries only the
+	// identity of the component table; the executor resolves its rows at
+	// Open through a bind-time handle (exec.Context.NodeRows), served by the
+	// engine's composite-object cache. EstRows is the node's row count at
+	// build (cardinality estimate); COCached records whether the CO cache
+	// held the view's materialization at build time (EXPLAIN prints it).
+	View     string
+	Node     string
+	EstRows  int64
+	COCached bool
 }
 
 // Schema returns the output schema.
@@ -299,6 +315,8 @@ func (b *Box) dump(sb *strings.Builder, depth int, seen map[*Box]bool) {
 		fmt.Fprintf(sb, " keys=%d aggs=%d", len(b.GroupBy), len(b.Aggs))
 	case KindXNF:
 		fmt.Fprintf(sb, " nodes=%d edges=%d", len(b.XNF.Nodes), len(b.XNF.Edges))
+	case KindNodeRef:
+		fmt.Fprintf(sb, " ref=%s.%s", b.View, b.Node)
 	}
 	sb.WriteString("\n")
 	for _, q := range b.Quants {

@@ -12,11 +12,24 @@ import (
 // maxViewDepth bounds view-over-view expansion.
 const maxViewDepth = 32
 
+// XNFNodeRef describes one resolved "view.node" reference: the node's
+// schema, a cardinality estimate (its current row count), and whether the
+// composite-object cache already held the view's materialization when the
+// reference was resolved. The rows themselves are NOT part of the result —
+// they bind at execute time through exec.Context.NodeRows, which is what
+// makes node-reference plans cacheable.
+type XNFNodeRef struct {
+	View    string
+	Node    string
+	Schema  types.Schema
+	EstRows int64
+	Cached  bool
+}
+
 // XNFNodeResolver lets the builder resolve "view.node" table references in
 // plain SQL FROM clauses (the paper's type (3) XNF→NF queries). The engine
-// supplies an implementation that evaluates the composite object and exposes
-// one node as a rowset.
-type XNFNodeResolver func(view, node string) (types.Schema, [][]types.Value, error)
+// supplies an implementation backed by the composite-object cache.
+type XNFNodeResolver func(view, node string) (*XNFNodeRef, error)
 
 // Builder performs semantic checking: it resolves an AST against the catalog
 // and produces QGM boxes.
@@ -229,16 +242,20 @@ func (b *Builder) buildTableRef(ref parser.TableRef) (*Quantifier, error) {
 		return &Quantifier{Name: ref.Binding(), Input: sub}, nil
 	}
 	if i := strings.IndexByte(name, '.'); i > 0 {
-		// VIEW.NODE form for type (3) XNF→NF queries.
+		// VIEW.NODE form for type (3) XNF→NF queries. The node resolves to a
+		// NodeRef box — identity plus schema — instead of a build-time row
+		// snapshot, so these plans cache and re-execute against the current
+		// materialization.
 		view, node := name[:i], name[i+1:]
 		if b.resolver == nil {
 			return nil, fmt.Errorf("qgm: no XNF resolver available for %q", name)
 		}
-		schema, rows, err := b.resolver(view, node)
+		nr, err := b.resolver(view, node)
 		if err != nil {
 			return nil, err
 		}
-		vbox := &Box{Kind: KindValues, Name: b.nextName("xnfnode"), Out: schema, ValueRows: rows}
+		vbox := &Box{Kind: KindNodeRef, Name: b.nextName("xnfnode"), Out: nr.Schema,
+			View: nr.View, Node: nr.Node, EstRows: nr.EstRows, COCached: nr.Cached}
 		alias := ref.Alias
 		if alias == "" {
 			alias = node

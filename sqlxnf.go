@@ -126,6 +126,19 @@ func WithPlanCacheSize(entries int) Option {
 	return func(o *engine.Options) { o.PlanCacheSize = entries }
 }
 
+// WithoutCOCache disables the composite-object materialization cache:
+// every XNF TAKE and every FROM "VIEW.NODE" reference re-materializes the
+// composite object (the cold arm of the e18 experiment, and the reference
+// engine of the XNF differential tests).
+func WithoutCOCache() Option {
+	return func(o *engine.Options) { o.COCacheBytes = -1 }
+}
+
+// WithCOCacheBudget bounds the composite-object cache's resident bytes.
+func WithCOCacheBudget(bytes int64) Option {
+	return func(o *engine.Options) { o.COCacheBytes = bytes }
+}
+
 var _ = optimizer.DefaultOptions // anchor for godoc cross-reference
 
 // DB is one embedded database instance with a default session.
