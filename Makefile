@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz vet bench clean
+.PHONY: build test fuzz vet bench chaos clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection chaos suite: hundreds of injected faults (disk, buffer
+# pool, WAL append, CO materialization) against a fault-free twin engine,
+# under the race detector. See EXECUTOR.md "Cancellation, timeouts & fault
+# injection".
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine/
+	$(GO) test -race -count=1 ./internal/faultinj/
 
 # Smoke-run the executor micro-benchmarks (one iteration each): catches
 # bench-rot without burning CI minutes. See EXECUTOR.md for real runs.

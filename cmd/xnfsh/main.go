@@ -1,6 +1,8 @@
 // xnfsh is an interactive shell for the SQL/XNF engine: type SQL or XNF
 // statements terminated by ';'. Results print as tables; XNF TAKE queries
-// print the composite object's components and connections.
+// print the composite object's components and connections. Ctrl-C cancels
+// the running statement (rolling back its transaction) instead of killing
+// the shell.
 //
 // Meta commands: \d (list tables and views), \costats (composite-object
 // cache entries and counters), \q (quit).
@@ -8,9 +10,13 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"sqlxnf"
 	"sqlxnf/internal/types"
@@ -21,7 +27,11 @@ func main() {
 	s := db.Session()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\q quit)")
+	// SIGINT cancels the statement in flight via the engine's context
+	// plumbing; the shell itself keeps running.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\q quit, Ctrl-C cancels)")
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -56,14 +66,52 @@ func main() {
 		}
 		stmt := buf.String()
 		buf.Reset()
-		r, err := s.Exec(stmt)
-		if err != nil {
+		r, err, elapsed := runStatement(s, sigc, stmt)
+		switch {
+		case err != nil && errors.Is(err, context.Canceled):
+			fmt.Printf("cancelled (%s)\n", fmtElapsed(elapsed))
+		case err != nil:
 			fmt.Println("error:", err)
-			prompt()
-			continue
+		default:
+			printResult(r)
+			fmt.Printf("(%s)\n", fmtElapsed(elapsed))
 		}
-		printResult(r)
 		prompt()
+	}
+}
+
+// runStatement executes one statement under a cancellable context wired to
+// SIGINT: a Ctrl-C while the statement runs cancels it at its next batch
+// boundary; a Ctrl-C at the prompt (drained before starting) is ignored.
+func runStatement(s *sqlxnf.Session, sigc <-chan os.Signal, stmt string) (*sqlxnf.Result, error, time.Duration) {
+	select {
+	case <-sigc: // stale signal from an idle period
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			cancel()
+		case <-done:
+		}
+	}()
+	start := time.Now()
+	r, err := s.ExecContext(ctx, stmt)
+	elapsed := time.Since(start)
+	close(done)
+	cancel()
+	return r, err, elapsed
+}
+
+// fmtElapsed renders a statement duration at display precision.
+func fmtElapsed(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
 	}
 }
 

@@ -28,6 +28,7 @@ package comat
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -280,9 +281,20 @@ func (c *Cache) removeLocked(el *list.Element, e *entry) {
 // validates or materializes, and what makes a peer flight's result valid
 // for its waiters. mat returns the CO plus the dependency snapshot read
 // under those same locks. hit reports whether the cached copy was served.
-func (c *Cache) FetchCO(key string, epoch uint64, vf VersionFn,
+//
+// ctx bounds the wait on a peer flight: a cancelled waiter detaches and
+// returns ctx.Err() while the runner continues unaffected (its result still
+// lands in the cache for future fetchers). The runner itself is bounded by
+// its own context through mat, not by this one. A nil ctx never cancels.
+func (c *Cache) FetchCO(ctx context.Context, key string, epoch uint64, vf VersionFn,
 	mat func() (*xnf.CO, []TableDep, error)) (co *xnf.CO, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		c.mu.Lock()
 		if e := c.validateLocked(key, epoch, vf); e != nil {
 			c.hits++
@@ -294,7 +306,13 @@ func (c *Cache) FetchCO(key string, epoch uint64, vf VersionFn,
 		if f, ok := c.flights[key]; ok {
 			c.waits++
 			c.mu.Unlock()
-			<-f.done
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				// Detach: the flight's runner keeps going and resolves the
+				// flight for the remaining waiters.
+				return nil, false, ctx.Err()
+			}
 			if f.err != nil {
 				// The runner's failure may be private to its transaction
 				// (e.g. a deadlock abort); retry — the next round either

@@ -1,6 +1,7 @@
 package comat
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -83,7 +84,7 @@ func TestFetchHitAndFineGrainedInvalidation(t *testing.T) {
 	vm := &versionMap{m: map[string]uint64{"T1": 5, "T2": 9}}
 	var mats atomic.Int64
 	fetch := func(key, table string) *xnf.CO {
-		co, _, err := c.FetchCO(key, 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
+		co, _, err := c.FetchCO(context.Background(), key, 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
 			mats.Add(1)
 			v, _ := vm.fn(table)
 			return testCO(3), []TableDep{{Table: table, Version: v}}, nil
@@ -134,7 +135,7 @@ func TestEpochEvictsEverything(t *testing.T) {
 	mat := func() (*xnf.CO, []TableDep, error) {
 		return testCO(1), []TableDep{{Table: "T", Version: 1}}, nil
 	}
-	if _, _, err := c.FetchCO("K", 1, vm.fn, mat); err != nil {
+	if _, _, err := c.FetchCO(context.Background(), "K", 1, vm.fn, mat); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.Get("K", 2, vm.fn); ok {
@@ -151,7 +152,7 @@ func TestLRUBudgetEviction(t *testing.T) {
 	vm := &versionMap{m: map[string]uint64{"T": 1}}
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("K%d", i)
-		_, _, err := c.FetchCO(key, 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
+		_, _, err := c.FetchCO(context.Background(), key, 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
 			return testCO(100), []TableDep{{Table: "T", Version: 1}}, nil
 		})
 		if err != nil {
@@ -186,7 +187,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			co, _, err := c.FetchCO("K", 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
+			co, _, err := c.FetchCO(context.Background(), "K", 1, vm.fn, func() (*xnf.CO, []TableDep, error) {
 				mats.Add(1)
 				time.Sleep(20 * time.Millisecond) // widen the window
 				return testCO(10), []TableDep{{Table: "T", Version: 1}}, nil

@@ -24,6 +24,7 @@ import (
 	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/comat"
 	"sqlxnf/internal/exec"
+	"sqlxnf/internal/faultinj"
 	"sqlxnf/internal/lock"
 	"sqlxnf/internal/parser"
 	"sqlxnf/internal/qgm"
@@ -41,10 +42,13 @@ const maxCOFetchDepth = 32
 
 // newExecContext returns an execution context with the session's
 // composite-object handle bound, so plans containing NodeScan leaves can
-// resolve FROM "VIEW.NODE" rows at Open.
+// resolve FROM "VIEW.NODE" rows at Open, and the current statement's
+// lifecycle context attached, so operators observe cancellation at batch
+// boundaries.
 func (s *Session) newExecContext() *exec.Context {
 	ctx := exec.NewContext()
 	ctx.NodeRows = s.nodeRows
+	ctx.AttachContext(s.sctx)
 	return ctx
 }
 
@@ -159,6 +163,9 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 		if err := s.lockTablesShared(tables); err != nil {
 			return nil, false, err
 		}
+		if err := s.eng.faults.Hit(faultinj.ComatMat); err != nil {
+			return nil, false, err
+		}
 		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
 		return co, false, err
 	}
@@ -192,7 +199,13 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 	if err := s.lockTablesShared(tables); err != nil {
 		return nil, false, err
 	}
-	return cm.FetchCO(key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {
+	return cm.FetchCO(s.sctx, key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {
+		// The comat.materialize probe sits before the evaluator: an injected
+		// failure here fails the flight cleanly (waiters retry, nothing is
+		// stored), proving a failed materialization never poisons the cache.
+		if err := s.eng.faults.Hit(faultinj.ComatMat); err != nil {
+			return nil, nil, err
+		}
 		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
 		if err != nil {
 			return nil, nil, err

@@ -6,6 +6,7 @@ import (
 	"sqlxnf/internal/btree"
 	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/exec"
+	"sqlxnf/internal/faultinj"
 	"sqlxnf/internal/lock"
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/parser"
@@ -157,7 +158,14 @@ func (s *Session) insertRowTx(t *catalog.Table, row types.Row) (storage.RID, err
 
 // insertRowNearTx is insertRowTx with a clustering hint: the tuple is placed
 // on (or near) the page of the given RID — composite-object clustering.
+//
+// The wal.append fault probe fires before the heap mutation in every DML
+// primitive: a real write-ahead log fails before the data write it covers,
+// and a post-mutation failure would leave a change no undo record describes.
 func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.Row) (storage.RID, error) {
+	if err := s.eng.faults.Hit(faultinj.WALAppend); err != nil {
+		return storage.NilRID, err
+	}
 	coerced, err := t.Schema.CoerceRow(row)
 	if err != nil {
 		return storage.NilRID, fmt.Errorf("engine: insert into %s: %v", t.Name, err)
@@ -179,6 +187,9 @@ func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.
 
 // deleteRowTx removes one tuple.
 func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
+	if err := s.eng.faults.Hit(faultinj.WALAppend); err != nil {
+		return err
+	}
 	row, err := t.Heap.Get(t.Tag, rid)
 	if err != nil {
 		return err
@@ -196,6 +207,9 @@ func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
 
 // updateRowTx replaces one tuple; the tuple may move to a new RID.
 func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Row) (storage.RID, error) {
+	if err := s.eng.faults.Hit(faultinj.WALAppend); err != nil {
+		return storage.NilRID, err
+	}
 	coerced, err := t.Schema.CoerceRow(newRow)
 	if err != nil {
 		return storage.NilRID, fmt.Errorf("engine: update of %s: %v", t.Name, err)
@@ -795,6 +809,9 @@ func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID
 	err = s.autoTx(func() error {
 		if lerr := s.lockTable(t.Name, lock.Exclusive); lerr != nil {
 			return lerr
+		}
+		if ferr := s.eng.faults.Hit(faultinj.WALAppend); ferr != nil {
+			return ferr
 		}
 		coerced, cerr := t.Schema.CoerceRow(row)
 		if cerr != nil {

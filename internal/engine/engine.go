@@ -8,13 +8,16 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/comat"
 	"sqlxnf/internal/exec"
+	"sqlxnf/internal/faultinj"
 	"sqlxnf/internal/lock"
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/parser"
@@ -45,6 +48,16 @@ type Options struct {
 	Optimizer optimizer.Options
 	// XNF toggles composite-object evaluation strategies.
 	XNF xnf.Options
+	// StatementTimeout bounds each statement's execution (0 = unbounded).
+	// Sessions may override per-session with SetStatementTimeout.
+	StatementTimeout time.Duration
+	// LockTimeout bounds each table-lock wait (0 = wait until granted or
+	// deadlock). Expiry surfaces as lock.ErrLockTimeout and aborts the
+	// statement's transaction like a deadlock does.
+	LockTimeout time.Duration
+	// FaultInjector arms the engine's fault-injection probe points
+	// (internal/faultinj); nil leaves them inert.
+	FaultInjector *faultinj.Injector
 }
 
 // DefaultPlanCacheSize is the prepared-plan cache capacity when unset.
@@ -81,6 +94,8 @@ type Engine struct {
 	stmts *stmtCache
 	// recovering disables WAL writes while a log replays.
 	recovering bool
+	// faults is the optional fault injector (nil = probes inert).
+	faults *faultinj.Injector
 }
 
 // New creates an empty database engine.
@@ -109,6 +124,11 @@ func New(opts Options) *Engine {
 	if opts.COCacheBytes >= 0 {
 		e.comat = comat.New(opts.COCacheBytes)
 	}
+	if opts.FaultInjector != nil {
+		e.faults = opts.FaultInjector
+		disk.SetFaultInjector(e.faults)
+		bp.SetFaultInjector(e.faults)
+	}
 	return e
 }
 
@@ -126,6 +146,10 @@ func (e *Engine) BufferPool() *storage.BufferPool { return e.bp }
 
 // Log exposes the write-ahead log.
 func (e *Engine) Log() *wal.Log { return e.log }
+
+// Locks exposes the lock manager. Robustness tests use its HeldCount /
+// TotalHeld hooks to assert that no failed statement leaks a grant.
+func (e *Engine) Locks() *lock.Manager { return e.locks }
 
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
@@ -173,6 +197,14 @@ type Session struct {
 	// Atomic because parallel workers resolving node references share the
 	// session mid-statement.
 	coFetchDepth atomic.Int32
+	// sctx is the current statement's lifecycle context (nil outside
+	// statements). Written only at statement boundaries by the session
+	// goroutine; parallel workers spawned mid-statement read it through
+	// values captured before they start, so the writes never race.
+	sctx context.Context
+	// stmtTimeout overrides the engine's StatementTimeout for this session
+	// (0 = inherit).
+	stmtTimeout time.Duration
 }
 
 // Session opens a new session.
@@ -186,6 +218,21 @@ func (e *Engine) Session() *Session { return &Session{eng: e} }
 // constants share one entry and the extracted literals bind into the cached
 // plan.
 func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a lifecycle context: cancellation or deadline
+// expiry aborts the running statement at its next batch boundary (or lock
+// wait), rolls its transaction back, and surfaces the context's error. Each
+// statement of a script additionally runs under the per-statement timeout
+// (SetStatementTimeout or Options.StatementTimeout), and every statement —
+// including the cache fast paths — executes inside the panic-containment
+// boundary, so a panicking operator becomes an *exec.PanicError with the
+// transaction rolled back and the session still usable.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.eng.comat != nil && startsWithOut(sql) {
 		// The CO-cache analogue of the plan-cache fast path below: a
 		// resident entry under this normalized text proves it is a single
@@ -197,7 +244,13 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		// trailing terminator strips because stored keys come from
 		// parser-delimited statement text, which ends before the ';' — a
 		// script with interior ';' keeps it and simply never matches.
-		if res, ok, err := s.execCachedTake("CO:" + normalizeSQL(trimStmtTail(sql))); ok {
+		var served bool
+		res, err := s.govern(ctx, func() (*Result, error) {
+			r, ok, err := s.execCachedTake("CO:" + normalizeSQL(trimStmtTail(sql)))
+			served = ok
+			return r, err
+		})
+		if served || err != nil {
 			return res, err
 		}
 	} else if s.eng.plans != nil {
@@ -206,7 +259,9 @@ func (s *Session) Exec(sql string) (*Result, error) {
 			key, binds = normalizeSQL(sql), nil
 		}
 		if ent := s.eng.plans.peek(key, s.eng.cat.Epoch()); ent != nil && ent.nParams == len(binds) {
-			return s.execCachedSelect(ent, binds)
+			return s.govern(ctx, func() (*Result, error) {
+				return s.execCachedSelect(ent, binds)
+			})
 		}
 	}
 	stmts, err := parser.ParseScript(sql)
@@ -218,13 +273,70 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 	var last *Result
 	for _, st := range stmts {
-		r, err := s.execStmt(st)
+		r, err := s.govern(ctx, func() (*Result, error) {
+			return s.execStmt(st)
+		})
 		if err != nil {
 			return nil, err
 		}
 		last = r
 	}
 	return last, nil
+}
+
+// SetStatementTimeout bounds each of this session's statements (0 restores
+// the engine default, Options.StatementTimeout).
+func (s *Session) SetStatementTimeout(d time.Duration) { s.stmtTimeout = d }
+
+// statementContext derives the context one statement runs under: the
+// caller's context, tightened by the per-statement timeout when configured.
+func (s *Session) statementContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := s.stmtTimeout
+	if d == 0 {
+		d = s.eng.opts.StatementTimeout
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, nil
+}
+
+// govern runs one statement-shaped unit of work under lifecycle governance:
+// it installs the statement context (visible to lock waits, plan execution,
+// and composite-object fetches through s.sctx), applies the per-statement
+// timeout, and contains panics — a panic unwinding out of fn is converted to
+// an *exec.PanicError, the open transaction rolls back (releasing its
+// locks), and the session remains usable.
+func (s *Session) govern(ctx context.Context, fn func() (*Result, error)) (res *Result, err error) {
+	sctx, cancel := s.statementContext(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	prev := s.sctx
+	s.sctx = sctx
+	defer func() {
+		s.sctx = prev
+		if v := recover(); v != nil {
+			res, err = nil, s.containPanic(exec.NewPanicError(v))
+		}
+	}()
+	return fn()
+}
+
+// containPanic restores transactional invariants after a recovered panic:
+// whatever the statement did is rolled back and its locks released. The
+// recovered error is returned (annotated when the rollback itself failed).
+func (s *Session) containPanic(perr *exec.PanicError) error {
+	if s.inTx {
+		if rbErr := s.rollback(); rbErr != nil {
+			return fmt.Errorf("%v (rollback also failed: %v)", perr, rbErr)
+		}
+		return perr
+	}
+	// No transaction open at recovery time: nothing logged, but release any
+	// stray grants defensively so a lock can never outlive its statement.
+	s.eng.locks.ReleaseAll(s.txID)
+	return perr
 }
 
 // Query runs a single query statement and returns its result rows.
@@ -386,14 +498,26 @@ func (s *Session) appendLog(rec wal.Record) {
 	s.eng.log.Append(rec)
 }
 
-// lockTable acquires a table lock for the session's transaction.
+// lockTable acquires a table lock for the session's transaction. The wait is
+// bounded by the statement's lifecycle context and, when configured, the
+// engine's LockTimeout; both surface as lock.ErrLockTimeout and abort the
+// statement's transaction through the normal error path.
 func (s *Session) lockTable(name string, mode lock.Mode) error {
 	if !s.inTx {
 		// Host-surface calls outside statements: single-op autocommit locks
 		// are acquired and released by the caller paths; take no lock.
 		return nil
 	}
-	return s.eng.locks.Lock(s.txID, name, mode)
+	ctx := s.sctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lt := s.eng.opts.LockTimeout; lt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lt)
+		defer cancel()
+	}
+	return s.eng.locks.AcquireContext(ctx, s.txID, name, mode)
 }
 
 // builder returns a QGM builder wired to this session's XNF node resolver

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlxnf/internal/exec"
+	"sqlxnf/internal/faultinj"
+	"sqlxnf/internal/lock"
+)
+
+// slowJoinDB builds a database where slowQuery runs long enough to be
+// interrupted: an inequality self-join (no hash or index path) over n rows is
+// quadratic in the evaluator.
+func slowJoinDB(t *testing.T, n int) *Session {
+	t.Helper()
+	s := NewDefault().Session()
+	s.MustExec(`CREATE TABLE BIG (id INT NOT NULL PRIMARY KEY, v INT)`)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i%500 == 0 {
+			if i > 0 {
+				sb.WriteString(";")
+			}
+			sb.WriteString("INSERT INTO BIG VALUES ")
+		} else {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%97)
+	}
+	sb.WriteString(";")
+	s.MustExec(sb.String())
+	return s
+}
+
+const slowQuery = `SELECT COUNT(*) FROM BIG a, BIG b WHERE a.v < b.v`
+
+// TestExecContextCancelMidStatement: cancelling the context mid-join aborts
+// the statement with context.Canceled, promptly, with no locks left behind
+// and the session immediately usable.
+func TestExecContextCancelMidStatement(t *testing.T) {
+	s := slowJoinDB(t, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancelled <- time.Now()
+		cancel()
+	}()
+	_, err := s.ExecContext(ctx, slowQuery)
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled statement returned %v, want context.Canceled", err)
+	}
+	if lag := returned.Sub(<-cancelled); lag > 250*time.Millisecond {
+		t.Fatalf("statement returned %v after cancel, want near-immediate", lag)
+	}
+	if held := s.Engine().Locks().TotalHeld(); held != 0 {
+		t.Fatalf("%d locks leaked by cancelled statement", held)
+	}
+	if s.InTx() {
+		t.Fatal("session stuck in a transaction after cancel")
+	}
+	r := s.MustExec(`SELECT COUNT(*) FROM BIG`)
+	if r.Rows[0][0].Int() != 3000 {
+		t.Fatalf("post-cancel query returned %v", r.Rows[0][0])
+	}
+}
+
+// TestExecContextPreCancelled: a dead context refuses the statement outright.
+func TestExecContextPreCancelled(t *testing.T) {
+	s := newCompany(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecContext(ctx, `SELECT * FROM DEPT`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Exec returned %v, want context.Canceled", err)
+	}
+	if held := s.Engine().Locks().TotalHeld(); held != 0 {
+		t.Fatalf("%d locks leaked", held)
+	}
+}
+
+// TestStatementTimeout: both the engine default and the per-session override
+// bound the statement, surfacing context.DeadlineExceeded; clearing the
+// override restores unbounded execution.
+func TestStatementTimeout(t *testing.T) {
+	s := slowJoinDB(t, 3000)
+	s.SetStatementTimeout(15 * time.Millisecond)
+	if _, err := s.Exec(slowQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out statement returned %v, want DeadlineExceeded", err)
+	}
+	if held := s.Engine().Locks().TotalHeld(); held != 0 {
+		t.Fatalf("%d locks leaked by timed-out statement", held)
+	}
+	// The timeout governs statements, not the session: cheap queries pass.
+	if _, err := s.Exec(`SELECT COUNT(*) FROM BIG`); err != nil {
+		t.Fatalf("cheap query under timeout: %v", err)
+	}
+	s.SetStatementTimeout(0)
+
+	// Engine-wide default, inherited by fresh sessions.
+	opts := DefaultOptions()
+	opts.StatementTimeout = 15 * time.Millisecond
+	e := New(opts)
+	s2 := e.Session()
+	s2.MustExec(`CREATE TABLE T2 (id INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO T2 VALUES (0)")
+	for i := 1; i < 2000; i++ {
+		fmt.Fprintf(&sb, ",(%d)", i%89)
+	}
+	s2.MustExec(sb.String())
+	if _, err := s2.Exec(`SELECT COUNT(*) FROM T2 a, T2 b, T2 c WHERE a.id < b.id AND b.id < c.id`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("engine-default timeout returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPanicContainment: an injected panic at a probe point deep inside DML
+// becomes an *exec.PanicError at the statement boundary; the transaction is
+// rolled back, no locks leak, and the session keeps working.
+func TestPanicContainment(t *testing.T) {
+	inj := faultinj.New()
+	opts := DefaultOptions()
+	opts.FaultInjector = inj
+	e := New(opts)
+	s := e.Session()
+	s.MustExec(`CREATE TABLE P (id INT NOT NULL PRIMARY KEY, v INT)`)
+	s.MustExec(`INSERT INTO P VALUES (1, 10), (2, 20)`)
+
+	inj.Arm(faultinj.Fault{Point: faultinj.WALAppend, Panic: true, Once: true})
+	_, err := s.Exec(`INSERT INTO P VALUES (3, 30)`)
+	if err == nil {
+		t.Fatal("panicking insert reported success")
+	}
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic surfaced as %T (%v), want *exec.PanicError", err, err)
+	}
+	if held := e.Locks().TotalHeld(); held != 0 {
+		t.Fatalf("%d locks leaked by panicked statement", held)
+	}
+	if s.InTx() {
+		t.Fatal("session stuck in a transaction after panic")
+	}
+	// Session stays usable and the panicked insert left nothing behind.
+	r := s.MustExec(`SELECT COUNT(*) FROM P`)
+	if r.Rows[0][0].Int() != 2 {
+		t.Fatalf("table has %v rows after contained panic, want 2", r.Rows[0][0])
+	}
+	s.MustExec(`INSERT INTO P VALUES (3, 30)`)
+	if r := s.MustExec(`SELECT COUNT(*) FROM P`); r.Rows[0][0].Int() != 3 {
+		t.Fatalf("post-panic insert missing: %v", r.Rows[0][0])
+	}
+
+	// Panic mid-query (buffer-pool fetch) inside an explicit transaction:
+	// containment rolls the transaction back too.
+	inj.Arm(faultinj.Fault{Point: faultinj.BufferFetch, Panic: true, Once: true})
+	s.MustExec(`BEGIN`)
+	if _, err := s.Exec(`SELECT COUNT(*) FROM P`); err == nil {
+		t.Fatal("panicking select reported success")
+	} else if !errors.As(err, &pe) {
+		t.Fatalf("select panic surfaced as %T, want *exec.PanicError", err)
+	}
+	if s.InTx() || e.Locks().TotalHeld() != 0 {
+		t.Fatal("explicit transaction survived a contained panic")
+	}
+	if r := s.MustExec(`SELECT COUNT(*) FROM P`); r.Rows[0][0].Int() != 3 {
+		t.Fatalf("data wrong after contained select panic: %v", r.Rows[0][0])
+	}
+}
+
+// TestLockTimeoutBetweenSessions: a reader blocked behind a writer's
+// exclusive lock times out with lock.ErrLockTimeout, leaks nothing, and
+// succeeds once the writer commits.
+func TestLockTimeoutBetweenSessions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LockTimeout = 30 * time.Millisecond
+	e := New(opts)
+	w := e.Session()
+	r := e.Session()
+	w.MustExec(`CREATE TABLE L (id INT NOT NULL PRIMARY KEY, v INT)`)
+	w.MustExec(`INSERT INTO L VALUES (1, 10)`)
+
+	w.MustExec(`BEGIN`)
+	w.MustExec(`UPDATE L SET v = 11 WHERE id = 1`) // X lock on L held open
+	_, err := r.Exec(`SELECT * FROM L`)
+	if !errors.Is(err, lock.ErrLockTimeout) {
+		t.Fatalf("blocked reader returned %v, want lock.ErrLockTimeout", err)
+	}
+	if r.InTx() {
+		t.Fatal("reader stuck in a transaction after lock timeout")
+	}
+	if held := e.Locks().HeldCount(r.TxID()); held != 0 {
+		t.Fatalf("reader leaked %d locks", held)
+	}
+	w.MustExec(`COMMIT`)
+	res := r.MustExec(`SELECT v FROM L WHERE id = 1`)
+	if res.Rows[0][0].Int() != 11 {
+		t.Fatalf("reader saw %v after writer commit, want 11", res.Rows[0][0])
+	}
+}
+
+// TestNoLeakedLocksOnErrorPaths audits the satellite bugfix: after ANY failed
+// statement — parse errors, semantic errors, constraint violations, injected
+// storage faults, mid-script failures, failures inside explicit transactions —
+// the lock manager holds zero grants.
+func TestNoLeakedLocksOnErrorPaths(t *testing.T) {
+	inj := faultinj.New()
+	opts := DefaultOptions()
+	opts.FaultInjector = inj
+	e := New(opts)
+	s := e.Session()
+	s.MustExec(`CREATE TABLE A (id INT NOT NULL PRIMARY KEY, v INT)`)
+	s.MustExec(`CREATE TABLE B (id INT NOT NULL PRIMARY KEY, v INT)`)
+	s.MustExec(`INSERT INTO A VALUES (1, 1), (2, 2)`)
+	s.MustExec(`INSERT INTO B VALUES (1, 1)`)
+
+	fail := func(label, sql string) {
+		t.Helper()
+		if _, err := s.Exec(sql); err == nil {
+			t.Fatalf("%s: expected an error", label)
+		}
+		if held := e.Locks().TotalHeld(); held != 0 {
+			t.Fatalf("%s: %d locks leaked", label, held)
+		}
+		if s.InTx() {
+			t.Fatalf("%s: session left inside a transaction", label)
+		}
+	}
+
+	fail("semantic error", `SELECT nosuch FROM A`)
+	fail("unknown table", `SELECT * FROM NOSUCH`)
+	fail("constraint violation", `INSERT INTO A VALUES (1, 99)`)
+	fail("mid-script failure", `INSERT INTO B VALUES (2, 2); SELECT boom FROM A; INSERT INTO B VALUES (3, 3)`)
+	// Each script statement autocommits, so the INSERT before the failure
+	// stays; the one after it must never have run.
+	if r := s.MustExec(`SELECT COUNT(*) FROM B`); r.Rows[0][0].Int() != 2 {
+		t.Fatalf("mid-script: B has %v rows, want 2 (statement before the failure committed)", r.Rows[0][0])
+	}
+	if r := s.MustExec(`SELECT COUNT(*) FROM B WHERE id = 3`); r.Rows[0][0].Int() != 0 {
+		t.Fatal("mid-script: statement after the failure ran")
+	}
+	fail("explicit tx failure", `BEGIN; UPDATE A SET v = 5 WHERE id = 1; SELECT boom FROM B; COMMIT`)
+
+	inj.Arm(faultinj.Fault{Point: faultinj.WALAppend, Once: true})
+	fail("injected DML fault", `UPDATE A SET v = 7 WHERE id = 2`)
+	inj.Arm(faultinj.Fault{Point: faultinj.BufferFetch, Once: true})
+	fail("injected fetch fault", `SELECT COUNT(*) FROM A`)
+
+	// The explicit transaction rolled back wholesale: A unchanged.
+	if r := s.MustExec(`SELECT v FROM A WHERE id = 1`); r.Rows[0][0].Int() != 1 {
+		t.Fatalf("explicit-tx rollback incomplete: A.v = %v", r.Rows[0][0])
+	}
+}
+
+// TestCancelledTakeStatement: lifecycle governance covers the XNF side too —
+// a pre-cancelled context refuses a TAKE, and the CO cache serves the entry
+// correctly afterward (no poisoned or half-built entry).
+func TestCancelledTakeStatement(t *testing.T) {
+	s := newCompany(t)
+	s.MustExec(`CREATE VIEW X AS
+		OUT OF Xd AS DEPT, Xe AS EMP, emp AS (RELATE Xd, Xe WHERE Xd.dno = Xe.edno) TAKE *`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecContext(ctx, `OUT OF X TAKE *`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled TAKE returned %v, want context.Canceled", err)
+	}
+	r, err := s.Exec(`OUT OF X TAKE *`)
+	if err != nil {
+		t.Fatalf("TAKE after cancelled TAKE: %v", err)
+	}
+	if r.CO == nil || len(r.CO.Nodes) == 0 {
+		t.Fatal("TAKE returned no composite object")
+	}
+}

@@ -61,8 +61,13 @@ func (b *Batched) Open(ctx *Context) error { return b.Src.Open(ctx) }
 // Next implements Plan.
 func (b *Batched) Next(ctx *Context) (types.Row, bool, error) { return b.Src.Next(ctx) }
 
-// NextBatch implements Plan by pulling up to BatchSize rows from Next.
+// NextBatch implements Plan by pulling up to BatchSize rows from Next. The
+// interrupt poll makes wrapped row-at-a-time sources cancellable per batch
+// even when their own pulls never reach a scan leaf.
 func (b *Batched) NextBatch(ctx *Context) ([]types.Row, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	b.buf = b.buf[:0]
 	for len(b.buf) < BatchSize {
 		row, ok, err := b.Src.Next(ctx)

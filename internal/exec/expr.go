@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,10 +37,45 @@ type Context struct {
 	// (see exec.NodeScan). Returned rows are shared and read-only.
 	NodeRows func(view, node string) ([]types.Row, error)
 	Stats    *Stats
+
+	// ctx is the statement's cancellation context and done its cached Done
+	// channel (reading it once at attach keeps Interrupted allocation-free).
+	// Both stay nil for contexts that never attach one; a nil channel never
+	// fires in a select, so unattached executions pay a single failed poll.
+	ctx  context.Context
+	done <-chan struct{}
 }
 
 // NewContext returns a fresh execution context.
 func NewContext() *Context { return &Context{Stats: &Stats{}} }
+
+// AttachContext binds a cancellation context to the execution. Operators
+// poll it at batch boundaries via Interrupted; a nil or Background context
+// leaves the execution uncancellable (the pre-lifecycle behavior).
+func (c *Context) AttachContext(ctx context.Context) {
+	if ctx == nil {
+		c.ctx, c.done = nil, nil
+		return
+	}
+	c.ctx = ctx
+	c.done = ctx.Done()
+}
+
+// Interrupted reports the attached context's error once it is cancelled or
+// past its deadline, and nil while the execution may continue. It is a
+// non-blocking poll, cheap enough for every batch boundary (but not for
+// every row).
+func (c *Context) Interrupted() error {
+	select {
+	case <-c.done:
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	default:
+		return nil
+	}
+}
 
 // Expr is a compiled scalar expression evaluated against one flat row.
 type Expr interface {

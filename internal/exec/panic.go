@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a recovered panic from plan evaluation (or any statement
+// work) into an ordinary error. The engine's statement boundary converts
+// panics into this type so the transaction rolls back, locks release, and
+// the session stays usable; parallel operators convert worker panics so a
+// wedged worker surfaces as a plan error instead of crashing the process.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("exec: panic during execution: %v", p.Value)
+}
+
+// NewPanicError captures the current goroutine's stack around a recovered
+// panic value. A value that already is a *PanicError passes through (a
+// worker's recovered panic re-thrown at a barrier keeps its original stack).
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// RecoverTo converts an in-flight panic into a *PanicError stored at errp.
+// Use as `defer RecoverTo(&err)` in goroutines that must not crash the
+// process (parallel plan workers).
+func RecoverTo(errp *error) {
+	if v := recover(); v != nil {
+		*errp = NewPanicError(v)
+	}
+}

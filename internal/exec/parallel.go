@@ -85,11 +85,17 @@ func (s *MorselScan) Open(ctx *Context) error {
 	return nil
 }
 
-// fill replaces the buffer with rows from the next claimed pages.
+// fill replaces the buffer with rows from the next claimed pages. The
+// interrupt poll runs once per claim, so a cancelled worker stops after at
+// most one morsel's reads — that is what bounds Gather cancellation latency
+// to one batch of work per worker.
 func (s *MorselScan) fill(ctx *Context) error {
 	s.buf = s.buf[:0]
 	s.pos = 0
 	for len(s.buf) < BatchSize {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		if len(s.pending) == 0 {
 			s.pending = s.group.disp.Claim()
 			if len(s.pending) == 0 {
@@ -254,7 +260,14 @@ func hasMorselLeaf(p Plan) bool {
 // correlation parameters are shared (read-only per execution), statistics are
 // private and merged back when the worker finishes.
 func workerContext(parent *Context) *Context {
-	return &Context{Params: parent.Params, Binds: parent.Binds, NodeRows: parent.NodeRows, Stats: &Stats{}}
+	return &Context{
+		Params: parent.Params, Binds: parent.Binds, NodeRows: parent.NodeRows,
+		Stats: &Stats{},
+		// Cancellation propagates into every worker: the same statement
+		// context, so a cancel observed by the consumer is observed by each
+		// worker at its next batch boundary.
+		ctx: parent.ctx, done: parent.done,
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -353,10 +366,17 @@ func (g *Gather) Open(ctx *Context) error {
 }
 
 // runWorker drives one worker pipeline to completion, copying each batch out
-// of the pipeline's reused buffer before handing it to the consumer.
+// of the pipeline's reused buffer before handing it to the consumer. A panic
+// in the worker pipeline becomes a plan error on the channel instead of
+// crashing the process (the pipeline's Close still runs via drive's defer
+// while the panic unwinds).
 func (g *Gather) runWorker(w Plan, wctx *Context, wg *sync.WaitGroup) {
 	defer wg.Done()
-	if err := g.drive(w, wctx); err != nil {
+	err := func() (err error) {
+		defer RecoverTo(&err)
+		return g.drive(w, wctx)
+	}()
+	if err != nil {
 		select {
 		case g.ch <- gatherMsg{err: err}:
 		case <-g.cancel:
@@ -550,6 +570,7 @@ func (sb *sharedBuild) run(ctx *Context) error {
 		wg.Add(1)
 		go func(i int, w Plan) {
 			defer wg.Done()
+			defer RecoverTo(&errs[i])
 			wctx := workerContext(ctx)
 			stats[i] = wctx.Stats
 			slabs[i], errs[i] = fillSlab(wctx, w, sb.keys, sb.hash)

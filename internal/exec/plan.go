@@ -80,8 +80,12 @@ func (s *SeqScan) Open(ctx *Context) error {
 }
 
 // fill replaces the buffer with the next run of pages totalling at least
-// BatchSize rows (or whatever remains in the chain).
+// BatchSize rows (or whatever remains in the chain). The interrupt poll
+// here bounds cancellation latency to one batch of page reads.
 func (s *SeqScan) fill(ctx *Context) error {
+	if err := ctx.Interrupted(); err != nil {
+		return err
+	}
 	s.buf = s.buf[:0]
 	s.rids = s.rids[:0]
 	s.pos = 0
@@ -233,7 +237,11 @@ func (s *IndexScan) Open(ctx *Context) error {
 }
 
 // fill pulls the next run of RIDs off the iterator and fetches their tuples.
+// The interrupt poll bounds cancellation latency during long btree ranges.
 func (s *IndexScan) fill(ctx *Context) error {
+	if err := ctx.Interrupted(); err != nil {
+		return err
+	}
 	s.buf = s.buf[:0]
 	s.pos = 0
 	for !s.done && len(s.buf) < BatchSize {
@@ -689,6 +697,9 @@ func (j *NLJoin) Open(ctx *Context) error {
 	}
 	j.right = j.right[:0]
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		batch, err := j.Right.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -765,6 +776,11 @@ func (j *NLJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 			return j.obuf, nil
 		}
 		if j.lpos >= len(j.lbatch) {
+			// One cancellation poll per outer batch: leaf-scan polls dilute
+			// under a join product, so joins poll their own consumption.
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
 			batch, err := j.Left.NextBatch(ctx)
 			if err != nil {
 				return nil, err
@@ -944,6 +960,9 @@ func (j *HashJoin) Open(ctx *Context) error {
 		scratch := make(types.Row, len(j.RightKeys))
 		keyArena := rowArena{arity: len(j.RightKeys)}
 		for {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
 			batch, err := j.Right.NextBatch(ctx)
 			if err != nil {
 				return err
@@ -1058,6 +1077,11 @@ func (j *HashJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 			return j.obuf, nil
 		}
 		if j.lpos >= len(j.lbatch) {
+			// One cancellation poll per outer batch: leaf-scan polls dilute
+			// under a join product, so joins poll their own consumption.
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
 			batch, err := j.Left.NextBatch(ctx)
 			if err != nil {
 				return nil, err
@@ -1257,6 +1281,11 @@ func (j *IndexJoin) NextBatch(ctx *Context) ([]types.Row, error) {
 			return j.obuf, nil
 		}
 		if j.lpos >= len(j.lbatch) {
+			// One cancellation poll per outer batch: leaf-scan polls dilute
+			// under a join product, so joins poll their own consumption.
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
 			batch, err := j.Left.NextBatch(ctx)
 			if err != nil {
 				return nil, err
@@ -1380,6 +1409,9 @@ func (s *Sort) Open(ctx *Context) error {
 	s.rows = s.rows[:0]
 	s.pos = 0
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		batch, err := s.Child.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -1742,6 +1774,9 @@ func (g *GroupAgg) Open(ctx *Context) error {
 	}
 	gt := newGroupTable(g.KeyIdxs, g.Aggs)
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		batch, err := g.Child.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -1778,6 +1813,7 @@ func (g *GroupAgg) openParallel(ctx *Context) error {
 		wg.Add(1)
 		go func(i int, w Plan) {
 			defer wg.Done()
+			defer RecoverTo(&errs[i])
 			wctx := workerContext(ctx)
 			stats[i] = wctx.Stats
 			gt := newGroupTable(g.KeyIdxs, g.Aggs)
@@ -1861,6 +1897,9 @@ func Collect(ctx *Context, p Plan) ([]types.Row, error) {
 	defer p.Close()
 	var out []types.Row
 	for {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		batch, err := p.NextBatch(ctx)
 		if err != nil {
 			return nil, err

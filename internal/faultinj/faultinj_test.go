@@ -1,0 +1,117 @@
+package faultinj
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(DiskRead); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Fired() != 0 || in.FiredAt(DiskRead) != 0 || in.Hits(DiskRead) != 0 {
+		t.Fatal("nil injector reports nonzero counters")
+	}
+}
+
+func TestUnarmedInjectorCountsHits(t *testing.T) {
+	in := New()
+	for i := 0; i < 3; i++ {
+		if err := in.Hit(BufferFetch); err != nil {
+			t.Fatalf("unarmed probe fired: %v", err)
+		}
+	}
+	if in.Hits(BufferFetch) != 3 {
+		t.Fatalf("Hits = %d, want 3", in.Hits(BufferFetch))
+	}
+	if in.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", in.Fired())
+	}
+}
+
+func TestAfterSkipsHits(t *testing.T) {
+	in := New()
+	in.Arm(Fault{Point: DiskWrite, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Hit(DiskWrite); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := in.Hit(DiskWrite)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit returned %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), string(DiskWrite)) {
+		t.Fatalf("injected error %q does not name its probe point", err)
+	}
+	if in.Fired() != 1 || in.FiredAt(DiskWrite) != 1 {
+		t.Fatal("fire counters wrong after one firing")
+	}
+}
+
+func TestOnceDisarmsAfterFiring(t *testing.T) {
+	in := New()
+	in.Arm(Fault{Point: WALAppend, Once: true})
+	if err := in.Hit(WALAppend); err == nil {
+		t.Fatal("once-fault did not fire")
+	}
+	// Rollback traffic hits the same probe; a Once fault must stay dead.
+	for i := 0; i < 5; i++ {
+		if err := in.Hit(WALAppend); err != nil {
+			t.Fatalf("once-fault re-fired on hit %d: %v", i, err)
+		}
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired())
+	}
+}
+
+func TestCustomErrorAndDisarmAll(t *testing.T) {
+	in := New()
+	sentinel := fmt.Errorf("sector vanished")
+	in.Arm(Fault{Point: DiskRead, Err: sentinel})
+	if err := in.Hit(DiskRead); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want custom sentinel", err)
+	}
+	in.DisarmAll()
+	if err := in.Hit(DiskRead); err != nil {
+		t.Fatalf("probe fired after DisarmAll: %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Fatal("DisarmAll reset fire counters; they must persist")
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New()
+	in.Arm(Fault{Point: ComatMat, Panic: true, Once: true})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(v), string(ComatMat)) {
+			t.Fatalf("panic value %v does not name the probe point", v)
+		}
+	}()
+	_ = in.Hit(ComatMat)
+}
+
+func TestPointsCoversAllConstants(t *testing.T) {
+	want := map[Point]bool{
+		DiskRead: true, DiskWrite: true, BufferFetch: true,
+		WALAppend: true, ComatMat: true,
+	}
+	pts := Points()
+	if len(pts) != len(want) {
+		t.Fatalf("Points() lists %d points, want %d", len(pts), len(want))
+	}
+	for _, p := range pts {
+		if !want[p] {
+			t.Fatalf("Points() lists unknown point %q", p)
+		}
+	}
+}

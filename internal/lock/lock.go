@@ -6,6 +6,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,6 +31,11 @@ func (m Mode) String() string {
 
 // ErrDeadlock is returned to a requester whose wait would close a cycle.
 var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// ErrLockTimeout is returned when a lock wait ends because the requester's
+// context was cancelled or passed its deadline. Like ErrDeadlock, the caller
+// is expected to abort the transaction.
+var ErrLockTimeout = errors.New("lock: wait cancelled or timed out")
 
 type resource struct {
 	holders map[uint64]Mode // tx -> strongest mode held
@@ -114,6 +120,16 @@ func (m *Manager) wouldDeadlock(tx uint64, bs []uint64) bool {
 // ErrDeadlock when waiting would create a cycle; the caller is expected to
 // abort the transaction.
 func (m *Manager) Lock(tx uint64, res string, mode Mode) error {
+	return m.AcquireContext(context.Background(), tx, res, mode)
+}
+
+// AcquireContext is Lock with a wait bound: a cancelled or expired context
+// ends the wait with ErrLockTimeout (deadline and explicit cancel surface
+// the same way — both mean "stop waiting for this lock"). An immediately
+// grantable request never consults the context, so the fast path costs
+// nothing extra; only a request that actually waits starts a watcher
+// goroutine to kick the manager's condition variable when the context fires.
+func (m *Manager) AcquireContext(ctx context.Context, tx uint64, res string, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, ok := m.resources[res]
@@ -125,10 +141,37 @@ func (m *Manager) Lock(tx uint64, res string, mode Mode) error {
 	if hm, held := r.holders[tx]; held && (hm == Exclusive || mode == Shared) {
 		return nil
 	}
+	var stop chan struct{}
+	defer func() {
+		if stop != nil {
+			close(stop)
+		}
+	}()
 	for !compatible(r, tx, mode) {
+		if err := ctx.Err(); err != nil {
+			m.dropIfIdleLocked(res, r)
+			return fmt.Errorf("%w: tx %d requesting %s on %q: %v", ErrLockTimeout, tx, mode, res, err)
+		}
 		bs := blockers(r, tx, mode)
 		if m.wouldDeadlock(tx, bs) {
+			m.dropIfIdleLocked(res, r)
 			return fmt.Errorf("%w: tx %d requesting %s on %q", ErrDeadlock, tx, mode, res)
+		}
+		if stop == nil && ctx.Done() != nil {
+			// cond.Wait cannot select on a channel, so a watcher converts the
+			// context firing into a Broadcast; the loop's ctx.Err() check then
+			// turns the wakeup into ErrLockTimeout. Spurious broadcasts to
+			// other waiters are harmless re-checks.
+			stop = make(chan struct{})
+			go func(done <-chan struct{}, stop <-chan struct{}) {
+				select {
+				case <-done:
+					m.mu.Lock()
+					m.cond.Broadcast()
+					m.mu.Unlock()
+				case <-stop:
+				}
+			}(ctx.Done(), stop)
 		}
 		if m.waitsFor[tx] == nil {
 			m.waitsFor[tx] = map[uint64]bool{}
@@ -178,6 +221,42 @@ func (m *Manager) ReleaseAll(tx uint64) {
 	}
 	delete(m.waitsFor, tx)
 	m.cond.Broadcast()
+}
+
+// dropIfIdleLocked removes a resource entry that ended up with no holders
+// and no waiters (a failed acquisition on a previously unknown resource must
+// not leave an empty entry behind). Caller holds m.mu.
+func (m *Manager) dropIfIdleLocked(name string, r *resource) {
+	if len(r.holders) == 0 && r.waiters == 0 {
+		delete(m.resources, name)
+	}
+}
+
+// HeldCount reports how many resources tx currently holds (test hook: after
+// any failed statement it must be zero for the statement's transaction).
+func (m *Manager) HeldCount(tx uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.resources {
+		if _, held := r.holders[tx]; held {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalHeld reports the total number of (transaction, resource) grants
+// outstanding across all transactions (test hook: a quiesced engine must
+// report zero or it leaked locks).
+func (m *Manager) TotalHeld() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.resources {
+		n += len(r.holders)
+	}
+	return n
 }
 
 // Holds reports whether tx currently holds at least mode on res.

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"sqlxnf/internal/faultinj"
 )
 
 // PoolStats counts buffer-pool activity.
@@ -31,7 +33,13 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of PageID, front = most recent
 	stats  PoolStats
+	// inj is the optional fault injector (nil = probes inert). Set once at
+	// engine construction, before any concurrent use.
+	inj *faultinj.Injector
 }
+
+// SetFaultInjector arms the pool's probe points. Call before first use.
+func (bp *BufferPool) SetFaultInjector(in *faultinj.Injector) { bp.inj = in }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over disk.
 func NewBufferPool(disk *Disk, capacity int) *BufferPool {
@@ -54,6 +62,9 @@ func (bp *BufferPool) Capacity() int { return bp.cap }
 
 // Fetch pins the page and returns it, reading from disk on a miss.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	if err := bp.inj.Hit(faultinj.BufferFetch); err != nil {
+		return nil, err
+	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
@@ -66,10 +77,20 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The freshly allocated frame holds zeroes until the read lands. If the
+	// read fails — or panics, which statement containment will recover above
+	// us — the frame must not stay cached: a later Fetch would pin it and see
+	// an empty page where real data lives on disk.
+	ok := false
+	defer func() {
+		if !ok {
+			delete(bp.frames, id)
+		}
+	}()
 	if err := bp.disk.Read(id, f.data); err != nil {
-		delete(bp.frames, id)
 		return nil, err
 	}
+	ok = true
 	return &Page{ID: id, Data: f.data}, nil
 }
 
@@ -92,17 +113,23 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 // allocFrameLocked finds room for a new pinned frame, evicting if needed.
 func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
 	for len(bp.frames) >= bp.cap {
-		if bp.lru.Len() == 0 {
+		back := bp.lru.Back()
+		if back == nil {
 			return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.cap)
 		}
-		victim := bp.lru.Remove(bp.lru.Back()).(PageID)
+		victim := back.Value.(PageID)
 		vf := bp.frames[victim]
-		vf.elem = nil
+		// Write back before dismantling the frame: if the write errors or
+		// panics, the victim stays fully cached (still in the LRU, still
+		// dirty) and the pool remains consistent for the next caller.
 		if vf.dirty {
 			if err := bp.disk.Write(victim, vf.data); err != nil {
 				return nil, err
 			}
+			vf.dirty = false
 		}
+		bp.lru.Remove(back)
+		vf.elem = nil
 		delete(bp.frames, victim)
 		bp.stats.Evictions++
 	}

@@ -10,6 +10,8 @@ package storage
 import (
 	"fmt"
 	"sync"
+
+	"sqlxnf/internal/faultinj"
 )
 
 // PageSize is the size of every page in bytes.
@@ -37,10 +39,16 @@ type Disk struct {
 	mu    sync.Mutex
 	pages [][]byte
 	stats DiskStats
+	// inj is the optional fault injector (nil = probes inert). Set once at
+	// engine construction, before any concurrent use.
+	inj *faultinj.Injector
 }
 
 // NewDisk returns an empty simulated disk.
 func NewDisk() *Disk { return &Disk{} }
+
+// SetFaultInjector arms the disk's probe points. Call before first use.
+func (d *Disk) SetFaultInjector(in *faultinj.Injector) { d.inj = in }
 
 // Allocate reserves a fresh zeroed page and returns its id.
 func (d *Disk) Allocate() PageID {
@@ -54,6 +62,9 @@ func (d *Disk) Allocate() PageID {
 
 // Read copies page id into buf (which must be PageSize bytes).
 func (d *Disk) Read(id PageID, buf []byte) error {
+	if err := d.inj.Hit(faultinj.DiskRead); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
@@ -69,6 +80,9 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 
 // Write copies buf (PageSize bytes) to page id.
 func (d *Disk) Write(id PageID, buf []byte) error {
+	if err := d.inj.Hit(faultinj.DiskWrite); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {

@@ -21,10 +21,13 @@
 package sqlxnf
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"sqlxnf/internal/cache"
 	"sqlxnf/internal/engine"
+	"sqlxnf/internal/faultinj"
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/rewrite"
 	"sqlxnf/internal/types"
@@ -139,6 +142,50 @@ func WithCOCacheBudget(bytes int64) Option {
 	return func(o *engine.Options) { o.COCacheBytes = bytes }
 }
 
+// WithStatementTimeout bounds every statement's execution; an expired
+// statement aborts at its next batch boundary with context.DeadlineExceeded
+// and its transaction rolls back. Sessions may override per-session with
+// Session.SetStatementTimeout.
+func WithStatementTimeout(d time.Duration) Option {
+	return func(o *engine.Options) { o.StatementTimeout = d }
+}
+
+// WithLockTimeout bounds every table-lock wait; expiry surfaces as
+// lock.ErrLockTimeout and aborts the waiting statement's transaction.
+func WithLockTimeout(d time.Duration) Option {
+	return func(o *engine.Options) { o.LockTimeout = d }
+}
+
+// FaultInjector is the engine's opt-in fault-injection harness
+// (internal/faultinj re-exported for chaos tests and debugging tools).
+type FaultInjector = faultinj.Injector
+
+// Fault describes one armed failure at a probe point.
+type Fault = faultinj.Fault
+
+// FaultPoint names a probe point for Fault.Point.
+type FaultPoint = faultinj.Point
+
+// The engine's probe points, re-exported so external chaos tests can name
+// them without reaching into internal/faultinj.
+const (
+	FaultDiskRead    FaultPoint = faultinj.DiskRead
+	FaultDiskWrite   FaultPoint = faultinj.DiskWrite
+	FaultBufferFetch FaultPoint = faultinj.BufferFetch
+	FaultWALAppend   FaultPoint = faultinj.WALAppend
+	FaultComatMat    FaultPoint = faultinj.ComatMat
+)
+
+// NewFaultInjector builds an empty injector for WithFaultInjector.
+func NewFaultInjector() *FaultInjector { return faultinj.New() }
+
+// WithFaultInjector arms the engine's fault-injection probe points (disk
+// read/write, buffer-pool fetch, WAL append, CO materialization). Nil (the
+// default) leaves the probes inert.
+func WithFaultInjector(in *FaultInjector) Option {
+	return func(o *engine.Options) { o.FaultInjector = in }
+}
+
 var _ = optimizer.DefaultOptions // anchor for godoc cross-reference
 
 // DB is one embedded database instance with a default session.
@@ -166,6 +213,13 @@ func (db *DB) Session() *Session { return db.eng.Session() }
 // Exec runs a SQL/XNF script on the default session and returns the last
 // statement's result.
 func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
+
+// ExecContext runs a script under a lifecycle context: cancellation or
+// deadline expiry aborts the running statement, rolls its transaction back,
+// and surfaces the context's error.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.def.ExecContext(ctx, sql)
+}
 
 // MustExec runs a script, panicking on error (examples and tests).
 func (db *DB) MustExec(sql string) *Result { return db.def.MustExec(sql) }
