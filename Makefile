@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz vet bench chaos clean
+.PHONY: build test fuzz vet bench chaos crash clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,7 @@ test:
 fuzz:
 	$(GO) test -fuzz FuzzExtractLiterals -fuzztime 30s ./internal/engine/
 	$(GO) test -fuzz FuzzDepKey -fuzztime 15s ./internal/comat/
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal/
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,14 @@ vet:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine/
 	$(GO) test -race -count=1 ./internal/faultinj/
+
+# Crash-injection harness: every durable commit point of a mixed workload is
+# crashed (boundary images plus torn-tail cuts of the newest segment, and
+# injected fsync/open failures); each image is recovered and differentially
+# verified against an in-memory twin. See EXECUTOR.md "Durability & crash
+# recovery".
+crash:
+	$(GO) test -race -count=1 -run 'TestCrash' -v ./internal/engine/
 
 # Smoke-run the executor micro-benchmarks (one iteration each): catches
 # bench-rot without burning CI minutes. See EXECUTOR.md for real runs.

@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sqlxnf"
@@ -61,6 +62,7 @@ func main() {
 		{"e16", "Parameterized prepared statements — one compile, many bindings", runE16},
 		{"e17", "Morsel-driven parallel execution — multicore scan, join, aggregation", runE17},
 		{"e18", "Composite-object cache — repeated checkout vs cold materialization", runE18},
+		{"e21", "Durable WAL — commit throughput by sync policy and writer count", runE21},
 	}
 	ran := false
 	for _, e := range exps {
@@ -734,6 +736,93 @@ func runE18(scale int) {
 		NonDependentHitsRose: hitsRose,
 	})
 	fmt.Println("  → repeated CO checkouts run at cache-hit speed; DML invalidates only dependents")
+}
+
+// runE21 measures durable commit throughput across the WAL sync policies at
+// rising writer concurrency. Each writer commits single-row inserts into a
+// private table (no lock contention — the experiment isolates the log).
+// SyncAlways pays one fsync per commit; SyncGroupCommit shares each fsync
+// among every committer queued behind it, so its advantage grows with
+// writers; SyncNone is the no-durability ceiling.
+func runE21(scale int) {
+	commitsPer := 150 * scale
+	policies := []struct {
+		name   string
+		policy sqlxnf.SyncPolicy
+	}{
+		{"always", sqlxnf.SyncAlways},
+		{"group-commit", sqlxnf.SyncGroupCommit},
+		{"none", sqlxnf.SyncNone},
+	}
+	writerCounts := []int{1, 4, 16}
+	rec := e21Record{Experiment: "e21", CommitsPerWriter: commitsPer,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	persec := map[string]map[int]float64{}
+	fmt.Printf("  %d commits/writer, single-row inserts into per-writer tables\n", commitsPer)
+	fmt.Printf("  %-14s %-8s %-14s %-12s %-10s\n", "policy", "writers", "commits/sec", "avg/commit", "fsyncs")
+	for _, p := range policies {
+		persec[p.name] = map[int]float64{}
+		for _, nw := range writerCounts {
+			dir, err := os.MkdirTemp("", "e21-*")
+			if err != nil {
+				panic(err)
+			}
+			db := must(sqlxnf.OpenDir(dir,
+				sqlxnf.WithSyncPolicy(p.policy), sqlxnf.WithCheckpointBytes(-1)))
+			for w := 0; w < nw; w++ {
+				db.MustExec(fmt.Sprintf("CREATE TABLE W%d (id INT PRIMARY KEY, v VARCHAR)", w))
+			}
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := db.Session()
+					for i := 0; i < commitsPer; i++ {
+						s.MustExec(fmt.Sprintf("INSERT INTO W%d VALUES (%d, 'r%d')", w, i, i))
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			total := nw * commitsPer
+			cps := float64(total) / elapsed.Seconds()
+			fsyncs := db.Engine().WALStats().File.Syncs
+			must(0, db.Close())
+			must(0, os.RemoveAll(dir))
+			persec[p.name][nw] = cps
+			fmt.Printf("  %-14s %-8d %-14.0f %-12v %-10d\n",
+				p.name, nw, cps, elapsed/time.Duration(total), fsyncs)
+			rec.Cells = append(rec.Cells, e21Cell{Policy: p.name, Writers: nw,
+				Commits: total, ElapsedNs: elapsed.Nanoseconds(),
+				CommitsPerSec: cps, Fsyncs: fsyncs})
+		}
+	}
+	ratio := persec["group-commit"][16] / persec["always"][16]
+	rec.GroupVsAlways16 = ratio
+	fmt.Printf("  group-commit vs always at 16 writers: %.1fx (acceptance bound 2x)\n", ratio)
+	writeJSONFile("BENCH_e21.json", rec)
+	fmt.Println("  → group commit amortizes the fsync across concurrent committers")
+}
+
+// e21Record is the machine-readable result of the durability experiment.
+type e21Record struct {
+	Experiment       string    `json:"experiment"`
+	CommitsPerWriter int       `json:"commits_per_writer"`
+	NumCPU           int       `json:"num_cpu"`
+	GOMAXPROCS       int       `json:"gomaxprocs"`
+	Cells            []e21Cell `json:"cells"`
+	GroupVsAlways16  float64   `json:"group_vs_always_16_writers"`
+}
+
+type e21Cell struct {
+	Policy        string  `json:"policy"`
+	Writers       int     `json:"writers"`
+	Commits       int     `json:"commits"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	Fsyncs        int64   `json:"fsyncs"`
 }
 
 // e18Record is the machine-readable result of the CO-cache experiment.

@@ -4,14 +4,20 @@
 // the running statement (rolling back its transaction) instead of killing
 // the shell.
 //
+// With -data <dir> the shell opens a durable database rooted there,
+// recovering existing state from its write-ahead log; -sync picks the
+// commit durability policy (group, always, none).
+//
 // Meta commands: \d (list tables and views), \costats (composite-object
-// cache entries and counters), \q (quit).
+// cache entries and counters), \checkpoint (force a checkpoint and truncate
+// the log), \walstats (WAL and durability counters), \q (quit).
 package main
 
 import (
 	"bufio"
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -23,7 +29,20 @@ import (
 )
 
 func main() {
-	db := sqlxnf.Open()
+	dataDir := flag.String("data", "", "directory for a durable database (empty = in-memory)")
+	syncMode := flag.String("sync", "group", "WAL sync policy with -data: group, always, none")
+	flag.Parse()
+	db, err := openDB(*dataDir, *syncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnfsh:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	if *dataDir != "" {
+		ri := db.Engine().RecoveryInfo()
+		fmt.Printf("opened %s: %d records scanned, %d replayed (checkpoint lsn %d, %d tables)\n",
+			*dataDir, ri.RecordsSeen, ri.Replayed, ri.CheckpointLSN, ri.CheckpointTables)
+	}
 	s := db.Session()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -31,7 +50,7 @@ func main() {
 	// plumbing; the shell itself keeps running.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
-	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\q quit, Ctrl-C cancels)")
+	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\checkpoint, \\walstats, \\q quit, Ctrl-C cancels)")
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -57,6 +76,18 @@ func main() {
 			printCOStats(db)
 			prompt()
 			continue
+		case "\\checkpoint":
+			if _, err := s.Exec("CHECKPOINT"); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("checkpoint complete")
+			}
+			prompt()
+			continue
+		case "\\walstats":
+			printWALStats(db)
+			prompt()
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -78,6 +109,42 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// openDB builds the shell's database: durable when -data names a directory,
+// in-memory otherwise.
+func openDB(dataDir, syncMode string) (*sqlxnf.DB, error) {
+	if dataDir == "" {
+		return sqlxnf.Open(), nil
+	}
+	var policy sqlxnf.SyncPolicy
+	switch syncMode {
+	case "group":
+		policy = sqlxnf.SyncGroupCommit
+	case "always":
+		policy = sqlxnf.SyncAlways
+	case "none":
+		policy = sqlxnf.SyncNone
+	default:
+		return nil, fmt.Errorf("unknown -sync %q (want group, always, or none)", syncMode)
+	}
+	return sqlxnf.OpenDir(dataDir, sqlxnf.WithSyncPolicy(policy))
+}
+
+// printWALStats renders the write-ahead log: durable segment state and
+// fsync counters when file-backed, plus the in-memory tail.
+func printWALStats(db *sqlxnf.DB) {
+	st := db.Engine().WALStats()
+	if !st.Durable {
+		fmt.Printf("wal: in-memory, records=%d (no durable log; start with -data <dir>)\n", st.MemRecords)
+		return
+	}
+	f := st.File
+	fmt.Printf("wal: durable policy=%s segments=%d bytes=%s durable-bytes=%s\n",
+		st.Policy, f.Segments, fmtBytes(f.Bytes), fmtBytes(f.DurableBytes))
+	fmt.Printf("  lsn: last=%d durable=%d checkpoint=%d\n", f.LastLSN, f.DurableLSN, f.LastCheckpoint)
+	fmt.Printf("  io: appends=%d fsyncs=%d group-commit-skips=%d\n", f.Appends, f.Syncs, f.SyncSkips)
+	fmt.Printf("  mem-records=%d auto-checkpoint-failures=%d\n", st.MemRecords, st.AutoCheckpointFailures)
 }
 
 // runStatement executes one statement under a cancellable context wired to

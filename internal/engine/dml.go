@@ -142,6 +142,9 @@ func (s *Session) analyze(stmt *parser.AnalyzeStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Log the ANALYZE so recovery recomputes statistics for this table
+		// and a recovered engine plans on the same estimates.
+		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAnalyze, Table: t.Name})
 		total += rows
 	}
 	return &Result{RowsAffected: total}, nil
@@ -561,8 +564,7 @@ func (s *Session) autoTx(fn func() error) error {
 		}
 		return err
 	}
-	s.commit()
-	return nil
+	return s.commit()
 }
 
 // RunBox implements xnf.Host: rewrite, optimize, execute. The context

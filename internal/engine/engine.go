@@ -58,7 +58,26 @@ type Options struct {
 	// FaultInjector arms the engine's fault-injection probe points
 	// (internal/faultinj); nil leaves them inert.
 	FaultInjector *faultinj.Injector
+	// DataDir, when non-empty, makes the engine durable: every WAL record
+	// is mirrored to CRC32C-framed segment files under this directory and
+	// commits sync under the Sync policy. Open it with engine.Open —
+	// engine.New ignores DataDir.
+	DataDir string
+	// Sync is the durable commit policy (default wal.SyncGroupCommit);
+	// meaningful only with DataDir.
+	Sync wal.SyncPolicy
+	// WALSegmentBytes rotates WAL segment files at this size (0 = the
+	// wal.DefaultSegmentBytes 4 MiB).
+	WALSegmentBytes int64
+	// CheckpointBytes auto-checkpoints a durable engine once that many log
+	// bytes accumulate after the last checkpoint. 0 uses
+	// DefaultCheckpointBytes; negative disables auto-checkpointing
+	// (explicit CHECKPOINT statements still work).
+	CheckpointBytes int64
 }
+
+// DefaultCheckpointBytes is the auto-checkpoint threshold when unset.
+const DefaultCheckpointBytes = 16 << 20
 
 // DefaultPlanCacheSize is the prepared-plan cache capacity when unset.
 const DefaultPlanCacheSize = 128
@@ -96,6 +115,19 @@ type Engine struct {
 	recovering bool
 	// faults is the optional fault injector (nil = probes inert).
 	faults *faultinj.Injector
+	// flog mirrors the in-memory log to segment files (nil = in-memory
+	// engine, no durability). walMu orders appends across both logs so the
+	// durable byte stream is LSN-ordered; CHECKPOINT holds it across its
+	// snapshot so no record can slip between the snapshot and the
+	// checkpoint's LSN.
+	flog  *wal.FileLog
+	walMu sync.Mutex
+	// ckptRunning serializes auto-checkpoints; ckptFailures counts
+	// best-effort auto-checkpoints that errored.
+	ckptRunning  atomic.Bool
+	ckptFailures atomic.Int64
+	// recovery describes what the last Open/Recover replayed.
+	recovery RecoveryInfo
 }
 
 // New creates an empty database engine.
@@ -154,6 +186,70 @@ func (e *Engine) Locks() *lock.Manager { return e.locks }
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// Durable reports whether the engine mirrors its WAL to segment files.
+func (e *Engine) Durable() bool { return e.flog != nil }
+
+// Close flushes and closes the durable log (no-op for in-memory engines).
+// Committed transactions are already durable; Close just seals the files.
+func (e *Engine) Close() error {
+	if e.flog == nil {
+		return nil
+	}
+	return e.flog.Close()
+}
+
+// WALStats describes the engine's write-ahead log state: the durable
+// segment files (zero values for in-memory engines) plus the in-memory
+// tail the next checkpoint folds away.
+type WALStats struct {
+	// Durable reports whether a file-backed log is attached.
+	Durable bool
+	// Policy is the fsync policy of the durable log.
+	Policy wal.SyncPolicy
+	// File is the segment-file view: sizes, LSN watermarks, fsync counters.
+	File wal.Stats
+	// MemRecords counts in-memory log records (the suffix since the last
+	// checkpoint truncation).
+	MemRecords int
+	// AutoCheckpointFailures counts best-effort auto-checkpoints that
+	// errored (the engine keeps running; the log just stays longer).
+	AutoCheckpointFailures int64
+}
+
+// WALStats snapshots the WAL state for tooling (xnfsh \walstats) and
+// benchmarks.
+func (e *Engine) WALStats() WALStats {
+	st := WALStats{MemRecords: e.log.Len()}
+	if e.flog != nil {
+		st.Durable = true
+		st.Policy = e.opts.Sync
+		st.File = e.flog.Stats()
+		st.AutoCheckpointFailures = e.ckptFailures.Load()
+	}
+	return st
+}
+
+// maybeAutoCheckpoint runs a best-effort CHECKPOINT on a fresh session once
+// the durable log grows past Options.CheckpointBytes since the last one.
+// Failures are counted, not propagated — the commit that triggered the
+// check already succeeded.
+func (e *Engine) maybeAutoCheckpoint() {
+	threshold := e.opts.CheckpointBytes
+	if threshold == 0 {
+		threshold = DefaultCheckpointBytes
+	}
+	if e.flog == nil || threshold < 0 || e.flog.BytesSinceCheckpoint() < threshold {
+		return
+	}
+	if !e.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	defer e.ckptRunning.Store(false)
+	if _, err := e.Session().Exec("CHECKPOINT"); err != nil {
+		e.ckptFailures.Add(1)
+	}
+}
+
 // PlanCacheStats snapshots prepared-plan cache counters (zero value when
 // the cache is disabled).
 func (e *Engine) PlanCacheStats() PlanCacheStats {
@@ -202,6 +298,11 @@ type Session struct {
 	// goroutine; parallel workers spawned mid-statement read it through
 	// values captured before they start, so the writes never race.
 	sctx context.Context
+	// beganLogged marks that this transaction's RecBegin reached the log.
+	// Begin logging is lazy — appendLog prepends it before the first real
+	// record — so read-only transactions log nothing and commit without an
+	// fsync, keeping durability off the read hot path.
+	beganLogged bool
 	// stmtTimeout overrides the engine's StatementTimeout for this session
 	// (0 = inherit).
 	stmtTimeout time.Duration
@@ -379,7 +480,9 @@ func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
 		if !s.inTx {
 			return nil, fmt.Errorf("engine: no transaction open")
 		}
-		s.commit()
+		if err := s.commit(); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	case *parser.RollbackStmt:
 		if !s.inTx {
@@ -400,7 +503,9 @@ func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
 				}
 				return nil, err
 			}
-			s.commit()
+			if cerr := s.commit(); cerr != nil {
+				return nil, cerr
+			}
 		} else if err != nil {
 			// Statement failure inside an explicit transaction: the paper's
 			// host (Starburst) rolls back the statement; we roll back the
@@ -436,6 +541,8 @@ func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
 		return s.xnfQuery(stmt, st.Text)
 	case *parser.AnalyzeStmt:
 		return s.analyze(stmt)
+	case *parser.CheckpointStmt:
+		return s.checkpoint()
 	case *parser.ExplainStmt:
 		// Dispatched inside the autocommit wrapper so the shared locks the
 		// compiler takes (its cost model reads DML-maintained statistics)
@@ -446,18 +553,36 @@ func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
 	}
 }
 
-// begin starts a transaction.
+// begin starts a transaction. Nothing is logged yet: the RecBegin appends
+// lazily before the transaction's first real record.
 func (s *Session) begin() {
 	s.txID = s.eng.allocTx()
 	s.inTx = true
-	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecBegin})
+	s.beganLogged = false
 }
 
-// commit ends the transaction, releasing locks (strict 2PL).
-func (s *Session) commit() {
-	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecCommit})
-	s.eng.locks.ReleaseAll(s.txID)
+// commit ends the transaction, releasing locks (strict 2PL) and — on a
+// durable engine, when the transaction logged anything — forcing the log
+// through the commit record before acknowledging. Locks release before the
+// fsync (early lock release): durability is prefix-closed, so syncing this
+// commit's LSN also syncs everything the next lock holder depends on.
+func (s *Session) commit() error {
+	e := s.eng
+	wrote := s.beganLogged
+	var commitLSN wal.LSN
+	if wrote {
+		commitLSN = s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecCommit})
+	}
+	e.locks.ReleaseAll(s.txID)
 	s.inTx = false
+	s.beganLogged = false
+	if wrote && e.flog != nil && !e.recovering {
+		if err := e.flog.Sync(commitLSN); err != nil {
+			return fmt.Errorf("engine: commit not durable: %w", err)
+		}
+		e.maybeAutoCheckpoint()
+	}
+	return nil
 }
 
 // rollback undoes the transaction's effects in reverse LSN order.
@@ -485,17 +610,45 @@ func (s *Session) rollback() error {
 			}
 		}
 	}
-	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAbort})
+	if s.beganLogged {
+		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAbort})
+	}
 	s.eng.locks.ReleaseAll(s.txID)
 	s.inTx = false
+	s.beganLogged = false
 	return undoErr
 }
 
-func (s *Session) appendLog(rec wal.Record) {
-	if s.eng.recovering {
-		return
+// appendLog assigns the record's LSN and mirrors it to the durable log when
+// one is attached. walMu makes the (in-memory LSN assignment, file append)
+// pair atomic, so the on-disk byte stream is in LSN order. File-append
+// failures are sticky inside FileLog and surface at the commit fsync — the
+// in-memory record stays either way, so rollback can still undo the heap.
+func (s *Session) appendLog(rec wal.Record) wal.LSN {
+	e := s.eng
+	if e.recovering {
+		return 0
 	}
-	s.eng.log.Append(rec)
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	return s.appendLogLocked(rec)
+}
+
+func (s *Session) appendLogLocked(rec wal.Record) wal.LSN {
+	e := s.eng
+	if !s.beganLogged && rec.Type != wal.RecBegin {
+		s.beganLogged = true
+		begin := wal.Record{Tx: s.txID, Type: wal.RecBegin}
+		begin.LSN = e.log.Append(begin)
+		if e.flog != nil {
+			_ = e.flog.Append(begin)
+		}
+	}
+	rec.LSN = e.log.Append(rec)
+	if e.flog != nil {
+		_ = e.flog.Append(rec)
+	}
+	return rec.LSN
 }
 
 // lockTable acquires a table lock for the session's transaction. The wait is
@@ -656,7 +809,9 @@ func (s *Session) execCachedSelect(ent *planEntry, binds []types.Value) (*Result
 		return nil, fmt.Errorf("%v (transaction rolled back)", err)
 	}
 	if auto {
-		s.commit()
+		if cerr := s.commit(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	return res, nil
 }
@@ -765,13 +920,17 @@ func (s *Session) execCachedTake(key string) (*Result, bool, error) {
 		// Invalidated between peek and validate: release the autocommit
 		// wrapper and let the parse path re-materialize.
 		if auto {
-			s.commit()
+			if cerr := s.commit(); cerr != nil {
+				return nil, true, cerr
+			}
 		}
 		return nil, false, nil
 	}
 	res := &Result{CO: comat.CloneCO(co)}
 	if auto {
-		s.commit()
+		if cerr := s.commit(); cerr != nil {
+			return nil, true, cerr
+		}
 	}
 	return res, true, nil
 }
@@ -823,6 +982,9 @@ func (s *Session) maybeAutoAnalyze(tables []string) bool {
 		}
 		if _, err := s.eng.cat.AnalyzeTable(tn); err == nil {
 			refreshed = true
+			// Logged like manual ANALYZE so a recovered engine recomputes the
+			// same statistics and plans identically.
+			s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAnalyze, Table: tn})
 		}
 	}
 	return refreshed

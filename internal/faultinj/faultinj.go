@@ -11,6 +11,8 @@
 //	bufferpool.fetch    storage.BufferPool.Fetch, before frame lookup
 //	wal.append          engine DML primitives, before the heap mutation
 //	comat.materialize   engine CO materialization, before the evaluator runs
+//	wal.fsync           wal.FileLog, before each fsync (durable engines only)
+//	wal.open            wal.Open, before scanning segments (durable engines only)
 package faultinj
 
 import (
@@ -29,12 +31,21 @@ const (
 	BufferFetch Point = "bufferpool.fetch"
 	WALAppend   Point = "wal.append"
 	ComatMat    Point = "comat.materialize"
+	WALFsync    Point = "wal.fsync"
+	WALOpen     Point = "wal.open"
 )
 
-// Points lists every probe point the engine wires (chaos suites iterate it
-// to prove coverage).
+// Points lists every probe point an in-memory engine wires (chaos suites
+// iterate it to prove coverage). WALFsync and WALOpen are excluded: they
+// fire only on durable engines, which the crash harness covers separately.
 func Points() []Point {
 	return []Point{DiskRead, DiskWrite, BufferFetch, WALAppend, ComatMat}
+}
+
+// DurablePoints lists the probe points only durable (file-backed WAL)
+// engines reach.
+func DurablePoints() []Point {
+	return []Point{WALFsync, WALOpen}
 }
 
 // ErrInjected is the default error injected when a Fault carries none.

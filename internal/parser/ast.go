@@ -418,6 +418,12 @@ type AnalyzeStmt struct {
 
 func (*AnalyzeStmt) stmtNode() {}
 
+// CheckpointStmt is CHECKPOINT: write a logical snapshot of the catalog and
+// table contents into the WAL and truncate the log behind it.
+type CheckpointStmt struct{}
+
+func (*CheckpointStmt) stmtNode() {}
+
 // ---------------------------------------------------------------------------
 // XNF statements (the composite object constructor, §3 of the paper)
 // ---------------------------------------------------------------------------

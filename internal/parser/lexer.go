@@ -58,7 +58,7 @@ var keywords = map[string]bool{
 	"UPDATE": true, "SET": true, "DELETE": true, "PRIMARY": true, "KEY": true,
 	"JOIN": true, "INNER": true, "ON": true, "CLUSTER": true, "FAMILY": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "EXPLAIN": true,
-	"ANALYZE": true,
+	"ANALYZE": true, "CHECKPOINT": true,
 	"UNION": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	// XNF keywords.
 	"OUT": true, "OF": true, "TAKE": true, "RELATE": true, "SUCH": true,

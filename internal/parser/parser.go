@@ -245,6 +245,9 @@ func (p *Parser) parseStatement() (Statement, error) {
 			st.Table = p.advance().Text
 		}
 		return st, nil
+	case "CHECKPOINT":
+		p.advance()
+		return &CheckpointStmt{}, nil
 	default:
 		return nil, p.errorf("unexpected keyword %s at statement start", t.Text)
 	}

@@ -3,6 +3,12 @@
 // and before/after row images, and the engine replays them (repeat history,
 // then undo losers). This mirrors the paper's position that XNF reuses the
 // host DBMS's transaction and recovery components unchanged.
+//
+// Two log implementations share one record codec: Log keeps records in
+// memory for rollback and TxRecords, and FileLog (file.go) persists the
+// same records to CRC32C-framed segment files with fsync policies. A
+// durable engine appends to both; recovery reads whichever medium
+// survived.
 package wal
 
 import (
@@ -32,6 +38,10 @@ const (
 	// RecDDL logs a schema-changing statement; Table holds the statement
 	// text, replayed verbatim during recovery.
 	RecDDL
+	// RecAnalyze logs an ANALYZE of one table (Table holds the table name)
+	// so recovery can recompute optimizer statistics. It mutates no rows:
+	// rollback ignores it and replay recomputes stats from recovered data.
+	RecAnalyze
 )
 
 // String names the record type.
@@ -53,22 +63,27 @@ func (t RecType) String() string {
 		return "CHECKPOINT"
 	case RecDDL:
 		return "DDL"
+	case RecAnalyze:
+		return "ANALYZE"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
 }
 
 // Record is one log entry. Insert carries After; Delete carries Before;
-// Update carries both (and NewRID when the tuple moved).
+// Update carries both (and NewRID when the tuple moved). Checkpoint
+// records carry an opaque Payload: the engine's logical snapshot of the
+// catalog and table contents at the checkpoint LSN.
 type Record struct {
-	LSN    LSN
-	Tx     uint64
-	Type   RecType
-	Table  string
-	RID    storage.RID
-	NewRID storage.RID
-	Before types.Row
-	After  types.Row
+	LSN     LSN
+	Tx      uint64
+	Type    RecType
+	Table   string
+	RID     storage.RID
+	NewRID  storage.RID
+	Before  types.Row
+	After   types.Row
+	Payload []byte
 }
 
 // Log is an append-only in-memory log with stable LSNs. A file-backed
@@ -90,6 +105,24 @@ func (l *Log) Append(rec Record) LSN {
 	l.next++
 	l.records = append(l.records, rec)
 	return rec.LSN
+}
+
+// SetNext advances the next LSN to be assigned (never backwards). A
+// recovered durable engine calls it so new appends continue past the
+// highest LSN already on disk.
+func (l *Log) SetNext(next LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if next > l.next {
+		l.next = next
+	}
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
 }
 
 // Len returns the number of records.
@@ -169,19 +202,92 @@ func (l *Log) Encode() []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(l.records)))
 	buf = binary.AppendUvarint(buf, uint64(l.next))
 	for _, r := range l.records {
-		buf = binary.AppendUvarint(buf, uint64(r.LSN))
-		buf = binary.AppendUvarint(buf, r.Tx)
-		buf = append(buf, byte(r.Type))
-		buf = binary.AppendUvarint(buf, uint64(len(r.Table)))
-		buf = append(buf, r.Table...)
-		buf = binary.AppendUvarint(buf, uint64(r.RID.Page))
-		buf = binary.AppendUvarint(buf, uint64(r.RID.Slot))
-		buf = binary.AppendUvarint(buf, uint64(r.NewRID.Page))
-		buf = binary.AppendUvarint(buf, uint64(r.NewRID.Slot))
-		buf = appendOptRow(buf, r.Before)
-		buf = appendOptRow(buf, r.After)
+		buf = AppendRecord(buf, r)
 	}
 	return buf
+}
+
+// AppendRecord serializes one record onto buf. The same framing is used by
+// Log.Encode and by FileLog's segment files (there wrapped in a
+// length+CRC32C frame).
+func AppendRecord(buf []byte, r Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.LSN))
+	buf = binary.AppendUvarint(buf, r.Tx)
+	buf = append(buf, byte(r.Type))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Table)))
+	buf = append(buf, r.Table...)
+	buf = binary.AppendUvarint(buf, uint64(r.RID.Page))
+	buf = binary.AppendUvarint(buf, uint64(r.RID.Slot))
+	buf = binary.AppendUvarint(buf, uint64(r.NewRID.Page))
+	buf = binary.AppendUvarint(buf, uint64(r.NewRID.Slot))
+	buf = appendOptRow(buf, r.Before)
+	buf = appendOptRow(buf, r.After)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+	buf = append(buf, r.Payload...)
+	return buf
+}
+
+// DecodeRecord reads one record from data, returning it and the number of
+// bytes consumed.
+func DecodeRecord(data []byte) (Record, int, error) {
+	var r Record
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: corrupt record at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	lsn, err := readUvarint()
+	if err != nil {
+		return r, 0, err
+	}
+	r.LSN = LSN(lsn)
+	if r.Tx, err = readUvarint(); err != nil {
+		return r, 0, err
+	}
+	if pos >= len(data) {
+		return r, 0, fmt.Errorf("wal: truncated record type")
+	}
+	r.Type = RecType(data[pos])
+	pos++
+	tl, err := readUvarint()
+	if err != nil {
+		return r, 0, err
+	}
+	if tl > uint64(len(data)-pos) {
+		return r, 0, fmt.Errorf("wal: truncated table name")
+	}
+	r.Table = string(data[pos : pos+int(tl)])
+	pos += int(tl)
+	vals := make([]uint64, 4)
+	for j := range vals {
+		if vals[j], err = readUvarint(); err != nil {
+			return r, 0, err
+		}
+	}
+	r.RID = storage.RID{Page: storage.PageID(vals[0]), Slot: uint16(vals[1])}
+	r.NewRID = storage.RID{Page: storage.PageID(vals[2]), Slot: uint16(vals[3])}
+	if r.Before, err = readOptRow(data, &pos); err != nil {
+		return r, 0, err
+	}
+	if r.After, err = readOptRow(data, &pos); err != nil {
+		return r, 0, err
+	}
+	pl, err := readUvarint()
+	if err != nil {
+		return r, 0, err
+	}
+	if pl > uint64(len(data)-pos) {
+		return r, 0, fmt.Errorf("wal: truncated payload")
+	}
+	if pl > 0 {
+		r.Payload = append([]byte(nil), data[pos:pos+int(pl)]...)
+		pos += int(pl)
+	}
+	return r, pos, nil
 }
 
 func appendOptRow(buf []byte, r types.Row) []byte {
@@ -213,43 +319,11 @@ func Decode(data []byte) (*Log, error) {
 	}
 	l := &Log{next: LSN(next)}
 	for i := uint64(0); i < n; i++ {
-		var r Record
-		lsn, err := readUvarint()
+		r, used, err := DecodeRecord(data[pos:])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("wal: record %d: %w", i, err)
 		}
-		r.LSN = LSN(lsn)
-		if r.Tx, err = readUvarint(); err != nil {
-			return nil, err
-		}
-		if pos >= len(data) {
-			return nil, fmt.Errorf("wal: truncated record %d", i)
-		}
-		r.Type = RecType(data[pos])
-		pos++
-		tl, err := readUvarint()
-		if err != nil {
-			return nil, err
-		}
-		if pos+int(tl) > len(data) {
-			return nil, fmt.Errorf("wal: truncated table name in record %d", i)
-		}
-		r.Table = string(data[pos : pos+int(tl)])
-		pos += int(tl)
-		vals := make([]uint64, 4)
-		for j := range vals {
-			if vals[j], err = readUvarint(); err != nil {
-				return nil, err
-			}
-		}
-		r.RID = storage.RID{Page: storage.PageID(vals[0]), Slot: uint16(vals[1])}
-		r.NewRID = storage.RID{Page: storage.PageID(vals[2]), Slot: uint16(vals[3])}
-		if r.Before, err = readOptRow(data, &pos); err != nil {
-			return nil, err
-		}
-		if r.After, err = readOptRow(data, &pos); err != nil {
-			return nil, err
-		}
+		pos += used
 		l.records = append(l.records, r)
 	}
 	return l, nil

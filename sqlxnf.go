@@ -31,6 +31,7 @@ import (
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/rewrite"
 	"sqlxnf/internal/types"
+	"sqlxnf/internal/wal"
 	"sqlxnf/internal/xnf"
 )
 
@@ -156,6 +157,42 @@ func WithLockTimeout(d time.Duration) Option {
 	return func(o *engine.Options) { o.LockTimeout = d }
 }
 
+// SyncPolicy governs when a durable database forces its WAL to disk
+// (internal/wal re-exported).
+type SyncPolicy = wal.SyncPolicy
+
+// The durability/throughput trade-off points for WithSyncPolicy.
+const (
+	// SyncGroupCommit (the default) fsyncs once per batch of concurrent
+	// committers: full durability for every acknowledged commit, one disk
+	// force shared by all commits that arrive while a force is in flight.
+	SyncGroupCommit SyncPolicy = wal.SyncGroupCommit
+	// SyncAlways forces the log once per commit.
+	SyncAlways SyncPolicy = wal.SyncAlways
+	// SyncNone never forces; a crash may lose recently acknowledged
+	// commits, but the log stays torn-tail-consistent.
+	SyncNone SyncPolicy = wal.SyncNone
+)
+
+// WithDataDir makes the database durable: the WAL appends to segment files
+// under dir, and OpenDir recovers state from them. Only meaningful with
+// OpenDir (Open ignores it and stays in-memory).
+func WithDataDir(dir string) Option {
+	return func(o *engine.Options) { o.DataDir = dir }
+}
+
+// WithSyncPolicy selects when a durable database forces its WAL to disk.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *engine.Options) { o.Sync = p }
+}
+
+// WithCheckpointBytes sets the auto-checkpoint threshold: once that many log
+// bytes accumulate past the last checkpoint, the next commit triggers one.
+// Negative disables auto-checkpointing (CHECKPOINT still works).
+func WithCheckpointBytes(n int64) Option {
+	return func(o *engine.Options) { o.CheckpointBytes = n }
+}
+
 // FaultInjector is the engine's opt-in fault-injection harness
 // (internal/faultinj re-exported for chaos tests and debugging tools).
 type FaultInjector = faultinj.Injector
@@ -174,6 +211,8 @@ const (
 	FaultBufferFetch FaultPoint = faultinj.BufferFetch
 	FaultWALAppend   FaultPoint = faultinj.WALAppend
 	FaultComatMat    FaultPoint = faultinj.ComatMat
+	FaultWALFsync    FaultPoint = faultinj.WALFsync
+	FaultWALOpen     FaultPoint = faultinj.WALOpen
 )
 
 // NewFaultInjector builds an empty injector for WithFaultInjector.
@@ -200,9 +239,29 @@ func Open(opts ...Option) *DB {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	o.DataDir = "" // Open is in-memory by contract; durability goes via OpenDir
 	eng := engine.New(o)
 	return &DB{eng: eng, def: eng.Session()}
 }
+
+// OpenDir opens a durable database rooted at dir, creating it if empty and
+// otherwise recovering from its write-ahead log (any torn tail left by a
+// crash is truncated in place). Close the returned DB to release the log.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	o := engine.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.DataDir = dir
+	eng, err := engine.Open(o)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng, def: eng.Session()}, nil
+}
+
+// Close releases the database's durable log (no-op for in-memory instances).
+func (db *DB) Close() error { return db.eng.Close() }
 
 // Engine exposes the underlying engine (benchmarks read its I/O counters).
 func (db *DB) Engine() *engine.Engine { return db.eng }
