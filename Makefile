@@ -43,6 +43,7 @@ bench:
 	$(GO) run ./cmd/xnfbench -exp e16
 	$(GO) run ./cmd/xnfbench -exp e17 -json
 	$(GO) run ./cmd/xnfbench -exp e18 -json
+	$(GO) run ./cmd/xnfbench -exp e19 -json
 
 clean:
 	$(GO) clean ./...

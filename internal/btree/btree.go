@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
 	"sqlxnf/internal/storage"
 )
@@ -60,8 +61,13 @@ type node struct {
 	next     *node // leaf chain for range scans
 }
 
-// Tree is a B+tree index.
+// Tree is a B+tree index. Under MVCC, index readers no longer hold table
+// locks, so the tree carries its own latch: public methods take mu and
+// delegate to unexported unlatched implementations. Key byte slices are
+// copied at insert and never mutated afterwards, so entries handed out by
+// scans stay valid after the latch drops.
 type Tree struct {
+	mu     sync.RWMutex
 	root   *node
 	unique bool
 	size   int
@@ -73,13 +79,19 @@ func New(unique bool) *Tree {
 }
 
 // Len returns the number of stored entries.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Unique reports whether the index enforces key uniqueness.
 func (t *Tree) Unique() bool { return t.unique }
 
 // Height returns the tree height (1 for a lone leaf).
 func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	h, n := 1, t.root
 	for !n.leaf {
 		h++
@@ -124,9 +136,11 @@ func lowerBound(entries []entry, e entry) int {
 // no-op. For unique trees a second rid under an existing key returns
 // ErrDuplicate.
 func (t *Tree) Insert(key []byte, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.unique {
 		dup := false
-		t.Scan(key, key, true, true, func(_ []byte, r storage.RID) bool {
+		t.scanLocked(key, key, true, true, func(_ []byte, r storage.RID) bool {
 			dup = r != rid
 			return false
 		})
@@ -198,6 +212,8 @@ func (t *Tree) insertInternal(path []*node, idx []int, sep entry, right *node) {
 // unique tree the stored rid wins when the caller passes a stale one: the
 // entry matching key alone is removed.
 func (t *Tree) Delete(key []byte, rid storage.RID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := entry{key: key, rid: rid}
 	if t.deleteExact(e) {
 		return true
@@ -207,7 +223,7 @@ func (t *Tree) Delete(key []byte, rid storage.RID) bool {
 	}
 	// Fall back to key-only lookup for unique trees.
 	var found *entry
-	t.Scan(key, key, true, true, func(k []byte, r storage.RID) bool {
+	t.scanLocked(key, key, true, true, func(k []byte, r storage.RID) bool {
 		found = &entry{key: append([]byte(nil), k...), rid: r}
 		return false
 	})
@@ -323,8 +339,10 @@ func (t *Tree) merge(parent *node, i int) {
 
 // SeekEQ returns the RIDs stored under exactly key.
 func (t *Tree) SeekEQ(key []byte) []storage.RID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []storage.RID
-	t.Scan(key, key, true, true, func(_ []byte, rid storage.RID) bool {
+	t.scanLocked(key, key, true, true, func(_ []byte, rid storage.RID) bool {
 		out = append(out, rid)
 		return true
 	})
@@ -333,8 +351,15 @@ func (t *Tree) SeekEQ(key []byte) []storage.RID {
 
 // Scan visits entries with lo <= key <= hi in order. nil bounds are
 // unbounded; loInc/hiInc select inclusive or exclusive endpoints. The
-// callback returns false to stop.
+// callback returns false to stop. The tree latch is held across the whole
+// scan, so the callback must not mutate this tree.
 func (t *Tree) Scan(lo, hi []byte, loInc, hiInc bool, fn func(key []byte, rid storage.RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.scanLocked(lo, hi, loInc, hiInc, fn)
+}
+
+func (t *Tree) scanLocked(lo, hi []byte, loInc, hiInc bool, fn func(key []byte, rid storage.RID) bool) {
 	// Descend left on key equality so leading duplicates are not skipped.
 	n := t.root
 	for !n.leaf {
@@ -368,71 +393,115 @@ func (t *Tree) Scan(lo, hi []byte, loInc, hiInc bool, fn func(key []byte, rid st
 	}
 }
 
-// Iterator streams a bounded range incrementally: each Next hands back one
-// (key, rid) entry, walking the leaf chain on demand instead of collecting
-// matches up front. The executor's streaming index scans pull batches off
-// it. An iterator reads live tree structure, so structural mutation during
-// iteration invalidates it; the engine's table locks serialize scans against
-// writers.
+// iterBatch is how many entries an Iterator buffers per latch acquisition:
+// large enough to amortize the RLock, small enough to keep writers flowing.
+const iterBatch = 64
+
+// Iterator streams a bounded range incrementally: each refill takes the tree
+// latch, buffers up to iterBatch in-range entries, and remembers the last
+// (key, rid) composite handed out; the next refill re-seeks strictly past it.
+// Structural mutation between refills is therefore safe — concurrent writers
+// under MVCC only add or remove entries the scanning snapshot cannot see
+// anyway. The executor's streaming index scans pull batches off it.
 type Iterator struct {
-	n            *node
-	i            int
+	t            *Tree
 	lo, hi       []byte
 	loInc, hiInc bool
+	started      bool
+	last         entry // last buffered composite; resume point
+	buf          []entry
+	i            int
+	done         bool
 }
 
 // Iter positions an iterator at the first entry with key >= lo (key > lo
 // when loInc is false) ranging up to hi under the same bound semantics as
 // Scan. nil bounds are unbounded.
 func (t *Tree) Iter(lo, hi []byte, loInc, hiInc bool) *Iterator {
-	// Descend left on key equality so leading duplicates are not skipped.
+	return &Iterator{t: t, lo: lo, hi: hi, loInc: loInc, hiInc: hiInc}
+}
+
+// Next returns the next in-range entry, or ok=false when the range is
+// exhausted. Returned keys are immutable tree-owned byte slices and stay
+// valid indefinitely.
+func (it *Iterator) Next() (key []byte, rid storage.RID, ok bool) {
+	if it.i >= len(it.buf) {
+		if it.done {
+			return nil, storage.RID{}, false
+		}
+		it.refill()
+		if it.i >= len(it.buf) {
+			return nil, storage.RID{}, false
+		}
+	}
+	e := it.buf[it.i]
+	it.i++
+	return e.key, e.rid, true
+}
+
+// refill buffers the next batch of in-range entries under the tree latch.
+func (it *Iterator) refill() {
+	it.buf = it.buf[:0]
+	it.i = 0
+	t := it.t
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Descend to the leaf where the range (or the resume point) starts,
+	// going left on key equality so leading duplicates are not skipped.
+	seek := it.lo
+	if it.started {
+		seek = it.last.key
+	}
 	n := t.root
 	for !n.leaf {
 		i := 0
-		if lo != nil {
-			for i < len(n.seps) && bytes.Compare(lo, n.seps[i].key) > 0 {
+		if seek != nil {
+			for i < len(n.seps) && bytes.Compare(seek, n.seps[i].key) > 0 {
 				i++
 			}
 		}
 		n = n.children[i]
 	}
-	return &Iterator{n: n, lo: lo, hi: hi, loInc: loInc, hiInc: hiInc}
-}
-
-// Next returns the next in-range entry, or ok=false when the range is
-// exhausted. The returned key aliases tree-owned memory; callers that keep
-// it past the next tree mutation must copy.
-func (it *Iterator) Next() (key []byte, rid storage.RID, ok bool) {
-	for it.n != nil {
-		for it.i < len(it.n.entries) {
-			e := it.n.entries[it.i]
-			it.i++
-			if it.lo != nil {
+	for n != nil {
+		for _, e := range n.entries {
+			if it.started {
+				if compareEntry(e, it.last) <= 0 {
+					continue
+				}
+			} else if it.lo != nil {
 				c := bytes.Compare(e.key, it.lo)
 				if c < 0 || (c == 0 && !it.loInc) {
 					continue
 				}
-				// Entries are ordered: once past lo, stop re-checking it.
-				it.lo = nil
 			}
 			if it.hi != nil {
 				c := bytes.Compare(e.key, it.hi)
 				if c > 0 || (c == 0 && !it.hiInc) {
-					it.n = nil
-					return nil, storage.RID{}, false
+					it.done = true
+					return
 				}
 			}
-			return e.key, e.rid, true
+			it.buf = append(it.buf, e)
+			if len(it.buf) >= iterBatch {
+				it.last = e
+				it.started = true
+				return
+			}
 		}
-		it.n = it.n.next
-		it.i = 0
+		n = n.next
 	}
-	return nil, storage.RID{}, false
+	if len(it.buf) > 0 {
+		it.last = it.buf[len(it.buf)-1]
+		it.started = true
+	}
+	it.done = true
 }
 
 // Validate checks structural invariants (ordering, occupancy, leaf chain,
 // separator correctness). Tests call it after mutation storms.
 func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.root == nil {
 		return fmt.Errorf("btree: nil root")
 	}

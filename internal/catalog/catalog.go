@@ -47,33 +47,91 @@ type Table struct {
 	Heap    *storage.Heap
 	Family  string // cluster family, "" when the table owns its heap
 	Indexes []*Index
-	// Rows is the live tuple count, maintained by the engine on every
-	// insert/delete; the optimizer's cardinality estimates read it.
-	Rows int64
+	// rows is the live tuple count, maintained by the engine on every
+	// insert/delete; the optimizer's cardinality estimates read it. Atomic
+	// because MVCC readers cost plans while writers mutate.
+	rows atomic.Int64
 	// stats is the ANALYZE snapshot (nil until first ANALYZE). The pointer
 	// swaps atomically so statistics refresh without blocking concurrent
 	// plan compilation.
 	stats atomic.Pointer[TableStats]
-	// version counts DML mutations to this table (insert/update/delete and
+	// version marks DML mutations to this table (insert/update/delete and
 	// their rollback compensations). Unlike the catalog epoch — which tracks
 	// schema and statistics changes — the version tracks *data* changes, at
 	// the granularity the composite-object cache needs: a materialized CO
 	// records the versions of its component tables, and a mismatch on any of
-	// them invalidates exactly the COs that read that table.
+	// them invalidates exactly the COs that read that table. Values come from
+	// a process-wide seed, so no two incarnations of a table — or two bumps
+	// of the same table — ever share a version: a DROP TABLE + re-CREATE
+	// under the same name can never revisit a version an old dependency
+	// snapshot recorded (the ABA a per-table counter restarting at zero
+	// would allow).
 	version atomic.Uint64
 }
 
-// Version returns the table's DML version counter.
+// verSeed issues globally unique table versions (see Table.version).
+var verSeed atomic.Uint64
+
+// VersionSeed returns the current global version watermark: every version a
+// table carried at (or before) the call is <= the returned value, and every
+// bump issued after the call is > it. MVCC snapshots record it at capture to
+// prove "no table committed a change since" by a plain version comparison.
+func VersionSeed() uint64 { return verSeed.Load() }
+
+// Version returns the table's DML version marker.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
-// BumpVersion records one data mutation.
-func (t *Table) BumpVersion() { t.version.Add(1) }
+// BumpVersion records one data mutation by installing a fresh globally
+// unique version.
+func (t *Table) BumpVersion() { t.version.Store(verSeed.Add(1)) }
+
+// RowCount returns the live tuple count.
+func (t *Table) RowCount() int64 { return t.rows.Load() }
+
+// AddRows adjusts the live tuple count by delta.
+func (t *Table) AddRows(delta int64) { t.rows.Add(delta) }
+
+// SetRowCount installs an absolute live tuple count (loaders, tests).
+func (t *Table) SetRowCount(n int64) { t.rows.Store(n) }
 
 // Stats returns the current statistics snapshot, or nil before ANALYZE.
 func (t *Table) Stats() *TableStats { return t.stats.Load() }
 
 // SetStats installs a statistics snapshot.
 func (t *Table) SetStats(ts *TableStats) { t.stats.Store(ts) }
+
+// ObserveInsert folds one inserted row into the statistics snapshot,
+// copy-on-write: concurrent plan compilation reads a consistent snapshot
+// while DML refreshes it.
+func (t *Table) ObserveInsert(row types.Row) {
+	for {
+		old := t.stats.Load()
+		if old == nil {
+			return
+		}
+		nw := old.clone()
+		nw.ObserveInsert(row)
+		if t.stats.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDelete folds one deleted row into the statistics snapshot,
+// copy-on-write.
+func (t *Table) ObserveDelete(row types.Row) {
+	for {
+		old := t.stats.Load()
+		if old == nil {
+			return
+		}
+		nw := old.clone()
+		nw.ObserveDelete(row)
+		if t.stats.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
 
 // View is a named query definition; XNF marks composite-object views.
 type View struct {
@@ -169,6 +227,9 @@ func (c *Catalog) CreateTable(name string, schema types.Schema, family string) (
 		Heap:   heap,
 		Family: norm(family),
 	}
+	// Seed the version from the global counter so a recreated table never
+	// starts at a version a previous incarnation already used.
+	t.version.Store(verSeed.Add(1))
 	c.nextTag++
 	c.tables[key] = t
 	c.bumpEpoch()
@@ -256,12 +317,15 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique bool)
 			return nil, fmt.Errorf("catalog: index %q references missing column %q", name, col)
 		}
 	}
+	// The tree is always non-unique internally: MVCC updates keep the old
+	// version's entry beside the new one under the same key, so uniqueness
+	// is enforced at the engine level against *live* versions only.
 	ix := &Index{
 		Name:    key,
 		Table:   t.Name,
 		Columns: append([]string(nil), columns...),
 		Unique:  unique,
-		Tree:    btree.New(unique),
+		Tree:    btree.New(false),
 	}
 	c.indexes[key] = ix
 	t.Indexes = append(t.Indexes, ix)

@@ -35,10 +35,17 @@ func (ts *TableStats) Col(i int) *ColumnStats {
 	return &ts.Cols[i]
 }
 
+// clone returns a private copy for copy-on-write refresh (Table.Observe*).
+func (ts *TableStats) clone() *TableStats {
+	nw := *ts
+	nw.Cols = append([]ColumnStats(nil), ts.Cols...)
+	return &nw
+}
+
 // ObserveInsert folds one inserted row into the sketch: min/max extend and
 // NULL counts grow. Distinct counts are left as-is (an undercount) until the
-// next ANALYZE. Callers hold the table's exclusive lock, so plain mutation
-// is safe.
+// next ANALYZE. It mutates in place — concurrent engines go through the
+// copy-on-write Table.ObserveInsert instead.
 func (ts *TableStats) ObserveInsert(row types.Row) {
 	if ts == nil {
 		return

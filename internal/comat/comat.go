@@ -286,6 +286,10 @@ func (c *Cache) removeLocked(el *list.Element, e *entry) {
 // returns ctx.Err() while the runner continues unaffected (its result still
 // lands in the cache for future fetchers). The runner itself is bounded by
 // its own context through mat, not by this one. A nil ctx never cancels.
+//
+// mat may return nil deps with a non-nil CO to mark the result private:
+// it is served to this fetch (and any waiters, who must re-validate it
+// against their own view) but never stored.
 func (c *Cache) FetchCO(ctx context.Context, key string, epoch uint64, vf VersionFn,
 	mat func() (*xnf.CO, []TableDep, error)) (co *xnf.CO, hit bool, err error) {
 	if ctx == nil {
@@ -355,7 +359,13 @@ func (c *Cache) runFlight(key string, epoch uint64, f *flight,
 			f.err = err
 		} else {
 			f.co = co
-			c.storeLocked(key, epoch, f.deps, co)
+			// Nil deps mark a private result (the runner materialized under a
+			// snapshot that no longer matches latest-committed state): serve
+			// it to this flight's fetchers but store nothing — a stored entry
+			// with an empty dependency set would validate forever.
+			if f.deps != nil {
+				c.storeLocked(key, epoch, f.deps, co)
+			}
 		}
 		close(f.done)
 		c.mu.Unlock()

@@ -139,8 +139,15 @@ func TestChaosDifferential(t *testing.T) {
 	fopts := DefaultOptions()
 	fopts.BufferPoolPages = 4 // force disk traffic so disk.read/write fire
 	fopts.FaultInjector = inj
+	// Auto-vacuum is best-effort and skips entries whose pages fail to load,
+	// so an inline sweep at commit can consume an armed one-shot fault
+	// without failing the statement — which would break this test's "fault
+	// fired => statement errored" accounting. Disable it; vacuum-under-fault
+	// is covered by TestVacuumSkipsFailingEntries.
+	fopts.VacuumDeadRows = -1
 	topts := DefaultOptions()
 	topts.BufferPoolPages = 4
+	topts.VacuumDeadRows = -1
 	faulty := New(fopts).Session()
 	twin := New(topts).Session()
 	// Pre-grow CE past the pool so every round sees real page misses and

@@ -1,21 +1,27 @@
 package engine
 
 // Composite-object cache wiring: the session-side fetch protocol over
-// internal/comat. The protocol that keeps cached materializations
-// transactionally sound is lock-before-validate:
+// internal/comat. Under MVCC the protocol that keeps cached
+// materializations transactionally sound is a snapshot compare:
 //
-//  1. take shared locks on every base table the CO depends on (for a cached
-//     entry, the dependency set recorded at materialization; otherwise the
-//     spec's transitive table set),
-//  2. only then compare the entry's recorded per-table DML versions against
-//     the catalog's current counters.
+//  1. validate the entry's recorded per-table versions against the
+//     catalog's current counters (the entry equals latest-committed state),
+//  2. then check the session's snapshot covers those tables
+//     (snapshotCovers: every current version predates the snapshot's
+//     capture watermark and the transaction wrote none of them itself).
 //
-// DML bumps a table's version at write time under an exclusive lock, so
-// once the shared locks are held, a version match proves no writer —
-// committed or in-flight — has touched any component table since the entry
-// materialized, and strict 2PL keeps that true for the rest of the
-// statement's transaction. A mismatch (or a concurrent flight's failure)
-// falls through to single-flight materialization under the same locks.
+// Versions bump only at commit, atomically with retiring the committing
+// transaction from the snapshot-visible active set, so the two comparisons
+// together prove the shared entry is byte-for-byte what this snapshot would
+// materialize. When the snapshot does not cover — someone committed to a
+// component table after this transaction began, or the transaction changed
+// a component itself — the CO is evaluated privately under the snapshot and
+// served without being stored (a shared entry must always equal
+// latest-committed state). Materialization itself stays single-flight:
+// concurrent sessions needing the same stale entry share one evaluation.
+// (lockTablesShared remains in the protocol for the ReadLocks=true
+// compatibility mode, where it restores the pre-MVCC lock-before-validate
+// discipline; under MVCC it is a no-op.)
 
 import (
 	"fmt"
@@ -48,6 +54,7 @@ const maxCOFetchDepth = 32
 func (s *Session) newExecContext() *exec.Context {
 	ctx := exec.NewContext()
 	ctx.NodeRows = s.nodeRows
+	ctx.Vis = s.visFunc()
 	ctx.AttachContext(s.sctx)
 	return ctx
 }
@@ -177,13 +184,13 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 	vf := s.eng.cat.TableVersion
 
 	// Fast path: a cached entry names its own dependency tables, so the
-	// hit path never builds (or even checks out) the spec — lock the
-	// recorded dependency set, then validate under those locks.
+	// hit path never builds (or even checks out) the spec — validate the
+	// entry, then confirm the session's snapshot covers its dependency set.
 	if tables, ok := cm.PeekDeps(key, epoch); ok {
 		if err := s.lockTablesShared(tables); err != nil {
 			return nil, false, err
 		}
-		if co, ok := cm.Get(key, epoch, vf); ok {
+		if co, ok := cm.Get(key, epoch, vf); ok && s.snapshotCovers(tables) {
 			return co, true, nil
 		}
 	}
@@ -199,20 +206,29 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 	if err := s.lockTablesShared(tables); err != nil {
 		return nil, false, err
 	}
-	return cm.FetchCO(s.sctx, key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {
+	evaluate := func() (*xnf.CO, error) {
 		// The comat.materialize probe sits before the evaluator: an injected
 		// failure here fails the flight cleanly (waiters retry, nothing is
 		// stored), proving a failed materialization never poisons the cache.
 		if err := s.eng.faults.Hit(faultinj.ComatMat); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+		return xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+	}
+	mine := false
+	co, hit, err := cm.FetchCO(s.sctx, key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {
+		mine = true
+		co, err := evaluate()
 		if err != nil {
 			return nil, nil, err
 		}
-		// Dependency snapshot: versions read under the shared locks held
-		// across the whole fetch, so they describe exactly the data the
-		// evaluator saw.
+		// Dependency snapshot: versions read after the evaluation, then
+		// checked against the session snapshot's capture watermark. Covered
+		// deps prove no commit touched any dependency between snapshot
+		// capture and this read, so the snapshot evaluation the CO came from
+		// equals latest-committed state and the entry is safe to share. Nil
+		// deps mark the CO private: comat serves it to this fetch only and
+		// stores nothing.
 		deps := make([]comat.TableDep, 0, len(tables))
 		for _, tn := range tables {
 			ver, ok := vf(tn)
@@ -221,8 +237,35 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 			}
 			deps = append(deps, comat.TableDep{Table: tn, Version: ver})
 		}
+		if !s.depsCovered(deps) {
+			return co, nil, nil
+		}
 		return co, deps, nil
 	})
+	if err != nil {
+		return nil, false, err
+	}
+	if mine {
+		// This session ran the evaluation under its own snapshot: the result
+		// is correct for it whether or not it was stored.
+		return co, false, nil
+	}
+	// Served by someone else's flight (or a validate inside the retry loop):
+	// the CO tracks latest-committed state, which serves this session only if
+	// its snapshot covers the dependency set — checked after the entry
+	// validates, so "covered" still proves no commit landed in between.
+	// Otherwise evaluate privately: correctness beats sharing for
+	// transactions straddling commits.
+	if hit && s.snapshotCovers(tables) {
+		return co, true, nil
+	}
+	if !hit {
+		if co2, ok := cm.Get(key, epoch, vf); ok && s.snapshotCovers(tables) {
+			return co2, true, nil
+		}
+	}
+	co, err = evaluate()
+	return co, false, err
 }
 
 // lockTablesShared takes shared locks on the given tables.

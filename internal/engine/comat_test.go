@@ -283,8 +283,8 @@ func TestCOCacheConcurrentSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(final.Node("Xe").Rows); int64(got) != emp.Rows {
-		t.Fatalf("final CO has %d employees, table has %d", got, emp.Rows)
+	if got := len(final.Node("Xe").Rows); int64(got) != emp.RowCount() {
+		t.Fatalf("final CO has %d employees, table has %d", got, emp.RowCount())
 	}
 }
 

@@ -454,3 +454,90 @@ func TestCrashOpenFault(t *testing.T) {
 		t.Fatalf("expected injected open failure, got %v", err)
 	}
 }
+
+// TestCrashTruncateFault exercises the wal.truncate probe: a failure that
+// lands after the checkpoint record is appended and forced durable but
+// before (or while) the sealed segments behind it are dropped. The
+// CHECKPOINT statement reports the error, the stale segments stay on disk,
+// and a crash at that exact point must recover cleanly — the recovered
+// state is the acked prefix, the surviving old segments are harmless, and
+// the next clean CHECKPOINT finishes the interrupted truncation.
+func TestCrashTruncateFault(t *testing.T) {
+	inj := faultinj.New()
+	dir := t.TempDir()
+	opts := crashOpts(dir)
+	opts.FaultInjector = inj
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	twin := New(DefaultOptions())
+	s, ts := eng.Session(), twin.Session()
+
+	run := func(stmt string) {
+		t.Helper()
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatalf("%q: %v", stmt, err)
+		}
+		if _, err := ts.Exec(stmt); err != nil {
+			t.Fatalf("twin %q: %v", stmt, err)
+		}
+	}
+	run(`CREATE TABLE A (id INT PRIMARY KEY, v VARCHAR)`)
+	for i := 0; i < 60; i++ { // span several 2KB segments
+		run(fmt.Sprintf(`INSERT INTO A VALUES (%d, 'pre-%d-%s')`, i, i,
+			strings.Repeat("x", 64)))
+	}
+	segsBefore := len(snapshotDir(t, dir))
+	if segsBefore < 3 {
+		t.Fatalf("workload too small to rotate segments: %d on disk", segsBefore)
+	}
+
+	inj.Arm(faultinj.Fault{Point: faultinj.WALTruncate, Once: true})
+	if _, err := s.Exec(`CHECKPOINT`); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("CHECKPOINT with a truncation fault returned %v", err)
+	}
+	// The checkpoint record is durable but no segment was dropped.
+	if got := len(snapshotDir(t, dir)); got < segsBefore {
+		t.Fatalf("failed truncation still dropped segments: %d -> %d", segsBefore, got)
+	}
+	// The engine stays usable after the failed CHECKPOINT.
+	run(`INSERT INTO A VALUES (100, 'post-fault')`)
+	oracle := fingerprint(t, twin)
+
+	// Crash exactly inside the checkpoint/truncate window and recover.
+	eng.Close()
+	rec, err := Open(crashOpts(dir))
+	if err != nil {
+		t.Fatalf("recovery after truncate fault: %v", err)
+	}
+	if got := fingerprint(t, rec); got != oracle {
+		t.Fatalf("recovered state diverged from acked prefix:\n got: %s\nwant: %s", got, oracle)
+	}
+	// A clean CHECKPOINT on the recovered engine completes the truncation
+	// the fault interrupted: the pre-checkpoint segments finally drop.
+	rs := rec.Session()
+	if _, err := rs.Exec(`CHECKPOINT`); err != nil {
+		t.Fatalf("follow-up CHECKPOINT: %v", err)
+	}
+	if got := len(snapshotDir(t, dir)); got >= segsBefore {
+		t.Fatalf("follow-up checkpoint dropped nothing: %d segments, had %d", got, segsBefore)
+	}
+	if _, err := rs.Exec(`INSERT INTO A VALUES (101, 'post-ckpt')`); err != nil {
+		t.Fatalf("insert after follow-up checkpoint: %v", err)
+	}
+	rec.Close()
+
+	// One more reopen proves the truncated log still recovers everything.
+	if _, err := ts.Exec(`INSERT INTO A VALUES (101, 'post-ckpt')`); err != nil {
+		t.Fatalf("twin: %v", err)
+	}
+	final, err := Open(crashOpts(dir))
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer final.Close()
+	if got, want := fingerprint(t, final), fingerprint(t, twin); got != want {
+		t.Fatalf("state after truncation + reopen diverged:\n got: %s\nwant: %s", got, want)
+	}
+}

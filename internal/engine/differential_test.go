@@ -1,11 +1,16 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"sqlxnf/internal/lock"
 )
 
 // Differential harness for the parameterized plan cache: randomized
@@ -378,4 +383,191 @@ func TestDifferentialXNFCoCache(t *testing.T) {
 	if st.Hits == 0 || st.Invalidations == 0 {
 		t.Fatalf("harness exercised neither hits nor invalidations: %+v", st)
 	}
+}
+
+// TestDifferentialInterleavedTx extends the net to interleaved explicit
+// transactions under MVCC: several sessions run randomized BEGIN ...
+// COMMIT/ROLLBACK batches concurrently against one engine, and every
+// transaction that actually committed is replayed, serially and in commit
+// order, on a twin engine. The workload is constrained so snapshot-isolated
+// commit order is state-equivalent to serial execution — shared keys are
+// only UPDATEd (first-committer-wins orders all writers of a key), and each
+// worker INSERTs/DELETEs only inside its own private key range — so the
+// final table fingerprints must match exactly. Along the way each open
+// transaction re-runs its SELECT probes and demands identical rows, which
+// pins snapshot stability under concurrent committers. Statement failures
+// are tolerated only when they are the documented retryable outcomes
+// (write-write conflict, deadlock victim, lock timeout) or a unique-key
+// violation; any other error fails the test.
+func TestDifferentialInterleavedTx(t *testing.T) {
+	const (
+		workers  = 4
+		txPerWkr = 40
+		baseKeys = 24
+	)
+	ddl := `CREATE TABLE W1 (id INT PRIMARY KEY, n INT, g INT);
+		CREATE TABLE W2 (id INT PRIMARY KEY, n INT, g INT)`
+	var seedStmts []string
+	for k := 0; k < baseKeys; k++ {
+		seedStmts = append(seedStmts,
+			fmt.Sprintf("INSERT INTO W1 VALUES (%d, %d, %d)", k, k*3, k%5),
+			fmt.Sprintf("INSERT INTO W2 VALUES (%d, %d, %d)", k, -k, k%3))
+	}
+
+	live := NewDefault()
+	ls := live.Session()
+	ls.MustExec(ddl)
+	for _, s := range seedStmts {
+		ls.MustExec(s)
+	}
+
+	// committed collects each committed transaction's statements; commitMu is
+	// held across COMMIT + append so slice order is engine commit order.
+	var (
+		commitMu  sync.Mutex
+		committed [][]string
+		aborted   atomic.Int64
+	)
+	retryable := func(err error) bool {
+		return errors.Is(err, ErrWriteConflict) ||
+			errors.Is(err, lock.ErrDeadlock) ||
+			errors.Is(err, lock.ErrLockTimeout) ||
+			strings.Contains(err.Error(), "violates unique index")
+	}
+
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := live.Session()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			privBase := 1000 * (w + 1)
+			for txn := 0; txn < txPerWkr; txn++ {
+				stmts := genTxStmts(rng, w, privBase, baseKeys)
+				if _, err := s.Exec("BEGIN"); err != nil {
+					errCh <- fmt.Errorf("worker %d: BEGIN: %v", w, err)
+					return
+				}
+				ok := true
+				for _, stmt := range stmts {
+					if strings.HasPrefix(stmt, "SELECT") {
+						r1, e1 := s.Exec(stmt)
+						r2, e2 := s.Exec(stmt)
+						if e1 != nil || e2 != nil {
+							errCh <- fmt.Errorf("worker %d: probe %q: %v / %v", w, stmt, e1, e2)
+							return
+						}
+						if outcome(r1, nil) != outcome(r2, nil) {
+							errCh <- fmt.Errorf("worker %d: snapshot drifted between two runs of %q", w, stmt)
+							return
+						}
+						continue
+					}
+					if _, err := s.Exec(stmt); err != nil {
+						if !retryable(err) {
+							errCh <- fmt.Errorf("worker %d: unexpected error on %q: %v", w, stmt, err)
+							return
+						}
+						// The engine rolled the transaction back; discard it.
+						aborted.Add(1)
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if rng.Intn(8) == 0 {
+					if _, err := s.Exec("ROLLBACK"); err != nil {
+						errCh <- fmt.Errorf("worker %d: ROLLBACK: %v", w, err)
+						return
+					}
+					continue
+				}
+				commitMu.Lock()
+				if _, err := s.Exec("COMMIT"); err == nil {
+					committed = append(committed, stmts)
+				} else if !retryable(err) {
+					commitMu.Unlock()
+					errCh <- fmt.Errorf("worker %d: COMMIT: %v", w, err)
+					return
+				}
+				commitMu.Unlock()
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(committed) == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+	t.Logf("interleaved run: %d committed, %d conflict-aborted", len(committed), aborted.Load())
+
+	// Serial replay on a twin, in commit order. Every statement that was part
+	// of a committed transaction must replay cleanly.
+	twin := NewDefault()
+	ts := twin.Session()
+	ts.MustExec(ddl)
+	for _, s := range seedStmts {
+		ts.MustExec(s)
+	}
+	for i, stmts := range committed {
+		ts.MustExec("BEGIN")
+		for _, stmt := range stmts {
+			if _, err := ts.Exec(stmt); err != nil {
+				t.Fatalf("replay tx %d: %q failed serially: %v", i, stmt, err)
+			}
+		}
+		ts.MustExec("COMMIT")
+	}
+
+	for _, tbl := range []string{"W1", "W2"} {
+		q := "SELECT id, n, g FROM " + tbl
+		want := outcome(ts.Exec(q))
+		got := outcome(ls.Exec(q))
+		if got != want {
+			t.Fatalf("final state of %s diverged from serial commit-order replay:\nreplay: %q\nlive:   %q",
+				tbl, want, got)
+		}
+	}
+}
+
+// genTxStmts draws one transaction body. Shared base keys see UPDATEs only;
+// worker w INSERTs/DELETEs solely inside [privBase, privBase+50) so no other
+// session ever creates or removes a key this one targets — the constraint
+// that makes serial commit-order replay exact under snapshot isolation.
+func genTxStmts(rng *rand.Rand, w, privBase, baseKeys int) []string {
+	var stmts []string
+	for n := 1 + rng.Intn(4); n > 0; n-- {
+		tbl := "W1"
+		if rng.Intn(2) == 0 {
+			tbl = "W2"
+		}
+		switch rng.Intn(6) {
+		case 0:
+			stmts = append(stmts, fmt.Sprintf("UPDATE %s SET n = n + %d WHERE id = %d",
+				tbl, 1+rng.Intn(9), rng.Intn(baseKeys)))
+		case 1:
+			stmts = append(stmts, fmt.Sprintf("UPDATE %s SET n = %d, g = %d WHERE id = %d",
+				tbl, rng.Intn(1000), rng.Intn(7), rng.Intn(baseKeys)))
+		case 2:
+			stmts = append(stmts, fmt.Sprintf("INSERT INTO %s VALUES (%d, %d, %d)",
+				tbl, privBase+rng.Intn(50), rng.Intn(100), w))
+		case 3:
+			stmts = append(stmts, fmt.Sprintf("DELETE FROM %s WHERE id = %d",
+				tbl, privBase+rng.Intn(50)))
+		case 4:
+			stmts = append(stmts, fmt.Sprintf("SELECT id, n FROM %s WHERE g = %d", tbl, rng.Intn(7)))
+		default:
+			stmts = append(stmts, fmt.Sprintf("SELECT COUNT(*), SUM(n) FROM %s", tbl))
+		}
+	}
+	return stmts
 }

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"sqlxnf/internal/btree"
 	"sqlxnf/internal/catalog"
 	"sqlxnf/internal/exec"
 	"sqlxnf/internal/faultinj"
@@ -51,6 +50,11 @@ func (s *Session) createTable(stmt *parser.CreateTableStmt, text string) (*Resul
 }
 
 func (s *Session) createIndex(stmt *parser.CreateIndexStmt, text string) (*Result, error) {
+	// DDL keeps exclusive locks under MVCC: no writer may grow the version
+	// set while the index is populated from it.
+	if err := s.lockTable(stmt.Table, lock.Exclusive); err != nil {
+		return nil, err
+	}
 	ix, err := s.eng.cat.CreateIndex(stmt.Name, stmt.Table, stmt.Columns, stmt.Unique)
 	if err != nil {
 		return nil, err
@@ -59,19 +63,29 @@ func (s *Session) createIndex(stmt *parser.CreateIndexStmt, text string) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	// Populate from existing rows.
-	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+	// Populate from every row version, not just live ones: a snapshot older
+	// than a delete may still plan against this index and must reach the
+	// delete-marked version through it. UNIQUE duplicates count only among
+	// live versions (the btree itself is non-unique under MVCC).
+	seen := map[string]storage.RID{}
+	everything := func(storage.RowVer) bool { return true }
+	err = t.Heap.ScanVis(t.Tag, everything, func(rid storage.RID, row types.Row) (bool, error) {
 		key, kerr := ix.KeyFor(t.Schema, row)
 		if kerr != nil {
 			return true, kerr
+		}
+		if ix.Unique {
+			if _, live, gerr := t.Heap.GetVisible(t.Tag, rid, nil); gerr == nil && live {
+				if prev, dup := seen[string(key)]; dup && prev != rid {
+					return true, fmt.Errorf("engine: cannot create unique index %s: duplicate keys exist", stmt.Name)
+				}
+				seen[string(key)] = rid
+			}
 		}
 		return false, ix.Tree.Insert(key, rid)
 	})
 	if err != nil {
 		_ = s.eng.cat.DropIndex(stmt.Name)
-		if err == btree.ErrDuplicate {
-			return nil, fmt.Errorf("engine: cannot create unique index %s: duplicate keys exist", stmt.Name)
-		}
 		return nil, err
 	}
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDDL, Table: text})
@@ -105,6 +119,11 @@ func (s *Session) drop(stmt *parser.DropStmt, text string) (*Result, error) {
 	var err error
 	switch stmt.Kind {
 	case "TABLE":
+		// Exclusive lock: in-flight writers of the table finish (and bump
+		// through commit) before the drop lands.
+		if err := s.lockTable(stmt.Name, lock.Exclusive); err != nil {
+			return nil, err
+		}
 		err = s.eng.cat.DropTable(stmt.Name)
 	case "INDEX":
 		err = s.eng.cat.DropIndex(stmt.Name)
@@ -154,6 +173,73 @@ func (s *Session) analyze(stmt *parser.AnalyzeStmt) (*Result, error) {
 // Row primitives (WAL + heap + index maintenance)
 // ---------------------------------------------------------------------------
 
+// mvccWrite reports whether DML primitives should write multi-version rows:
+// inside a transaction (every statement runs in one, explicit or autocommit)
+// and not during recovery replay, which reconstructs committed state
+// physically — replayed rows carry no stamps, i.e. load frozen.
+func (s *Session) mvccWrite() bool {
+	return s.inTx && !s.eng.recovering
+}
+
+// noteWrite records that the open transaction wrote the table. Commit bumps
+// the versions of exactly these tables (finishTx); snapshotCovers refuses
+// shared CO-cache entries for them (the snapshot's view includes this
+// transaction's own uncommitted writes, the shared entry's does not).
+func (s *Session) noteWrite(t *catalog.Table) {
+	if !s.inTx {
+		return
+	}
+	if s.written == nil {
+		s.written = map[*catalog.Table]struct{}{}
+	}
+	s.written[t] = struct{}{}
+}
+
+// conflictHere rejects a write whose target version was touched by a
+// transaction this one cannot see. Writers hold exclusive table locks, so a
+// foreign delete stamp can only belong to a committed transaction — a
+// first-committer-wins conflict. A create stamp the snapshot does not see is
+// the same conflict reached through a stale RID (host-surface writes).
+func (s *Session) conflictHere(t *catalog.Table, ver storage.RowVer) error {
+	if ver.Deleted != 0 && ver.Deleted != s.txID {
+		return fmt.Errorf("%w (table %s)", ErrWriteConflict, t.Name)
+	}
+	if s.snap != nil && !s.snap.sees(ver.Created) {
+		return fmt.Errorf("%w (table %s)", ErrWriteConflict, t.Name)
+	}
+	return nil
+}
+
+// checkUnique enforces unique indexes at the engine level. The btrees are
+// non-unique (several row versions of one key coexist under MVCC), so a key
+// violates iff some other RID with that key holds a live version — live under
+// the latest-committed view, which is exact because the writer's exclusive
+// table lock excludes concurrent same-table writers. A version the session
+// itself delete-marked is dead under that view, so delete-then-reinsert of a
+// key inside one transaction works. skip excludes the updated tuple's own
+// old version; op words the error like the statement ("insert into",
+// "update of").
+func (s *Session) checkUnique(t *catalog.Table, row types.Row, skip storage.RID, op string) error {
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		key, err := ix.KeyFor(t.Schema, row)
+		if err != nil {
+			return err
+		}
+		for _, rid := range ix.Tree.SeekEQ(key) {
+			if rid == skip {
+				continue
+			}
+			if _, live, gerr := t.Heap.GetVisible(t.Tag, rid, nil); gerr == nil && live {
+				return fmt.Errorf("engine: %s %s violates unique index %s", op, t.Name, ix.Name)
+			}
+		}
+	}
+	return nil
+}
+
 // insertRowTx validates, stores, indexes, and logs one tuple.
 func (s *Session) insertRowTx(t *catalog.Table, row types.Row) (storage.RID, error) {
 	return s.insertRowNearTx(t, storage.NilRID, row)
@@ -173,7 +259,15 @@ func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.
 	if err != nil {
 		return storage.NilRID, fmt.Errorf("engine: insert into %s: %v", t.Name, err)
 	}
-	rid, err := t.Heap.InsertNear(t.Tag, near, coerced)
+	if err := s.checkUnique(t, coerced, storage.NilRID, "insert into"); err != nil {
+		return storage.NilRID, err
+	}
+	var rid storage.RID
+	if s.mvccWrite() {
+		rid, err = t.Heap.InsertNearTx(t.Tag, near, coerced, s.txID)
+	} else {
+		rid, err = t.Heap.InsertNear(t.Tag, near, coerced)
+	}
 	if err != nil {
 		return storage.NilRID, err
 	}
@@ -181,17 +275,41 @@ func (s *Session) insertRowNearTx(t *catalog.Table, near storage.RID, row types.
 		_ = t.Heap.Delete(t.Tag, rid)
 		return storage.NilRID, err
 	}
-	t.Rows++
-	t.BumpVersion()
+	t.AddRows(1)
+	s.noteWrite(t)
+	if s.mvccWrite() {
+		s.versWork++ // create stamp to freeze once settled
+	}
 	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: rid, After: coerced.Clone()})
 	return rid, nil
 }
 
-// deleteRowTx removes one tuple.
+// deleteRowTx removes one tuple. Under MVCC the tuple is delete-stamped, not
+// removed: its cell and index entries stay so concurrent snapshots still
+// reach it, and vacuum reclaims both once no snapshot can. Recovery replay
+// (and only it) deletes physically.
 func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
 	if err := s.eng.faults.Hit(faultinj.WALAppend); err != nil {
 		return err
+	}
+	if s.mvccWrite() {
+		row, ver, err := t.Heap.GetVer(t.Tag, rid)
+		if err != nil {
+			return err
+		}
+		if err := s.conflictHere(t, ver); err != nil {
+			return err
+		}
+		if err := t.Heap.MarkDeleted(t.Tag, rid, s.txID); err != nil {
+			return err
+		}
+		t.AddRows(-1)
+		s.noteWrite(t)
+		s.versWork++
+		t.Stats().ObserveDelete(row)
+		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDelete, Table: t.Name, RID: rid, Before: row.Clone()})
+		return nil
 	}
 	row, err := t.Heap.Get(t.Tag, rid)
 	if err != nil {
@@ -200,15 +318,16 @@ func (s *Session) deleteRowTx(t *catalog.Table, rid storage.RID) error {
 	if err := t.Heap.Delete(t.Tag, rid); err != nil {
 		return err
 	}
-	s.removeIndexEntries(t, row, rid)
-	t.Rows--
-	t.BumpVersion()
+	removeIndexEntriesFor(t, row, rid)
+	t.AddRows(-1)
 	t.Stats().ObserveDelete(row)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecDelete, Table: t.Name, RID: rid, Before: row.Clone()})
 	return nil
 }
 
-// updateRowTx replaces one tuple; the tuple may move to a new RID.
+// updateRowTx replaces one tuple; the tuple may move to a new RID. Under
+// MVCC "replace" is insert-new-version (clustered near the old) plus
+// delete-stamp the old version; recovery replay rewrites in place.
 func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Row) (storage.RID, error) {
 	if err := s.eng.faults.Hit(faultinj.WALAppend); err != nil {
 		return storage.NilRID, err
@@ -217,40 +336,53 @@ func (s *Session) updateRowTx(t *catalog.Table, rid storage.RID, newRow types.Ro
 	if err != nil {
 		return storage.NilRID, fmt.Errorf("engine: update of %s: %v", t.Name, err)
 	}
+	if s.mvccWrite() {
+		old, ver, err := t.Heap.GetVer(t.Tag, rid)
+		if err != nil {
+			return storage.NilRID, err
+		}
+		if err := s.conflictHere(t, ver); err != nil {
+			return storage.NilRID, err
+		}
+		if err := s.checkUnique(t, coerced, rid, "update of"); err != nil {
+			return storage.NilRID, err
+		}
+		newRID, err := t.Heap.InsertNearTx(t.Tag, rid, coerced, s.txID)
+		if err != nil {
+			return storage.NilRID, err
+		}
+		if err := s.addIndexEntries(t, coerced, newRID); err != nil {
+			_ = t.Heap.Delete(t.Tag, newRID)
+			return storage.NilRID, err
+		}
+		if err := t.Heap.MarkDeleted(t.Tag, rid, s.txID); err != nil {
+			removeIndexEntriesFor(t, coerced, newRID)
+			_ = t.Heap.Delete(t.Tag, newRID)
+			return storage.NilRID, err
+		}
+		s.noteWrite(t)
+		s.versWork += 2 // old version to purge, new stamp to freeze
+		t.Stats().ObserveDelete(old)
+		t.Stats().ObserveInsert(coerced)
+		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecUpdate, Table: t.Name,
+			RID: rid, NewRID: newRID, Before: old.Clone(), After: coerced.Clone()})
+		return newRID, nil
+	}
 	old, err := t.Heap.Get(t.Tag, rid)
 	if err != nil {
 		return storage.NilRID, err
 	}
-	// Check unique indexes before mutating: a new key colliding with a
-	// different tuple's key must be rejected.
-	for _, ix := range t.Indexes {
-		if !ix.Unique {
-			continue
-		}
-		newKey, err := ix.KeyFor(t.Schema, coerced)
-		if err != nil {
-			return storage.NilRID, err
-		}
-		oldKey, err := ix.KeyFor(t.Schema, old)
-		if err != nil {
-			return storage.NilRID, err
-		}
-		if string(newKey) == string(oldKey) {
-			continue
-		}
-		if len(ix.Tree.SeekEQ(newKey)) > 0 {
-			return storage.NilRID, fmt.Errorf("engine: update of %s violates unique index %s", t.Name, ix.Name)
-		}
+	if err := s.checkUnique(t, coerced, rid, "update of"); err != nil {
+		return storage.NilRID, err
 	}
 	newRID, err := t.Heap.Update(t.Tag, rid, coerced)
 	if err != nil {
 		return storage.NilRID, err
 	}
-	s.removeIndexEntries(t, old, rid)
+	removeIndexEntriesFor(t, old, rid)
 	if err := s.addIndexEntries(t, coerced, newRID); err != nil {
 		return storage.NilRID, err
 	}
-	t.BumpVersion()
 	t.Stats().ObserveDelete(old)
 	t.Stats().ObserveInsert(coerced)
 	s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecUpdate, Table: t.Name,
@@ -271,16 +403,15 @@ func (s *Session) addIndexEntries(t *catalog.Table, row types.Row, rid storage.R
 					t.Indexes[j].Tree.Delete(key2, rid)
 				}
 			}
-			if err == btree.ErrDuplicate {
-				return fmt.Errorf("engine: insert into %s violates unique index %s", t.Name, ix.Name)
-			}
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *Session) removeIndexEntries(t *catalog.Table, row types.Row, rid storage.RID) {
+// removeIndexEntriesFor drops the row's entry from every index of the table.
+// Free function (not a Session method) because the vacuum sweep calls it too.
+func removeIndexEntriesFor(t *catalog.Table, row types.Row, rid storage.RID) {
 	for _, ix := range t.Indexes {
 		if key, err := ix.KeyFor(t.Schema, row); err == nil {
 			ix.Tree.Delete(key, rid)
@@ -288,7 +419,12 @@ func (s *Session) removeIndexEntries(t *catalog.Table, row types.Row, rid storag
 	}
 }
 
-// Undo helpers for rollback.
+// Undo helpers for rollback. Rollback only runs for live (MVCC) transactions
+// — recovery replays committed work forward and never undoes — so these
+// reverse the MVCC write shapes: created versions are physically removed
+// (nothing committed referenced them), delete stamps are cleared. Version
+// counters are NOT bumped and versWork is discarded: a rolled-back
+// transaction leaves no committed change and no settled garbage.
 
 func (s *Session) undoInsert(r wal.Record) error {
 	t, err := s.eng.cat.Table(r.Table)
@@ -298,9 +434,8 @@ func (s *Session) undoInsert(r wal.Record) error {
 	if err := t.Heap.Delete(t.Tag, r.RID); err != nil {
 		return err
 	}
-	s.removeIndexEntries(t, r.After, r.RID)
-	t.Rows--
-	t.BumpVersion()
+	removeIndexEntriesFor(t, r.After, r.RID)
+	t.AddRows(-1)
 	// Compensate the incremental sketch. NULL counts reverse exactly;
 	// min/max extensions from the undone row cannot shrink without a rescan
 	// and stay until the next ANALYZE (a conservative over-wide range).
@@ -313,14 +448,12 @@ func (s *Session) undoDelete(r wal.Record) error {
 	if err != nil {
 		return err
 	}
-	rid, err := t.Heap.Insert(t.Tag, r.Before)
-	if err != nil {
-		return err
-	}
-	t.Rows++
-	t.BumpVersion()
+	// The MVCC delete only stamped the tuple (cell and index entries intact):
+	// clearing the stamp resurrects it in place.
+	t.Heap.ClearDeleted(r.RID)
+	t.AddRows(1)
 	t.Stats().ObserveInsert(r.Before)
-	return s.addIndexEntries(t, r.Before, rid)
+	return nil
 }
 
 func (s *Session) undoUpdate(r wal.Record) error {
@@ -328,18 +461,15 @@ func (s *Session) undoUpdate(r wal.Record) error {
 	if err != nil {
 		return err
 	}
+	// Remove the uncommitted new version, resurrect the old one in place.
 	if err := t.Heap.Delete(t.Tag, r.NewRID); err != nil {
 		return err
 	}
-	s.removeIndexEntries(t, r.After, r.NewRID)
+	removeIndexEntriesFor(t, r.After, r.NewRID)
 	t.Stats().ObserveDelete(r.After)
-	rid, err := t.Heap.Insert(t.Tag, r.Before)
-	if err != nil {
-		return err
-	}
-	t.BumpVersion()
+	t.Heap.ClearDeleted(r.RID)
 	t.Stats().ObserveInsert(r.Before)
-	return s.addIndexEntries(t, r.Before, rid)
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -467,7 +597,7 @@ func (s *Session) update(stmt *parser.UpdateStmt) (*Result, error) {
 		row types.Row
 	}
 	var matches []match
-	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+	err = t.Heap.ScanVis(t.Tag, s.visFunc(), func(rid storage.RID, row types.Row) (bool, error) {
 		ok, perr := exec.EvalPred(ctx, pred, row)
 		if perr != nil {
 			return true, perr
@@ -514,7 +644,7 @@ func (s *Session) deleteStmt(stmt *parser.DeleteStmt) (*Result, error) {
 	}
 	ctx := s.newExecContext()
 	var rids []storage.RID
-	err = t.Heap.Scan(t.Tag, func(rid storage.RID, row types.Row) (bool, error) {
+	err = t.Heap.ScanVis(t.Tag, s.visFunc(), func(rid storage.RID, row types.Row) (bool, error) {
 		ok, perr := exec.EvalPred(ctx, pred, row)
 		if perr != nil {
 			return true, perr
@@ -677,9 +807,14 @@ func (s *Session) runSingleTableWithRIDs(box *qgm.Box) ([]types.Row, []storage.R
 					continue
 				}
 				seenRID[rid] = true
-				row, gerr := t.Heap.Get(t.Tag, rid)
+				// Snapshot-filtered probe: entries for versions this snapshot
+				// cannot see — including vacuumed-away dangling entries — skip.
+				row, ok, gerr := t.Heap.GetVisible(t.Tag, rid, s.visFunc())
 				if gerr != nil {
 					return nil, nil, gerr
+				}
+				if !ok {
+					continue
 				}
 				if err := emit(rid, row); err != nil {
 					return nil, nil, err
@@ -692,6 +827,7 @@ func (s *Session) runSingleTableWithRIDs(box *qgm.Box) ([]types.Row, []storage.R
 	// streaming substrate as the batched SeqScan) instead of a per-row
 	// callback over a materialized table.
 	ps := t.Heap.PageScanner(t.Tag)
+	ps.Vis = s.visFunc()
 	rowBuf := make([]types.Row, 0, exec.BatchSize)
 	ridBuf := make([]storage.RID, 0, exec.BatchSize)
 	for {
@@ -753,13 +889,21 @@ func probeableConjunct(cj qgm.Expr) (col int, vals []types.Value, ok bool) {
 	return 0, nil, false
 }
 
-// GetRow implements xnf.Host.
+// GetRow implements xnf.Host: fetch under the session's snapshot (or the
+// latest-committed view between statements).
 func (s *Session) GetRow(table string, rid storage.RID) (types.Row, error) {
 	t, err := s.eng.cat.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	return t.Heap.Get(t.Tag, rid)
+	row, ok, err := t.Heap.GetVisible(t.Tag, rid, s.visFunc())
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: %s has no visible row at %v", table, rid)
+	}
+	return row, nil
 }
 
 // InsertRow implements xnf.Host.
@@ -819,7 +963,16 @@ func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID
 		if cerr != nil {
 			return fmt.Errorf("engine: insert into %s: %v", t.Name, cerr)
 		}
-		r, ierr := t.Heap.InsertOnFreshPage(t.Tag, coerced)
+		if uerr := s.checkUnique(t, coerced, storage.NilRID, "insert into"); uerr != nil {
+			return uerr
+		}
+		var r storage.RID
+		var ierr error
+		if s.mvccWrite() {
+			r, ierr = t.Heap.InsertOnFreshPageTx(t.Tag, coerced, s.txID)
+		} else {
+			r, ierr = t.Heap.InsertOnFreshPage(t.Tag, coerced)
+		}
 		if ierr != nil {
 			return ierr
 		}
@@ -827,8 +980,11 @@ func (s *Session) InsertRowOnFreshPage(table string, row types.Row) (storage.RID
 			_ = t.Heap.Delete(t.Tag, r)
 			return ierr
 		}
-		t.Rows++
-		t.BumpVersion()
+		t.AddRows(1)
+		s.noteWrite(t)
+		if s.mvccWrite() {
+			s.versWork++
+		}
 		t.Stats().ObserveInsert(coerced)
 		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecInsert, Table: t.Name, RID: r, After: coerced.Clone()})
 		rid = r
@@ -869,13 +1025,14 @@ func (s *Session) DeleteRow(table string, rid storage.RID) error {
 	})
 }
 
-// ScanTable implements xnf.Host.
+// ScanTable implements xnf.Host: scan under the session's snapshot (or the
+// latest-committed view between statements).
 func (s *Session) ScanTable(table string, fn func(rid storage.RID, row types.Row) (bool, error)) error {
 	t, err := s.eng.cat.Table(table)
 	if err != nil {
 		return err
 	}
-	return t.Heap.Scan(t.Tag, fn)
+	return t.Heap.ScanVis(t.Tag, s.visFunc(), fn)
 }
 
 // TableSchema implements xnf.Host.

@@ -74,6 +74,16 @@ type Options struct {
 	// DefaultCheckpointBytes; negative disables auto-checkpointing
 	// (explicit CHECKPOINT statements still work).
 	CheckpointBytes int64
+	// ReadLocks restores the pre-MVCC shared-lock read path: SELECTs,
+	// EXPLAINs and composite-object checkouts take shared table locks and
+	// block behind writers, instead of reading through their snapshot.
+	// Off by default; the e19 benchmark uses it as the lock-based baseline.
+	ReadLocks bool
+	// VacuumDeadRows triggers the inline auto-vacuum: once that many
+	// unsettled row versions accumulate engine-wide, the next committing
+	// session sweeps them (engine/mvcc.go). 0 uses DefaultVacuumDeadRows;
+	// negative disables auto-vacuum (Engine.Vacuum still works).
+	VacuumDeadRows int
 }
 
 // DefaultCheckpointBytes is the auto-checkpoint threshold when unset.
@@ -128,6 +138,16 @@ type Engine struct {
 	ckptFailures atomic.Int64
 	// recovery describes what the last Open/Recover replayed.
 	recovery RecoveryInfo
+	// MVCC state (engine/mvcc.go), under mu: activeTx is the set of
+	// uncommitted transaction ids; snaps the registered snapshots (keyed by
+	// snapshot id) the vacuum horizon respects; snapSeq issues those keys.
+	activeTx map[uint64]struct{}
+	snaps    map[uint64]*snapshot
+	snapSeq  uint64
+	// deadRows counts unsettled row versions awaiting vacuum; vacRunning
+	// serializes inline sweeps.
+	deadRows   atomic.Int64
+	vacRunning atomic.Bool
 }
 
 // New creates an empty database engine.
@@ -141,14 +161,16 @@ func New(opts Options) *Engine {
 	disk := storage.NewDisk()
 	bp := storage.NewBufferPool(disk, opts.BufferPoolPages)
 	e := &Engine{
-		disk:   disk,
-		bp:     bp,
-		cat:    catalog.New(bp),
-		log:    wal.New(),
-		locks:  lock.NewManager(),
-		nextTx: 1,
-		opts:   opts,
-		stmts:  newStmtCache(256),
+		disk:     disk,
+		bp:       bp,
+		cat:      catalog.New(bp),
+		log:      wal.New(),
+		locks:    lock.NewManager(),
+		nextTx:   1,
+		opts:     opts,
+		stmts:    newStmtCache(256),
+		activeTx: map[uint64]struct{}{},
+		snaps:    map[uint64]*snapshot{},
 	}
 	if opts.PlanCacheSize > 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize, e.cat.TableVersion)
@@ -259,15 +281,6 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 	return e.plans.Stats()
 }
 
-// allocTx hands out transaction ids.
-func (e *Engine) allocTx() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	id := e.nextTx
-	e.nextTx++
-	return id
-}
-
 // Result is the outcome of one statement.
 type Result struct {
 	// Schema and Rows carry query output for SELECT (and path) queries.
@@ -306,6 +319,17 @@ type Session struct {
 	// stmtTimeout overrides the engine's StatementTimeout for this session
 	// (0 = inherit).
 	stmtTimeout time.Duration
+	// snap is the open transaction's MVCC snapshot (nil outside
+	// transactions); scans filter row versions through it (engine/mvcc.go).
+	snap *snapshot
+	// written tracks the tables this transaction mutated: their versions
+	// bump at commit, atomically with the transaction leaving the active
+	// set, and the CO cache refuses to serve them to this session meanwhile.
+	written map[*catalog.Table]struct{}
+	// versWork counts the row versions this transaction leaves for vacuum
+	// (delete marks and unfrozen create stamps), folded into the engine's
+	// dead-row counter at commit.
+	versWork int64
 }
 
 // Session opens a new session.
@@ -435,7 +459,12 @@ func (s *Session) containPanic(perr *exec.PanicError) error {
 		return perr
 	}
 	// No transaction open at recovery time: nothing logged, but release any
-	// stray grants defensively so a lock can never outlive its statement.
+	// stray grants and deregister any stray snapshot defensively so neither
+	// can outlive its statement (a pinned snapshot would stall vacuum).
+	if s.snap != nil {
+		s.eng.finishTx(s.txID, s.snap, nil, false)
+		s.snap, s.written, s.versWork = nil, nil, 0
+	}
 	s.eng.locks.ReleaseAll(s.txID)
 	return perr
 }
@@ -513,7 +542,7 @@ func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
 			if rbErr := s.rollback(); rbErr != nil {
 				return nil, fmt.Errorf("%v (rollback also failed: %v)", err, rbErr)
 			}
-			return nil, fmt.Errorf("%v (transaction rolled back)", err)
+			return nil, fmt.Errorf("%w (transaction rolled back)", err)
 		}
 		return res, err
 	}
@@ -554,11 +583,15 @@ func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
 }
 
 // begin starts a transaction. Nothing is logged yet: the RecBegin appends
-// lazily before the transaction's first real record.
+// lazily before the transaction's first real record. The transaction id and
+// its MVCC snapshot are captured atomically (engine.beginTx), so the
+// snapshot sees exactly the commits that preceded the allocation.
 func (s *Session) begin() {
-	s.txID = s.eng.allocTx()
+	s.txID, s.snap = s.eng.beginTx()
 	s.inTx = true
 	s.beganLogged = false
+	s.written = nil
+	s.versWork = 0
 }
 
 // commit ends the transaction, releasing locks (strict 2PL) and — on a
@@ -573,6 +606,15 @@ func (s *Session) commit() error {
 	if wrote {
 		commitLSN = s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecCommit})
 	}
+	// The MVCC commit point — written tables' versions bump and the
+	// transaction leaves the active set in one atomic step — precedes lock
+	// release: the next writer of any table this transaction touched must
+	// observe both the new versions and this commit's visibility.
+	e.finishTx(s.txID, s.snap, s.written, true)
+	if s.versWork > 0 {
+		e.deadRows.Add(s.versWork)
+	}
+	s.snap, s.written, s.versWork = nil, nil, 0
 	e.locks.ReleaseAll(s.txID)
 	s.inTx = false
 	s.beganLogged = false
@@ -582,6 +624,7 @@ func (s *Session) commit() error {
 		}
 		e.maybeAutoCheckpoint()
 	}
+	e.maybeAutoVacuum()
 	return nil
 }
 
@@ -613,6 +656,11 @@ func (s *Session) rollback() error {
 	if s.beganLogged {
 		s.appendLog(wal.Record{Tx: s.txID, Type: wal.RecAbort})
 	}
+	// Retire the transaction (no version bumps — nothing it wrote survived)
+	// after the undo above, so concurrent snapshots never saw a half-undone
+	// state as "committed", and before lock release like commit does.
+	s.eng.finishTx(s.txID, s.snap, nil, false)
+	s.snap, s.written, s.versWork = nil, nil, 0
 	s.eng.locks.ReleaseAll(s.txID)
 	s.inTx = false
 	s.beganLogged = false
@@ -659,6 +707,13 @@ func (s *Session) lockTable(name string, mode lock.Mode) error {
 	if !s.inTx {
 		// Host-surface calls outside statements: single-op autocommit locks
 		// are acquired and released by the caller paths; take no lock.
+		return nil
+	}
+	if mode == lock.Shared && !s.eng.opts.ReadLocks {
+		// MVCC snapshots replace shared read locks: scans filter by the
+		// statement's snapshot, so readers need no lock to see a consistent
+		// state and never block behind writers. ReadLocks restores the
+		// pre-MVCC locking read path (e19's baseline arm).
 		return nil
 	}
 	ctx := s.sctx
@@ -806,7 +861,7 @@ func (s *Session) execCachedSelect(ent *planEntry, binds []types.Value) (*Result
 		if auto {
 			return nil, err
 		}
-		return nil, fmt.Errorf("%v (transaction rolled back)", err)
+		return nil, fmt.Errorf("%w (transaction rolled back)", err)
 	}
 	if auto {
 		if cerr := s.commit(); cerr != nil {
@@ -913,12 +968,14 @@ func (s *Session) execCachedTake(key string) (*Result, bool, error) {
 		if auto {
 			return nil, true, err
 		}
-		return nil, true, fmt.Errorf("%v (transaction rolled back)", err)
+		return nil, true, fmt.Errorf("%w (transaction rolled back)", err)
 	}
 	co, hit := s.eng.comat.Get(key, epoch, s.eng.cat.TableVersion)
-	if !hit {
-		// Invalidated between peek and validate: release the autocommit
-		// wrapper and let the parse path re-materialize.
+	if !hit || !s.snapshotCovers(tables) {
+		// Invalidated between peek and validate, or the shared entry tracks
+		// a newer committed state than this transaction's snapshot sees:
+		// release the autocommit wrapper and let the parse path handle it
+		// (re-materialize, or evaluate privately under the snapshot).
 		if auto {
 			if cerr := s.commit(); cerr != nil {
 				return nil, true, cerr
@@ -966,7 +1023,8 @@ func statsDrifted(t *catalog.Table) bool {
 	if ts == nil {
 		return false
 	}
-	return t.Rows > statsDriftFactor*ts.Rows || ts.Rows > statsDriftFactor*t.Rows
+	rows := t.RowCount()
+	return rows > statsDriftFactor*ts.Rows || ts.Rows > statsDriftFactor*rows
 }
 
 // maybeAutoAnalyze refreshes drifted statistics snapshots for the given

@@ -175,10 +175,13 @@ func TestPanicContainment(t *testing.T) {
 
 // TestLockTimeoutBetweenSessions: a reader blocked behind a writer's
 // exclusive lock times out with lock.ErrLockTimeout, leaks nothing, and
-// succeeds once the writer commits.
+// succeeds once the writer commits. Runs with ReadLocks: under MVCC (the
+// default) readers never block, so the shared-lock wait this test exercises
+// only exists in the locking compatibility mode.
 func TestLockTimeoutBetweenSessions(t *testing.T) {
 	opts := DefaultOptions()
 	opts.LockTimeout = 30 * time.Millisecond
+	opts.ReadLocks = true
 	e := New(opts)
 	w := e.Session()
 	r := e.Session()

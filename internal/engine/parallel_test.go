@@ -23,7 +23,7 @@ func parallelFixture(t *testing.T, e *Engine) *Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl.Rows = 40_000
+	tbl.SetRowCount(40_000)
 	return s
 }
 

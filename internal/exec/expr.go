@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sqlxnf/internal/storage"
 	"sqlxnf/internal/types"
 )
 
@@ -36,7 +37,11 @@ type Context struct {
 	// the composite-object cache; plans never embed the rows themselves
 	// (see exec.NodeScan). Returned rows are shared and read-only.
 	NodeRows func(view, node string) ([]types.Row, error)
-	Stats    *Stats
+	// Vis is the statement's MVCC snapshot filter, applied by every scan
+	// leaf (SeqScan, IndexScan, IndexJoin probes, MorselScan). nil reads
+	// latest-committed rows — the pre-MVCC behavior.
+	Vis   storage.VisFunc
+	Stats *Stats
 
 	// ctx is the statement's cancellation context and done its cached Done
 	// channel (reading it once at attach keeps Interrupted allocation-free).

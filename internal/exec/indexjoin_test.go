@@ -42,7 +42,7 @@ func indexedTable(tb testing.TB, n, kCard int) (*catalog.Table, *catalog.Index) 
 		}
 		key, _ := ix.KeyFor(t.Schema, row)
 		_ = ix.Tree.Insert(key, rid)
-		t.Rows++
+		t.AddRows(1)
 	}
 	return t, ix
 }

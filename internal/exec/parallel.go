@@ -78,6 +78,7 @@ func (s *MorselScan) Open(ctx *Context) error {
 	if s.reader == nil {
 		s.reader = s.Table.Heap.MorselReader(s.Table.Tag)
 	}
+	s.reader.Vis = ctx.Vis
 	s.pending = nil
 	s.buf = s.buf[:0]
 	s.pos = 0
@@ -262,6 +263,7 @@ func hasMorselLeaf(p Plan) bool {
 func workerContext(parent *Context) *Context {
 	return &Context{
 		Params: parent.Params, Binds: parent.Binds, NodeRows: parent.NodeRows,
+		Vis:   parent.Vis,
 		Stats: &Stats{},
 		// Cancellation propagates into every worker: the same statement
 		// context, so a cancel observed by the consumer is observed by each

@@ -72,6 +72,7 @@ func (s *SeqScan) Schema() types.Schema { return s.Table.Schema }
 // Open implements Plan.
 func (s *SeqScan) Open(ctx *Context) error {
 	s.ps = s.Table.Heap.PageScanner(s.Table.Tag)
+	s.ps.Vis = ctx.Vis
 	s.buf = s.buf[:0]
 	s.rids = s.rids[:0]
 	s.pos = 0
@@ -250,9 +251,14 @@ func (s *IndexScan) fill(ctx *Context) error {
 			s.done = true
 			break
 		}
-		row, err := s.Table.Heap.Get(s.Table.Tag, rid)
+		// Entries may dangle under MVCC: old versions keep their index
+		// entries until vacuum, and invisible versions simply don't count.
+		row, visible, err := s.Table.Heap.GetVisible(s.Table.Tag, rid, ctx.Vis)
 		if err != nil {
-			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", s.Index.Name, rid, err)
+			return fmt.Errorf("exec: index %s probe of tuple %v: %v", s.Index.Name, rid, err)
+		}
+		if !visible {
+			continue
 		}
 		s.buf = append(s.buf, row)
 	}
@@ -1230,9 +1236,13 @@ func (j *IndexJoin) emitMatches(ctx *Context) error {
 	for j.rpos < len(j.rids) {
 		rid := j.rids[j.rpos]
 		j.rpos++
-		inner, err := j.Table.Heap.Get(j.Table.Tag, rid)
+		// Entries may dangle under MVCC (old versions, invisible versions).
+		inner, visible, err := j.Table.Heap.GetVisible(j.Table.Tag, rid, ctx.Vis)
 		if err != nil {
-			return fmt.Errorf("exec: index %s points at missing tuple %v: %v", j.Index.Name, rid, err)
+			return fmt.Errorf("exec: index %s probe of tuple %v: %v", j.Index.Name, rid, err)
+		}
+		if !visible {
+			continue
 		}
 		if ctx.Stats != nil {
 			ctx.Stats.RowsScanned++

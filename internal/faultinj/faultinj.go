@@ -13,6 +13,7 @@
 //	comat.materialize   engine CO materialization, before the evaluator runs
 //	wal.fsync           wal.FileLog, before each fsync (durable engines only)
 //	wal.open            wal.Open, before scanning segments (durable engines only)
+//	wal.truncate        wal.FileLog.TruncateBefore, before segments drop (durable engines only)
 package faultinj
 
 import (
@@ -33,6 +34,7 @@ const (
 	ComatMat    Point = "comat.materialize"
 	WALFsync    Point = "wal.fsync"
 	WALOpen     Point = "wal.open"
+	WALTruncate Point = "wal.truncate"
 )
 
 // Points lists every probe point an in-memory engine wires (chaos suites
@@ -45,7 +47,7 @@ func Points() []Point {
 // DurablePoints lists the probe points only durable (file-backed WAL)
 // engines reach.
 func DurablePoints() []Point {
-	return []Point{WALFsync, WALOpen}
+	return []Point{WALFsync, WALOpen, WALTruncate}
 }
 
 // ErrInjected is the default error injected when a Fault carries none.

@@ -24,7 +24,7 @@ const (
 
 // tableCard returns the live cardinality of a base table (>= 1).
 func tableCard(t *catalog.Table) float64 {
-	card := float64(t.Rows)
+	card := float64(t.RowCount())
 	if card < 1 {
 		card = 1
 	}
@@ -85,13 +85,22 @@ func rangeSelectivity(t *catalog.Table, col int, cmp string, val qgm.Expr) float
 }
 
 // rangeSelectivityValue is rangeSelectivity over a concrete value. ok
-// reports whether the estimate came from the min/max interpolation (and so
+// reports whether the estimate came from the min/max comparison (and so
 // depends on the value) rather than the constant fallback.
+//
+// Numeric columns interpolate linearly against min/max. Non-numeric but
+// orderable columns (strings, booleans) cannot interpolate, but the ordered
+// min/max comparison still detects the out-of-range cases: a predicate whose
+// constant falls at or beyond the observed extremes selects (almost) nothing
+// or (almost) everything, which is the difference between picking a
+// selective index and a useless sequential scan.
 func rangeSelectivityValue(t *catalog.Table, col int, cmp string, v types.Value) (float64, bool) {
 	cs := t.Stats().Col(col)
-	if cs == nil || !v.IsNumeric() ||
-		cs.Min.IsNull() || !cs.Min.IsNumeric() || !cs.Max.IsNumeric() {
+	if cs == nil || v.IsNull() || cs.Min.IsNull() || cs.Max.IsNull() {
 		return selRange, false
+	}
+	if !v.IsNumeric() || !cs.Min.IsNumeric() || !cs.Max.IsNumeric() {
+		return rangeSelectivityOrdered(t, col, cmp, v, cs)
 	}
 	lo, hi := cs.Min.Float(), cs.Max.Float()
 	if hi <= lo {
@@ -115,6 +124,50 @@ func rangeSelectivityValue(t *catalog.Table, col int, cmp string, v types.Value)
 	// Clamp away from 0/1: the histogram-free sketch cannot distinguish an
 	// empty range from a narrow one.
 	return math.Min(math.Max(frac, 0.001), 1), true
+}
+
+// rangeSelectivityOrdered estimates range selectivity for orderable
+// non-numeric columns from the ordered min/max comparison alone: out-of-range
+// constants pin the estimate to ~0 or ~all-non-NULL rows; in-range constants
+// keep the selRange fallback (no interpolation without a value metric).
+func rangeSelectivityOrdered(t *catalog.Table, col int, cmp string, v types.Value, cs *catalog.ColumnStats) (float64, bool) {
+	cmpMin, errMin := types.Compare(v, cs.Min)
+	cmpMax, errMax := types.Compare(v, cs.Max)
+	if errMin != nil || errMax != nil {
+		return selRange, false // incomparable types: fall back
+	}
+	low, high := 0.001, math.Max(notNullFrac(t, col), 0.001)
+	switch cmp {
+	case "<":
+		if cmpMin <= 0 { // v <= min: nothing is strictly below v
+			return low, true
+		}
+		if cmpMax > 0 { // v > max: everything qualifies
+			return high, true
+		}
+	case "<=":
+		if cmpMin < 0 {
+			return low, true
+		}
+		if cmpMax >= 0 {
+			return high, true
+		}
+	case ">":
+		if cmpMax >= 0 { // v >= max: nothing is strictly above v
+			return low, true
+		}
+		if cmpMin < 0 {
+			return high, true
+		}
+	case ">=":
+		if cmpMax > 0 {
+			return low, true
+		}
+		if cmpMin <= 0 {
+			return high, true
+		}
+	}
+	return selRange, false
 }
 
 // conjSelectivityOn estimates the selectivity of one pushed conjunct against

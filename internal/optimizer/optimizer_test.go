@@ -40,7 +40,7 @@ func fixture(t *testing.T) *catalog.Catalog {
 			}
 			key, _ := ix.KeyFor(tbl.Schema, r)
 			_ = ix.Tree.Insert(key, rid)
-			tbl.Rows++
+			tbl.AddRows(1)
 		}
 	}
 	insert(dept, ixd, []types.Row{
@@ -274,7 +274,7 @@ func TestStatsCommonKeyPrefersSeqScan(t *testing.T) {
 		}
 		key, _ := ix.KeyFor(tbl.Schema, r)
 		_ = ix.Tree.Insert(key, rid)
-		tbl.Rows++
+		tbl.AddRows(1)
 	}
 	q := "SELECT v FROM SKEW WHERE k = 1"
 	if dump := exec.Dump(compileSQL(t, cat, q, DefaultOptions())); !strings.Contains(dump, "IndexScan") {
@@ -313,7 +313,7 @@ func TestMultiColumnIndexPrefixEquality(t *testing.T) {
 		}
 		key, _ := ix.KeyFor(tbl.Schema, r)
 		_ = ix.Tree.Insert(key, rid)
-		tbl.Rows++
+		tbl.AddRows(1)
 	}
 	plan := compileSQL(t, cat, "SELECT b FROM MC WHERE a = 2", DefaultOptions())
 	if dump := exec.Dump(plan); !strings.Contains(dump, "IndexScan MC") {
@@ -386,7 +386,7 @@ func TestCompositeIndexEqualityProbe(t *testing.T) {
 		}
 		key, _ := ix.KeyFor(tbl.Schema, r)
 		_ = ix.Tree.Insert(key, rid)
-		tbl.Rows++
+		tbl.AddRows(1)
 	}
 	// Full-prefix equality: both conjuncts fold into the probe key, leaving
 	// no filter above the scan.
@@ -436,7 +436,7 @@ func TestCompositeIndexEqualityPlusRange(t *testing.T) {
 		}
 		key, _ := ix.KeyFor(tbl.Schema, r)
 		_ = ix.Tree.Insert(key, rid)
-		tbl.Rows++
+		tbl.AddRows(1)
 	}
 	// a=1 selects the 20 odd-i rows, whose b cycles over {1,3,5,7,9} with 4
 	// rows each.
@@ -483,7 +483,7 @@ func compositeJoinFixture(t *testing.T) *catalog.Catalog {
 			types.NewInt(int64(i)), types.NewInt(int64(i * 3))}); err != nil {
 			t.Fatal(err)
 		}
-		lk.Rows++
+		lk.AddRows(1)
 	}
 	big, err := cat.CreateTable("BIG", types.Schema{
 		{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt},
@@ -501,7 +501,7 @@ func compositeJoinFixture(t *testing.T) *catalog.Catalog {
 		}
 		key, _ := ix.KeyFor(big.Schema, r)
 		_ = ix.Tree.Insert(key, rid)
-		big.Rows++
+		big.AddRows(1)
 	}
 	return cat
 }

@@ -127,7 +127,7 @@ func pipelineEst(p exec.Plan) (float64, bool) {
 	case *exec.SeqScan:
 		est := n.EstRows
 		if est <= 0 {
-			est = float64(n.Table.Rows)
+			est = float64(n.Table.RowCount())
 		}
 		return est, true
 	case *exec.Filter:
@@ -186,7 +186,7 @@ func buildPipelineEst(p exec.Plan) (float64, bool) {
 	case *exec.SeqScan:
 		est := n.EstRows
 		if est <= 0 {
-			est = float64(n.Table.Rows)
+			est = float64(n.Table.RowCount())
 		}
 		return est, true
 	case *exec.Filter:

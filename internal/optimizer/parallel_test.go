@@ -28,8 +28,8 @@ func TestParallelDOPDecision(t *testing.T) {
 	}
 
 	// Fake a big table: the DOP decision reads the live row count.
-	emp.Rows = 50_000
-	defer func() { emp.Rows = 30 }()
+	emp.SetRowCount(50_000)
+	defer func() { emp.SetRowCount(30) }()
 	big := exec.Dump(compileSQL(t, cat, sql, Options{MaxDOP: 4}))
 	if !strings.Contains(big, "Gather (parallel=4)") || !strings.Contains(big, "MorselScan EMP") {
 		t.Fatalf("big scan should parallelize:\n%s", big)
@@ -68,8 +68,8 @@ func TestParallelPlanExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	emp.Rows = 50_000 // decision only; data stays the fixture's 30 rows
-	defer func() { emp.Rows = 30 }()
+	emp.SetRowCount(50_000) // decision only; data stays the fixture's 30 rows
+	defer func() { emp.SetRowCount(30) }()
 
 	sql := "SELECT eno FROM EMP WHERE sal > 1500"
 	serial := compileSQL(t, cat, sql, Options{MaxDOP: -1})
@@ -136,13 +136,13 @@ func sidednessFixture(t *testing.T) *catalog.Catalog {
 		if err := ix.Tree.Insert(key, rid); err != nil {
 			t.Fatal(err)
 		}
-		big.Rows++
+		big.AddRows(1)
 	}
 	for i := 0; i < 100; i++ {
 		if _, err := small.Heap.Insert(small.Tag, types.Row{types.NewInt(int64(i))}); err != nil {
 			t.Fatal(err)
 		}
-		small.Rows++
+		small.AddRows(1)
 	}
 	return cat
 }

@@ -22,8 +22,9 @@ import (
 const DefaultMorselPages = 16
 
 // MorselDispatcher hands out page-range morsels of one heap chain. It
-// snapshots the chain's page ids at creation (queries hold table locks, so
-// the chain cannot grow mid-scan) and serves Claim from an atomic cursor —
+// snapshots the chain's page ids at creation — pages appended by concurrent
+// writers afterwards hold only rows invisible to the scanning snapshot, so
+// missing them is exactly right — and serves Claim from an atomic cursor,
 // safe for any number of concurrent workers.
 type MorselDispatcher struct {
 	pages  []PageID
@@ -38,6 +39,8 @@ func (h *Heap) MorselDispatcher(pagesPerMorsel int) (*MorselDispatcher, error) {
 		pagesPerMorsel = DefaultMorselPages
 	}
 	d := &MorselDispatcher{per: int64(pagesPerMorsel)}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	id := h.first
 	for id != InvalidPage {
 		p, err := h.bp.Fetch(id)
@@ -76,6 +79,8 @@ type MorselReader struct {
 	h   *Heap
 	tag uint32
 	dec types.RowDecoder
+	// Vis is the snapshot filter; nil scans latest-committed rows.
+	Vis VisFunc
 }
 
 // MorselReader returns a reader over this heap for rows owned by tag.
@@ -88,7 +93,10 @@ func (h *Heap) MorselReader(tag uint32) *MorselReader {
 // row decode. (No RID tracking: parallel scans have no provenance consumer;
 // the RID-keeping paths run through PageScanner.)
 func (r *MorselReader) ReadPage(id PageID, rows []types.Row) ([]types.Row, error) {
-	p, err := r.h.bp.Fetch(id)
+	h := r.h
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	p, err := h.bp.Fetch(id)
 	if err != nil {
 		return rows, err
 	}
@@ -100,6 +108,9 @@ func (r *MorselReader) ReadPage(id PageID, rows []types.Row) ([]types.Row, error
 		if uint32(tag) != r.tag {
 			return nil
 		}
+		if !h.visibleLocked(RID{Page: id, Slot: uint16(slot)}, r.Vis) {
+			return nil
+		}
 		row, _, derr := r.dec.Decode(cell[n:])
 		if derr != nil {
 			return derr
@@ -107,6 +118,6 @@ func (r *MorselReader) ReadPage(id PageID, rows []types.Row) ([]types.Row, error
 		rows = append(rows, row)
 		return nil
 	})
-	r.h.bp.Unpin(id, false)
+	h.bp.Unpin(id, false)
 	return rows, err
 }

@@ -539,6 +539,12 @@ func (l *FileLog) gatherLocked() {
 func (l *FileLog) TruncateBefore(lsn LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// The wal.truncate probe models a crash between the checkpoint record
+	// landing durably and the old segments being removed: recovery must
+	// tolerate (and re-truncate) surviving pre-checkpoint history.
+	if err := l.opts.Faults.Hit(faultinj.WALTruncate); err != nil {
+		return err
+	}
 	keep := l.closed[:0]
 	for i, m := range l.closed {
 		next := l.cur.first

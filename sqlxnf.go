@@ -63,6 +63,12 @@ type (
 	Schema = types.Schema
 )
 
+// ErrWriteConflict reports a write-write conflict under snapshot isolation:
+// the transaction tried to change a row replaced or removed by a
+// transaction that committed after its snapshot was taken. The transaction
+// has been rolled back; retrying it reads fresh state. Test with errors.Is.
+var ErrWriteConflict = engine.ErrWriteConflict
+
 // Value constructors, re-exported for application code.
 var (
 	// NewInt builds an integer value.
@@ -155,6 +161,20 @@ func WithStatementTimeout(d time.Duration) Option {
 // lock.ErrLockTimeout and aborts the waiting statement's transaction.
 func WithLockTimeout(d time.Duration) Option {
 	return func(o *engine.Options) { o.LockTimeout = d }
+}
+
+// WithReadLocks restores the pre-MVCC read path: readers take shared table
+// locks and block behind writers instead of reading their snapshot. The
+// locking baseline arm of the e19 experiment.
+func WithReadLocks() Option {
+	return func(o *engine.Options) { o.ReadLocks = true }
+}
+
+// WithVacuumDeadRows sets the auto-vacuum trigger: a commit that brings the
+// count of unsettled row versions past n sweeps inline. Negative disables
+// auto-vacuum (Engine.Vacuum still works); 0 keeps the default.
+func WithVacuumDeadRows(n int) Option {
+	return func(o *engine.Options) { o.VacuumDeadRows = n }
 }
 
 // SyncPolicy governs when a durable database forces its WAL to disk
