@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz vet bench chaos crash clean
+.PHONY: build test fuzz vet bench chaos crash serve-test clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,14 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -run 'TestCrash' -v ./internal/engine/
 
+# Network service layer suite under the race detector: wire protocol,
+# admission control and shedding, server-side conflict retries, connection
+# chaos (injected net faults), graceful drain, and the engine's
+# clean-shutdown contract. See EXECUTOR.md "Network service layer".
+serve-test:
+	$(GO) test -race -count=1 ./internal/wire/
+	$(GO) test -race -count=1 -run 'TestClose|TestCleanShutdown' ./internal/engine/
+
 # Smoke-run the executor micro-benchmarks (one iteration each): catches
 # bench-rot without burning CI minutes. See EXECUTOR.md for real runs.
 bench:
@@ -44,6 +52,7 @@ bench:
 	$(GO) run ./cmd/xnfbench -exp e17 -json
 	$(GO) run ./cmd/xnfbench -exp e18 -json
 	$(GO) run ./cmd/xnfbench -exp e19 -json
+	$(GO) run ./cmd/xnfload -conns 1,8 -duration 200ms -rows 2000 -json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,460 @@
+// xnfload is a closed-loop load generator for xnfserver (experiment E22):
+// N concurrent connections issue point lookups back-to-back, and the tool
+// reports per-level throughput, p50/p99 latency for admitted requests, and
+// how much load the server shed with the typed busy error instead of
+// queuing. Sweeping -conns past the server's worker pool size shows the
+// admission-control contract: latency for admitted work stays bounded while
+// excess offered load is rejected fast.
+//
+// With -addr it drives a running server; without, it spawns an in-process
+// server (sized by -workers) so the experiment is self-contained.
+//
+//	xnfload -conns 1,8,64,256 -duration 2s -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlxnf"
+	"sqlxnf/internal/wire"
+)
+
+var (
+	addrFlag     = flag.String("addr", "", "server address (empty = spawn an in-process server)")
+	connsFlag    = flag.String("conns", "1,8,64,256", "comma-separated connection counts to sweep")
+	durationFlag = flag.Duration("duration", 2*time.Second, "measurement window per level")
+	workersFlag  = flag.Int("workers", wire.DefaultWorkers, "worker pool size for the in-process server")
+	rowsFlag     = flag.Int("rows", 10000, "rows in the lookup table")
+	jsonFlag     = flag.Bool("json", false, "write machine-readable BENCH_e22.json")
+)
+
+// cell is one sweep level's measurement. P50/P99 are client round trips
+// (including the closed loop's wait for the box's cores); P50Srv/P99Srv are
+// the server-side execution times of admitted statements — the latency the
+// admission-control contract bounds.
+type cell struct {
+	Conns      int     `json:"conns"`
+	Ops        int64   `json:"ops"`
+	Busy       int64   `json:"busy"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+	P50SrvUS   int64   `json:"p50_srv_us"`
+	P99SrvUS   int64   `json:"p99_srv_us"`
+	ShedFrac   float64 `json:"shed_frac"`
+	DialBusy   int64   `json:"dial_busy"`
+	RetriesSrv int64   `json:"server_retries"`
+}
+
+// shedProbe is the deterministic overload measurement: with every worker
+// slot pinned by a slow statement, one more offered statement must be shed
+// immediately with the typed retryable busy error — never queued.
+type shedProbe struct {
+	SlowInFlight int    `json:"slow_in_flight"`
+	Code         string `json:"code"`
+	Retryable    bool   `json:"retryable"`
+	RejectionUS  int64  `json:"rejection_us"`
+	SlowMS       int64  `json:"slow_statement_ms"`
+}
+
+type record struct {
+	Experiment string     `json:"experiment"`
+	Workers    int        `json:"workers"`
+	Rows       int        `json:"rows"`
+	DurationNS int64      `json:"duration_ns"`
+	NumCPU     int        `json:"num_cpu"`
+	Cells      []cell     `json:"cells"`
+	ShedProbe  *shedProbe `json:"shed_probe,omitempty"`
+}
+
+func main() {
+	flag.Parse()
+	levels, err := parseLevels(*connsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnfload:", err)
+		os.Exit(1)
+	}
+
+	addr := *addrFlag
+	var shutdown func()
+	if addr == "" {
+		addr, shutdown, err = spawnServer(*workersFlag, *rowsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xnfload:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+	} else if err := seedRemote(addr, *rowsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "xnfload: seeding:", err)
+		os.Exit(1)
+	}
+
+	rec := record{
+		Experiment: "e22",
+		Workers:    *workersFlag,
+		Rows:       *rowsFlag,
+		DurationNS: int64(*durationFlag),
+		NumCPU:     numCPU(),
+	}
+	fmt.Printf("e22 — service-layer load: point lookups, %d rows, %s per level, %d workers\n",
+		*rowsFlag, *durationFlag, *workersFlag)
+	fmt.Printf("%-6s %10s %10s %9s %9s %9s %9s %9s %9s\n",
+		"conns", "ops", "ops/s", "p50", "p99", "p50-srv", "p99-srv", "busy", "shed%")
+	for _, n := range levels {
+		c := runLevel(addr, n, *durationFlag, *rowsFlag)
+		rec.Cells = append(rec.Cells, c)
+		fmt.Printf("%-6d %10d %10.0f %9s %9s %9s %9s %9d %8.1f%%\n",
+			c.Conns, c.Ops, c.OpsPerSec,
+			time.Duration(c.P50US)*time.Microsecond,
+			time.Duration(c.P99US)*time.Microsecond,
+			time.Duration(c.P50SrvUS)*time.Microsecond,
+			time.Duration(c.P99SrvUS)*time.Microsecond,
+			c.Busy, 100*c.ShedFrac)
+	}
+	probe, err := runShedProbe(addr, *workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xnfload: shed probe:", err)
+		os.Exit(1)
+	}
+	rec.ShedProbe = probe
+	fmt.Printf("shed probe: %d slow statements in flight -> offered lookup %s (retryable=%v) in %s\n",
+		probe.SlowInFlight, probe.Code, probe.Retryable,
+		time.Duration(probe.RejectionUS)*time.Microsecond)
+	if *jsonFlag {
+		f, err := os.Create("BENCH_e22.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xnfload:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "xnfload:", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+		fmt.Println("wrote BENCH_e22.json")
+	}
+}
+
+// runLevel drives one connection count for the window and merges the
+// per-client latency samples into percentiles.
+func runLevel(addr string, conns int, window time.Duration, rows int) cell {
+	type clientOut struct {
+		lats     []int64 // admitted-request round trips, µs
+		srvLats  []int64 // server-side execution times, µs
+		busy     int64
+		dialBusy int64
+	}
+	stop := make(chan struct{})
+	outs := make([]clientOut, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)*2654435761 + 1))
+			var c *wire.Client
+			defer func() {
+				if c != nil {
+					_ = c.Close()
+				}
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if c == nil {
+					var err error
+					c, err = wire.Dial(addr)
+					if err != nil {
+						if errors.Is(err, wire.ErrServerBusy) {
+							outs[i].dialBusy++
+							time.Sleep(time.Duration(500+rng.Intn(500)) * time.Microsecond)
+							continue
+						}
+						return
+					}
+				}
+				id := rng.Intn(rows)
+				t0 := time.Now()
+				resp, err := c.Exec("SELECT v FROM KV WHERE id = " + strconv.Itoa(id))
+				if err != nil {
+					var we *wire.Error
+					if errors.As(err, &we) && we.Code == wire.CodeBusy {
+						// Shed, not queued: back off briefly and re-offer.
+						outs[i].busy++
+						time.Sleep(time.Duration(200+rng.Intn(300)) * time.Microsecond)
+						continue
+					}
+					_ = c.Close()
+					c = nil
+					continue
+				}
+				outs[i].lats = append(outs[i].lats, time.Since(t0).Microseconds())
+				outs[i].srvLats = append(outs[i].srvLats, resp.ElapsedUS)
+			}
+		}(i)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all, allSrv []int64
+	var busy, dialBusy int64
+	for _, o := range outs {
+		all = append(all, o.lats...)
+		allSrv = append(allSrv, o.srvLats...)
+		busy += o.busy
+		dialBusy += o.dialBusy
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	sort.Slice(allSrv, func(a, b int) bool { return allSrv[a] < allSrv[b] })
+	ops := int64(len(all))
+	offered := ops + busy
+	c := cell{
+		Conns:     conns,
+		Ops:       ops,
+		Busy:      busy,
+		DialBusy:  dialBusy,
+		ElapsedNS: int64(elapsed),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		P50US:     percentile(all, 0.50),
+		P99US:     percentile(all, 0.99),
+		P50SrvUS:  percentile(allSrv, 0.50),
+		P99SrvUS:  percentile(allSrv, 0.99),
+	}
+	if offered > 0 {
+		c.ShedFrac = float64(busy) / float64(offered)
+	}
+	if st := serverStats(addr); st != nil {
+		c.RetriesSrv = st.Server.Retries
+	}
+	return c
+}
+
+// runShedProbe pins every worker slot with a statement parked in a lock
+// wait (a blocker transaction holds the row), then offers one more point
+// lookup: it must come back immediately as the typed retryable busy error,
+// proving the pool sheds at capacity instead of queuing. Parked — not
+// CPU-burning — slot holders keep the cores idle, so the measured rejection
+// time is the server's own fast path, not scheduler starvation. (A pure
+// point-lookup closed loop rarely saturates the pool — each statement
+// finishes in microseconds — so this phase forces the contended regime the
+// admission control exists for.)
+func runShedProbe(addr string, workers int) (*shedProbe, error) {
+	probe, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer probe.Close()
+	before, err := probe.Stats()
+	if err != nil {
+		return nil, err
+	}
+
+	blocker, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer blocker.Close()
+	if _, err := blocker.Exec("BEGIN; UPDATE KV SET v = v + 1 WHERE id = 0"); err != nil {
+		return nil, err
+	}
+	holdStart := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(c *wire.Client) {
+			defer wg.Done()
+			defer c.Close()
+			_, _ = c.ExecTimeout("UPDATE KV SET v = v + 2 WHERE id = 0", 2*time.Second)
+		}(c)
+	}
+	// Wait until every parked statement holds its slot (stats never sheds).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := probe.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if st.Server.Admitted-before.Server.Admitted >= int64(workers) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("parked statements never filled the worker pool")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	t0 := time.Now()
+	_, err = probe.Exec("SELECT v FROM KV WHERE id = 1")
+	rejection := time.Since(t0)
+	out := &shedProbe{
+		SlowInFlight: workers,
+		RejectionUS:  rejection.Microseconds(),
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		out.Code = string(we.Code)
+		out.Retryable = we.Retryable
+	} else if err == nil {
+		out.Code = "admitted"
+	}
+	// Release the parked statements. The COMMIT competes with them for a
+	// slot, so it applies the busy contract itself: back off and resend
+	// until admitted. The wakers' write conflicts then exercise the
+	// server-side retry loop on the way out.
+	for {
+		_, err := blocker.Exec("COMMIT")
+		if err == nil {
+			break
+		}
+		var ce *wire.Error
+		if !errors.As(err, &ce) || !ce.Retryable {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("blocker COMMIT never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	out.SlowMS = time.Since(holdStart).Milliseconds()
+	return out, nil
+}
+
+// percentile reads the q-th percentile of sorted µs samples.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// spawnServer builds an in-process server over a seeded in-memory database.
+// The connection cap is raised above the sweep so the experiment exercises
+// statement-level shedding (the worker pool), not the connection cap.
+func spawnServer(workers, rows int) (addr string, shutdown func(), err error) {
+	db := sqlxnf.Open()
+	if err := seedDB(db, rows); err != nil {
+		return "", nil, err
+	}
+	srv := wire.NewServer(db, wire.Config{Workers: workers, MaxConns: 4096})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return "", nil, err
+	}
+	go func() { _ = srv.Serve() }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+		_ = db.Close()
+	}
+	return srv.Addr(), shutdown, nil
+}
+
+// seedDB loads the KV lookup table in bulk batches.
+func seedDB(db *sqlxnf.DB, rows int) error {
+	if _, err := db.Exec(`CREATE TABLE KV (id INT NOT NULL PRIMARY KEY, v INT)`); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%1000 == 0 {
+			sb.Reset()
+			sb.WriteString("INSERT INTO KV VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%977)
+		if i%1000 == 999 || i == rows-1 {
+			if _, err := db.Exec(sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seedRemote loads the KV table over the wire on an already-running server.
+func seedRemote(addr string, rows int) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE KV (id INT NOT NULL PRIMARY KEY, v INT)`); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%1000 == 0 {
+			sb.Reset()
+			sb.WriteString("INSERT INTO KV VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%977)
+		if i%1000 == 999 || i == rows-1 {
+			if _, err := c.Exec(sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// serverStats snapshots the server's counters, best effort.
+func serverStats(addr string) *wire.StatsPayload {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return nil
+	}
+	return st
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -conns entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-conns is empty")
+	}
+	return out, nil
+}
+
+func numCPU() int { return runtime.NumCPU() }

@@ -8,6 +8,13 @@
 // recovering existing state from its write-ahead log; -sync picks the
 // commit durability policy (group, always, none).
 //
+// With -connect <addr> the shell talks to a running xnfserver over the wire
+// protocol instead of embedding an engine: statements execute on a
+// server-side session (transactions span statements), \stats shows the
+// server's admission and engine counters, and retryable typed errors
+// (busy, write-conflict, shutdown) are labelled so the operator knows the
+// statement is safe to resend.
+//
 // Meta commands: \d (list tables and views), \costats (composite-object
 // cache entries and counters), \checkpoint (force a checkpoint and truncate
 // the log), \walstats (WAL and durability counters), \q (quit).
@@ -31,7 +38,15 @@ import (
 func main() {
 	dataDir := flag.String("data", "", "directory for a durable database (empty = in-memory)")
 	syncMode := flag.String("sync", "group", "WAL sync policy with -data: group, always, none")
+	connect := flag.String("connect", "", "address of a running xnfserver (overrides -data)")
 	flag.Parse()
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, "xnfsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	db, err := openDB(*dataDir, *syncMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xnfsh:", err)

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sqlxnf/internal/wire"
+)
+
+// remoteShell is the -connect REPL: statements execute over the wire on a
+// server-side session. Typed retryable errors are labelled so the operator
+// knows a resend is safe; \stats surfaces the server's admission counters.
+func remoteShell(addr string) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		if errors.Is(err, wire.ErrServerBusy) {
+			return fmt.Errorf("server at %s is at capacity (retryable): %w", addr, err)
+		}
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s — SQL/XNF statements end with ';'  (\\stats server+engine counters, \\q quit)\n", addr)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("xnf> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		switch strings.TrimSpace(line) {
+		case "\\q":
+			return nil
+		case "\\stats":
+			printRemoteStats(c)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		resp, err := c.Exec(stmt)
+		switch {
+		case err != nil:
+			var we *wire.Error
+			if errors.As(err, &we) && we.Retryable {
+				fmt.Printf("error: %s (retryable — safe to resend)\n", we)
+			} else {
+				fmt.Println("error:", err)
+			}
+			if resp == nil {
+				// The connection itself failed; the session is gone.
+				return fmt.Errorf("connection lost: %w", err)
+			}
+		default:
+			printRemoteResult(resp)
+			fmt.Printf("(%s)\n", fmtElapsed(time.Duration(resp.ElapsedUS)*time.Microsecond))
+		}
+		prompt()
+	}
+	return nil
+}
+
+// printRemoteResult renders a wire response the way the embedded shell
+// renders a Result.
+func printRemoteResult(resp *wire.Response) {
+	switch {
+	case resp.Explain != "":
+		fmt.Print(resp.Explain)
+	case resp.COText != "":
+		fmt.Print(resp.COText)
+	case resp.Columns != nil:
+		printRemoteTable(resp.Columns, resp.Rows)
+	default:
+		fmt.Printf("ok (%d rows affected)\n", resp.RowsAffected)
+	}
+	if resp.Retries > 0 {
+		fmt.Printf("(server retried %d write conflicts)\n", resp.Retries)
+	}
+}
+
+func printRemoteTable(cols []string, rows [][]any) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(rows))
+	for ri, row := range rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := renderCell(v)
+			rendered[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range cols {
+		fmt.Printf("%-*s ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range cols {
+		fmt.Print(strings.Repeat("-", widths[i]), " ")
+	}
+	fmt.Println()
+	for _, row := range rendered {
+		for ci, cell := range row {
+			fmt.Printf("%-*s ", widths[ci], cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+// renderCell prints a JSON transport value; integral floats (every wire
+// integer) print without the decimal point.
+func renderCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func printRemoteStats(c *wire.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := st.Server
+	fmt.Printf("server: conns live=%d accepted=%d rejected=%d sessions=%d\n",
+		s.LiveConns, s.Accepted, s.RejectedConns, s.LiveSessions)
+	fmt.Printf("  requests=%d admitted=%d shed-busy=%d shed-shutdown=%d\n",
+		s.Requests, s.Admitted, s.ShedBusy, s.ShedShutdown)
+	fmt.Printf("  retries=%d exhausted=%d panics=%d protocol-errs=%d net-faults=%d\n",
+		s.Retries, s.RetriesExhausted, s.Panics, s.ProtocolErrs, s.NetFaults)
+	if b, err := json.MarshalIndent(st.Engine, "  ", " "); err == nil {
+		fmt.Printf("engine: %s\n", b)
+	}
+}

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -84,10 +85,23 @@ type Options struct {
 	// session sweeps them (engine/mvcc.go). 0 uses DefaultVacuumDeadRows;
 	// negative disables auto-vacuum (Engine.Vacuum still works).
 	VacuumDeadRows int
+	// DrainTimeout bounds how long Close waits for in-flight statements
+	// (already cancelled through their lifecycle contexts) to reach a
+	// statement boundary and roll back before sealing the WAL. 0 uses
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
 
 // DefaultCheckpointBytes is the auto-checkpoint threshold when unset.
 const DefaultCheckpointBytes = 16 << 20
+
+// DefaultDrainTimeout bounds Close's wait for in-flight statements when
+// Options.DrainTimeout is unset.
+const DefaultDrainTimeout = 5 * time.Second
+
+// ErrClosed is returned by statements issued against a closed engine. The
+// network layer maps it to its shutdown error code so clients can fail over.
+var ErrClosed = errors.New("engine: database is closed")
 
 // DefaultPlanCacheSize is the prepared-plan cache capacity when unset.
 const DefaultPlanCacheSize = 128
@@ -148,6 +162,16 @@ type Engine struct {
 	// serializes inline sweeps.
 	deadRows   atomic.Int64
 	vacRunning atomic.Bool
+	// Close-with-drain state: closeCtx cancels when Close begins, aborting
+	// every in-flight statement through its lifecycle context; stmtGate +
+	// closed reject statements arriving after that point with ErrClosed
+	// (internal sessions — Close's own checkpoint — bypass the gate); stmtWG
+	// counts statements in flight so Close can wait for them to roll back.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+	stmtGate    sync.RWMutex
+	closed      bool
+	stmtWG      sync.WaitGroup
 }
 
 // New creates an empty database engine.
@@ -172,6 +196,7 @@ func New(opts Options) *Engine {
 		activeTx: map[uint64]struct{}{},
 		snaps:    map[uint64]*snapshot{},
 	}
+	e.closeCtx, e.closeCancel = context.WithCancel(context.Background())
 	if opts.PlanCacheSize > 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize, e.cat.TableVersion)
 	}
@@ -211,13 +236,70 @@ func (e *Engine) Options() Options { return e.opts }
 // Durable reports whether the engine mirrors its WAL to segment files.
 func (e *Engine) Durable() bool { return e.flog != nil }
 
-// Close flushes and closes the durable log (no-op for in-memory engines).
-// Committed transactions are already durable; Close just seals the files.
+// Close shuts the engine down with a drain: new statements are rejected
+// with ErrClosed, in-flight statements are cancelled through their
+// lifecycle contexts and given Options.DrainTimeout to roll back, and — on
+// durable engines that drained cleanly — a final CHECKPOINT folds the log
+// away so the next Open replays zero records before the WAL seals.
+// Committed transactions are already durable either way; a failed or
+// skipped checkpoint only means the next open replays the log suffix.
+// Close is idempotent; concurrent and repeat calls return nil.
 func (e *Engine) Close() error {
+	e.stmtGate.Lock()
+	if e.closed {
+		e.stmtGate.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.stmtGate.Unlock()
+	e.closeCancel()
+	drain := e.opts.DrainTimeout
+	if drain == 0 {
+		drain = DefaultDrainTimeout
+	}
+	done := make(chan struct{})
+	go func() {
+		e.stmtWG.Wait()
+		close(done)
+	}()
+	drained := false
+	timer := time.NewTimer(drain)
+	defer timer.Stop()
+	select {
+	case <-done:
+		drained = true
+	case <-timer.C:
+	}
 	if e.flog == nil {
 		return nil
 	}
+	if drained {
+		// Checkpoint-on-drain. Sessions idling inside explicit transactions
+		// still hold exclusive locks; the context bound keeps a blocked
+		// checkpoint from wedging Close — it is best-effort by design.
+		s := e.Session()
+		s.internal = true
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		_, _ = s.ExecContext(ctx, "CHECKPOINT")
+		cancel()
+	}
 	return e.flog.Close()
+}
+
+// beginStmt admits one statement into the engine: it fails with ErrClosed
+// once Close has begun (internal sessions bypass the gate — Close's own
+// checkpoint runs after the drain) and otherwise joins the in-flight count
+// Close waits on.
+func (s *Session) beginStmt() error {
+	e := s.eng
+	e.stmtGate.RLock()
+	if e.closed && !s.internal {
+		e.stmtGate.RUnlock()
+		return ErrClosed
+	}
+	e.stmtWG.Add(1)
+	e.stmtGate.RUnlock()
+	return nil
 }
 
 // WALStats describes the engine's write-ahead log state: the durable
@@ -281,6 +363,42 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 	return e.plans.Stats()
 }
 
+// Stats is a point-in-time aggregate of every observable engine counter:
+// the payload behind the wire server's stats command and ops tooling. All
+// fields are plain data, safe to JSON-encode.
+type Stats struct {
+	// PlanCache is the prepared-plan cache (zero value when disabled).
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	// COCache is the composite-object materialization cache.
+	COCache comat.Stats `json:"co_cache"`
+	// WAL is the durable-log state (zero segment state when in-memory).
+	WAL WALStats `json:"wal"`
+	// Pool counts buffer-pool hits, misses and evictions.
+	Pool storage.PoolStats `json:"pool"`
+	// PoolPages is the buffer pool's frame capacity.
+	PoolPages int `json:"pool_pages"`
+	// ActiveTx counts transactions open right now.
+	ActiveTx int `json:"active_tx"`
+	// DeadRows estimates unsettled row versions awaiting vacuum.
+	DeadRows int64 `json:"dead_rows"`
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	act := len(e.activeTx)
+	e.mu.Unlock()
+	return Stats{
+		PlanCache: e.PlanCacheStats(),
+		COCache:   e.COCacheStats(),
+		WAL:       e.WALStats(),
+		Pool:      e.bp.Stats(),
+		PoolPages: e.bp.Capacity(),
+		ActiveTx:  act,
+		DeadRows:  e.deadRows.Load(),
+	}
+}
+
 // Result is the outcome of one statement.
 type Result struct {
 	// Schema and Rows carry query output for SELECT (and path) queries.
@@ -330,6 +448,10 @@ type Session struct {
 	// (delete marks and unfrozen create stamps), folded into the engine's
 	// dead-row counter at commit.
 	versWork int64
+	// internal marks engine-owned sessions (Close's drain checkpoint) that
+	// must run after the statement gate shuts and without the close
+	// context's cancellation.
+	internal bool
 }
 
 // Session opens a new session.
@@ -433,9 +555,20 @@ func (s *Session) statementContext(ctx context.Context) (context.Context, contex
 // an *exec.PanicError, the open transaction rolls back (releasing its
 // locks), and the session remains usable.
 func (s *Session) govern(ctx context.Context, fn func() (*Result, error)) (res *Result, err error) {
+	if err := s.beginStmt(); err != nil {
+		return nil, err
+	}
+	defer s.eng.stmtWG.Done()
 	sctx, cancel := s.statementContext(ctx)
-	if cancel != nil {
-		defer cancel()
+	if cancel == nil {
+		sctx, cancel = context.WithCancel(sctx)
+	}
+	defer cancel()
+	if !s.internal {
+		// A closing engine aborts every in-flight statement through its own
+		// lifecycle context.
+		stop := context.AfterFunc(s.eng.closeCtx, cancel)
+		defer stop()
 	}
 	prev := s.sctx
 	s.sctx = sctx

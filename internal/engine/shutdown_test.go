@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlxnf/internal/wal"
+)
+
+// TestCloseCancelsInFlightStatements: Close under live statements cancels
+// them with context.Canceled, releases every lock, and leaves the engine
+// rejecting new work with ErrClosed. Double Close is a no-op.
+func TestCloseCancelsInFlightStatements(t *testing.T) {
+	s := slowJoinDB(t, 3000)
+	e := s.eng
+
+	const readers = 3
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Session().ExecContext(context.Background(), slowQuery)
+		}(i)
+	}
+	// Wait until every reader is actually executing (its statement tx is
+	// registered) before pulling the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().ActiveTx < readers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Stats().ActiveTx < readers {
+		t.Fatal("readers never started")
+	}
+
+	start := time.Now()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Close took %v — it waited out statements it should have cancelled", took)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("in-flight statement %d returned %v, want context.Canceled", i, err)
+		}
+	}
+	if n := e.Locks().TotalHeld(); n != 0 {
+		t.Fatalf("locks held after Close: %d", n)
+	}
+	if _, err := s.Exec("SELECT 1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Exec returned %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseDrainDeadline: an idle open transaction cannot wedge Close — the
+// drain deadline expires and Close returns anyway.
+func TestCloseDrainDeadline(t *testing.T) {
+	o := DefaultOptions()
+	o.DrainTimeout = 50 * time.Millisecond
+	e := New(o)
+	s := e.Session()
+	s.MustExec("CREATE TABLE T (id INT PRIMARY KEY); BEGIN; INSERT INTO T VALUES (1)")
+
+	start := time.Now()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("Close took %v with a 50ms drain budget", took)
+	}
+}
+
+// TestCleanShutdownCheckpointsAndReplaysZero is the clean-shutdown
+// durability contract: Close on a durable engine with in-flight statements
+// cancels them, checkpoints on drain, and a reopen replays zero WAL records
+// with all committed data intact.
+func TestCleanShutdownCheckpointsAndReplaysZero(t *testing.T) {
+	dir := t.TempDir()
+	o := DefaultOptions()
+	o.DataDir = dir
+	o.Sync = wal.SyncGroupCommit
+	e, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s := e.Session()
+	s.MustExec(`CREATE TABLE BIG (id INT NOT NULL PRIMARY KEY, v INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO BIG VALUES (0, 0)")
+	for i := 1; i < 2000; i++ {
+		sb.WriteString(", (")
+		sb.WriteString(itoa(i))
+		sb.WriteString(", ")
+		sb.WriteString(itoa(i % 97))
+		sb.WriteString(")")
+	}
+	s.MustExec(sb.String())
+
+	// Long reads in flight when Close lands.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Session().ExecContext(context.Background(), slowQuery)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().ActiveTx < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Stats().ActiveTx < 2 {
+		t.Fatal("readers never started")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("in-flight statement %d returned %v, want context.Canceled", i, err)
+		}
+	}
+
+	re, err := Open(o)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	info := re.RecoveryInfo()
+	if info.Replayed != 0 {
+		t.Fatalf("reopen replayed %d records, want 0 after checkpoint-on-drain", info.Replayed)
+	}
+	if info.CheckpointLSN == 0 {
+		t.Fatal("reopen loaded no checkpoint — Close did not checkpoint on drain")
+	}
+	got := re.Session().MustExec("SELECT COUNT(*) FROM BIG").Rows[0][0].Int()
+	if got != 2000 {
+		t.Fatalf("reopen sees %d rows, want 2000", got)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -14,6 +14,8 @@
 //	wal.fsync           wal.FileLog, before each fsync (durable engines only)
 //	wal.open            wal.Open, before scanning segments (durable engines only)
 //	wal.truncate        wal.FileLog.TruncateBefore, before segments drop (durable engines only)
+//	net.accept          wire.Server accept loop, after each successful Accept
+//	net.read            wire.Server request loop, before each frame read
 package faultinj
 
 import (
@@ -35,6 +37,8 @@ const (
 	WALFsync    Point = "wal.fsync"
 	WALOpen     Point = "wal.open"
 	WALTruncate Point = "wal.truncate"
+	NetAccept   Point = "net.accept"
+	NetRead     Point = "net.read"
 )
 
 // Points lists every probe point an in-memory engine wires (chaos suites
@@ -48,6 +52,12 @@ func Points() []Point {
 // engines reach.
 func DurablePoints() []Point {
 	return []Point{WALFsync, WALOpen, WALTruncate}
+}
+
+// NetPoints lists the probe points of the network service layer
+// (internal/wire): connection acceptance and per-request frame reads.
+func NetPoints() []Point {
+	return []Point{NetAccept, NetRead}
 }
 
 // ErrInjected is the default error injected when a Fault carries none.

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlxnf"
+)
+
+// forceConflict parks script (an atomic BEGIN..COMMIT increment) behind a
+// blocker transaction that commits after the script has taken its snapshot,
+// so the script's first attempt always loses first-committer-wins.
+func forceConflict(t *testing.T, db *sqlxnf.DB, c *Client, script string) (*Response, error) {
+	t.Helper()
+	blocker := db.Session()
+	blocker.MustExec("BEGIN; UPDATE C SET n = n + 100 WHERE id = 1")
+
+	type out struct {
+		resp *Response
+		err  error
+	}
+	done := make(chan out, 1)
+	go func() {
+		resp, err := c.Exec(script)
+		done <- out{resp, err}
+	}()
+	// The script's BEGIN snapshots immediately, then its UPDATE parks in the
+	// lock wait behind the blocker. Give it time to get there, then commit
+	// the blocker: the parked attempt wakes with a stale snapshot.
+	time.Sleep(50 * time.Millisecond)
+	blocker.MustExec("COMMIT")
+	o := <-done
+	return o.resp, o.err
+}
+
+func TestServerRetriesWriteConflict(t *testing.T) {
+	db := sqlxnf.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE C (id INT PRIMARY KEY, n INT)`)
+	db.MustExec(`INSERT INTO C VALUES (1, 0)`)
+	srv := startServer(t, db, Config{})
+	c := dialT(t, srv)
+
+	resp, err := forceConflict(t, db, c, "BEGIN; UPDATE C SET n = n + 1 WHERE id = 1; COMMIT")
+	if err != nil {
+		t.Fatalf("conflicted script failed despite retry budget: %v", err)
+	}
+	if resp.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1 (the first attempt must have conflicted)", resp.Retries)
+	}
+	got := mustExec(t, c, "SELECT n FROM C WHERE id = 1")
+	if got.Rows[0][0].(float64) != 101 {
+		t.Fatalf("n = %v, want 101 (blocker +100, script +1, exactly once)", got.Rows[0][0])
+	}
+	if srv.Counters().Retries < 1 {
+		t.Fatalf("server retry counter not bumped: %+v", srv.Counters())
+	}
+}
+
+func TestServerSurfacesConflictWhenRetryDisabled(t *testing.T) {
+	db := sqlxnf.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE C (id INT PRIMARY KEY, n INT)`)
+	db.MustExec(`INSERT INTO C VALUES (1, 0)`)
+	srv := startServer(t, db, Config{RetryBudget: -1})
+	c := dialT(t, srv)
+
+	resp, err := forceConflict(t, db, c, "BEGIN; UPDATE C SET n = n + 1 WHERE id = 1; COMMIT")
+	if err == nil {
+		t.Fatalf("conflicted script succeeded with retries disabled: %+v", resp)
+	}
+	var we *Error
+	if !errors.As(err, &we) || we.Code != CodeWriteConflict || !we.Retryable {
+		t.Fatalf("conflict surfaced as %v, want typed retryable write_conflict", err)
+	}
+	// The increment must not have landed.
+	got := mustExec(t, c, "SELECT n FROM C WHERE id = 1")
+	if got.Rows[0][0].(float64) != 100 {
+		t.Fatalf("n = %v, want 100 (failed script must roll back)", got.Rows[0][0])
+	}
+}
+
+func TestServerNeverRetriesClientManagedTx(t *testing.T) {
+	db := sqlxnf.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE C (id INT PRIMARY KEY, n INT)`)
+	db.MustExec(`INSERT INTO C VALUES (1, 0)`)
+	srv := startServer(t, db, Config{})
+	c := dialT(t, srv)
+
+	// The client opens the transaction itself, so the server must not replay
+	// anything: the conflict reaches the client typed, with zero retries.
+	mustExec(t, c, "BEGIN")
+	resp, err := forceConflict(t, db, c, "UPDATE C SET n = n + 1 WHERE id = 1; COMMIT")
+	if err == nil {
+		t.Fatalf("conflicting client-managed tx succeeded: %+v", resp)
+	}
+	var we *Error
+	if !errors.As(err, &we) || we.Code != CodeWriteConflict {
+		t.Fatalf("conflict surfaced as %v, want write_conflict", err)
+	}
+	if resp.Retries != 0 {
+		t.Fatalf("server retried a client-managed transaction %d times", resp.Retries)
+	}
+}
+
+// TestServerRetryStorm hammers one row from many connections. Server-side
+// retries absorb the conflicts; clients resend only on the retryable verdict,
+// exactly as the taxonomy instructs. Run with -race.
+func TestServerRetryStorm(t *testing.T) {
+	db := sqlxnf.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE C (id INT PRIMARY KEY, n INT)`)
+	db.MustExec(`INSERT INTO C VALUES (1, 0)`)
+	srv := startServer(t, db, Config{Workers: 4, RetryBudget: 8})
+
+	const clients = 8
+	const perClient = 5
+	var wg sync.WaitGroup
+	failures := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				failures <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				for {
+					_, err := c.Exec("BEGIN; UPDATE C SET n = n + 1 WHERE id = 1; COMMIT")
+					if err == nil {
+						break
+					}
+					var we *Error
+					if errors.As(err, &we) && we.Retryable {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					failures <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(failures)
+	for err := range failures {
+		t.Fatalf("storm client failed fatally: %v", err)
+	}
+	got := db.MustExec("SELECT n FROM C WHERE id = 1")
+	want := int64(clients * perClient)
+	if got.Rows[0][0].Int() != want {
+		t.Fatalf("n = %v, want %d: increments lost or duplicated under retry", got.Rows[0][0], want)
+	}
+}

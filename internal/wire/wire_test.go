@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"sqlxnf"
+	"sqlxnf/internal/lock"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{ID: 7, Op: OpExec, SQL: "SELECT 1", TimeoutMS: 250}
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	var got Request
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != *req {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, *req)
+	}
+}
+
+func TestWireFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized announced frame accepted")
+	}
+}
+
+func TestWireErrorRoundTripPreservesIs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Response{OK: false, Err: ErrServerBusy}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	payload, _ := ReadFrame(&buf)
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !errors.Is(resp.Err, ErrServerBusy) {
+		t.Fatalf("decoded busy error does not match sentinel: %+v", resp.Err)
+	}
+	if !resp.Err.Retryable {
+		t.Fatal("busy must be retryable")
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		err       error
+		code      Code
+		retryable bool
+	}{
+		{sqlxnf.ErrWriteConflict, CodeWriteConflict, true},
+		{lock.ErrLockTimeout, CodeLockTimeout, true},
+		{lock.ErrDeadlock, CodeDeadlock, true},
+		{sqlxnf.ErrClosed, CodeShutdown, true},
+		{context.DeadlineExceeded, CodeDeadline, false},
+		{context.Canceled, CodeCanceled, false},
+		{errors.New("engine: unknown column Q"), CodeSQL, false},
+		{ErrServerBusy, CodeBusy, true},
+	}
+	for _, c := range cases {
+		got := Classify(c.err)
+		if got.Code != c.code || got.Retryable != c.retryable {
+			t.Errorf("Classify(%v) = {%s retryable=%v}, want {%s retryable=%v}",
+				c.err, got.Code, got.Retryable, c.code, c.retryable)
+		}
+	}
+	// Wrapped errors classify through the chain, as the engine produces them
+	// ("%w (transaction rolled back)").
+	wrapped := errors.Join(errors.New("context"), sqlxnf.ErrWriteConflict)
+	if got := Classify(wrapped); got.Code != CodeWriteConflict {
+		t.Errorf("wrapped conflict classified as %s", got.Code)
+	}
+}
+
+func TestRetryableScript(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT 1", true},
+		{"UPDATE T SET v = 1 WHERE id = 2;", true},
+		{"BEGIN; UPDATE T SET v = 1 WHERE id = 2; COMMIT", true},
+		{"BEGIN; INSERT INTO T VALUES (1, 2); UPDATE T SET v = 3 WHERE id = 1; COMMIT;", true},
+		// Multi-statement autocommit: the prefix commits independently, so a
+		// rerun would repeat it.
+		{"INSERT INTO T VALUES (1, 2); UPDATE T SET v = 3 WHERE id = 1", false},
+		// Transaction left open, or control statements alone: the client owns
+		// the transaction's shape.
+		{"BEGIN", false},
+		{"BEGIN; UPDATE T SET v = 1 WHERE id = 2", false},
+		{"UPDATE T SET v = 1 WHERE id = 2; COMMIT", false},
+		{"BEGIN; COMMIT; BEGIN; COMMIT", false},
+		{"", false},
+		{"NOT SQL AT ALL ((", false},
+	}
+	for _, c := range cases {
+		if got := retryableScript(c.sql); got != c.want {
+			t.Errorf("retryableScript(%q) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestRenderCOMentionsNodes(t *testing.T) {
+	db := sqlxnf.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR)`)
+	db.MustExec(`INSERT INTO DEPT VALUES (1, 'toys')`)
+	co, err := db.QueryCO(`OUT OF Xdept AS DEPT TAKE *`)
+	if err != nil {
+		t.Fatalf("QueryCO: %v", err)
+	}
+	text := renderCO(co)
+	if !strings.Contains(text, "Xdept") || !strings.Contains(text, "toys") {
+		t.Fatalf("rendered CO missing content:\n%s", text)
+	}
+}

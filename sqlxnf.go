@@ -69,6 +69,14 @@ type (
 // has been rolled back; retrying it reads fresh state. Test with errors.Is.
 var ErrWriteConflict = engine.ErrWriteConflict
 
+// ErrClosed is returned by statements issued after DB.Close began: the
+// engine rejected them at the statement gate. Test with errors.Is.
+var ErrClosed = engine.ErrClosed
+
+// EngineStats aggregates every observable engine counter (plan cache, CO
+// cache, WAL, buffer pool, MVCC); see DB.Stats and the wire stats command.
+type EngineStats = engine.Stats
+
 // Value constructors, re-exported for application code.
 var (
 	// NewInt builds an integer value.
@@ -213,6 +221,13 @@ func WithCheckpointBytes(n int64) Option {
 	return func(o *engine.Options) { o.CheckpointBytes = n }
 }
 
+// WithDrainTimeout bounds how long Close waits for cancelled in-flight
+// statements to roll back before sealing the WAL (0 keeps the engine
+// default, 5s).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(o *engine.Options) { o.DrainTimeout = d }
+}
+
 // FaultInjector is the engine's opt-in fault-injection harness
 // (internal/faultinj re-exported for chaos tests and debugging tools).
 type FaultInjector = faultinj.Injector
@@ -233,6 +248,8 @@ const (
 	FaultComatMat    FaultPoint = faultinj.ComatMat
 	FaultWALFsync    FaultPoint = faultinj.WALFsync
 	FaultWALOpen     FaultPoint = faultinj.WALOpen
+	FaultNetAccept   FaultPoint = faultinj.NetAccept
+	FaultNetRead     FaultPoint = faultinj.NetRead
 )
 
 // NewFaultInjector builds an empty injector for WithFaultInjector.
@@ -280,11 +297,20 @@ func OpenDir(dir string, opts ...Option) (*DB, error) {
 	return &DB{eng: eng, def: eng.Session()}, nil
 }
 
-// Close releases the database's durable log (no-op for in-memory instances).
+// Close shuts the database down with a drain: new statements fail with
+// ErrClosed, in-flight statements are cancelled and given the drain timeout
+// (WithDrainTimeout) to roll back, then — for durable instances that
+// drained cleanly — a final checkpoint folds the log away before it seals,
+// so the next OpenDir replays zero records. Idempotent.
 func (db *DB) Close() error { return db.eng.Close() }
 
 // Engine exposes the underlying engine (benchmarks read its I/O counters).
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Stats snapshots the engine's observable counters (plan cache, CO cache,
+// WAL, buffer pool, MVCC) — the payload the wire server's stats command
+// serves.
+func (db *DB) Stats() EngineStats { return db.eng.Stats() }
 
 // Session opens an additional session (one per goroutine).
 func (db *DB) Session() *Session { return db.eng.Session() }
