@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz vet bench chaos crash serve-test clean
+.PHONY: build test fuzz vet bench chaos crash serve-test metrics-test clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,16 @@ serve-test:
 	$(GO) test -race -count=1 ./internal/wire/
 	$(GO) test -race -count=1 -run 'TestClose|TestCleanShutdown' ./internal/engine/
 
+# Observability suite under the race detector: the metrics core (atomic
+# counters/gauges/histograms, registry, Prometheus exposition, traces),
+# EXPLAIN ANALYZE actual-vs-collected parity, statement classification and
+# the slow-query log, WAL latency histograms, wire counter exposition, and
+# the tracing-off prepared-hit alloc guard. See EXECUTOR.md "Observability".
+metrics-test:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestExplainAnalyze|TestSlowQuery|TestTraceSpans|TestStatementClass|TestWriteConflictCounter|TestVacuumCounters|TestWALLatency|TestMetricsExposition|TestPreparedHit' ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestWireMetrics|TestCountersRaceFree' ./internal/wire/
+
 # Smoke-run the executor micro-benchmarks (one iteration each): catches
 # bench-rot without burning CI minutes. See EXECUTOR.md for real runs.
 bench:
@@ -52,6 +62,7 @@ bench:
 	$(GO) run ./cmd/xnfbench -exp e17 -json
 	$(GO) run ./cmd/xnfbench -exp e18 -json
 	$(GO) run ./cmd/xnfbench -exp e19 -json
+	$(GO) run ./cmd/xnfbench -exp e23 -json
 	$(GO) run ./cmd/xnfload -conns 1,8 -duration 200ms -rows 2000 -json
 
 clean:

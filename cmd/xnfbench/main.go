@@ -65,6 +65,7 @@ func main() {
 		{"e18", "Composite-object cache — repeated checkout vs cold materialization", runE18},
 		{"e19", "MVCC snapshot reads — reader throughput under a sustained writer", runE19},
 		{"e21", "Durable WAL — commit throughput by sync policy and writer count", runE21},
+		{"e23", "Observability — statement-tracing overhead and unified metrics snapshot", runE23},
 	}
 	ran := false
 	for _, e := range exps {
@@ -806,6 +807,72 @@ func runE21(scale int) {
 	fmt.Printf("  group-commit vs always at 16 writers: %.1fx (acceptance bound 2x)\n", ratio)
 	writeJSONFile("BENCH_e21.json", rec)
 	fmt.Println("  → group commit amortizes the fsync across concurrent committers")
+}
+
+// runE23 measures what per-statement tracing costs and dumps the unified
+// metrics snapshot. Two engines run the same cached point query: one with
+// tracing off (no slow-query threshold — the fast path must stay free), one
+// with a threshold high enough that every statement records a trace but
+// none ever logs. A mixed workload then exercises the traced engine so the
+// BENCH json captures a populated snapshot: per-class statement histograms,
+// cache counters, and WAL/MVCC state in one coherent read.
+func runE23(scale int) {
+	const reps = 2000
+	setup := func(opts ...sqlxnf.Option) *sqlxnf.DB {
+		db := sqlxnf.Open(opts...)
+		db.MustExec("CREATE TABLE K (id INT PRIMARY KEY, v INT)")
+		for i := 0; i < 100*scale; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO K VALUES (%d, %d)", i, i))
+		}
+		return db
+	}
+	point := func(db *sqlxnf.DB) time.Duration {
+		s := db.Session()
+		s.MustExec("SELECT v FROM K WHERE id = 42") // warm the plan cache
+		return timeIt(reps, func() { s.MustExec("SELECT v FROM K WHERE id = 42") })
+	}
+	off := setup()
+	offNs := point(off)
+	must(0, off.Close())
+	on := setup(sqlxnf.WithSlowQueryThreshold(time.Hour)) // trace everything, log nothing
+	onNs := point(on)
+	overhead := float64(onNs-offNs) / float64(offNs) * 100
+	fmt.Printf("  cached point query x%d: tracing off %v/stmt, on %v/stmt (%.1f%% overhead)\n",
+		reps, offNs, onNs, overhead)
+
+	// Mixed workload so the snapshot has every class populated.
+	s := on.Session()
+	for i := 0; i < 20*scale; i++ {
+		s.MustExec(fmt.Sprintf("SELECT v FROM K WHERE id = %d", i%100))
+		s.MustExec("SELECT COUNT(*) FROM K WHERE v > 10")
+		s.MustExec("SELECT COUNT(*) FROM K A, K B WHERE A.id = B.v")
+		s.MustExec(fmt.Sprintf("UPDATE K SET v = v + 1 WHERE id = %d", i%100))
+	}
+	snap := on.Stats()
+	fmt.Printf("  snapshot: %d statements across %d classes, %.0f/s\n",
+		snap.StatementsTotal, len(snap.Statements), snap.StatementsPerSecond)
+	for name, cs := range snap.Statements {
+		fmt.Printf("    %-6s count=%-6d p50=%v p99=%v\n", name, cs.Count,
+			time.Duration(cs.P50US)*time.Microsecond, time.Duration(cs.P99US)*time.Microsecond)
+	}
+	must(0, on.Close())
+	writeJSONFile("BENCH_e23.json", e23Record{
+		Experiment: "e23", Reps: reps,
+		TracingOffNs: offNs.Nanoseconds(), TracingOnNs: onNs.Nanoseconds(),
+		OverheadPct: overhead, Snapshot: snap,
+	})
+	fmt.Println("  → tracing is opt-in per engine; the off path stays on the prepared fast path")
+}
+
+// e23Record is the machine-readable result of the observability experiment:
+// the tracing-overhead comparison plus the full unified metrics snapshot.
+type e23Record struct {
+	Experiment   string             `json:"experiment"`
+	Reps         int                `json:"reps"`
+	TracingOffNs int64              `json:"tracing_off_ns_per_stmt"`
+	TracingOnNs  int64              `json:"tracing_on_ns_per_stmt"`
+	OverheadPct  float64            `json:"overhead_pct"`
+	Snapshot     sqlxnf.EngineStats `json:"metrics_snapshot"`
 }
 
 // e21Record is the machine-readable result of the durability experiment.

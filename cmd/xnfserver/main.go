@@ -6,6 +6,12 @@
 // degradation on SIGTERM/SIGINT: stop admitting, drain in-flight statements
 // up to the drain budget, cancel stragglers, checkpoint, and seal the WAL.
 //
+// With -http it also serves an observability sidecar: Prometheus-text
+// metrics at /metrics (statement latency by class, plan/CO-cache and
+// buffer-pool counters, WAL append/fsync/group-commit histograms, MVCC
+// conflict and vacuum counters, wire admission/shedding counters) and the
+// stdlib pprof profiles under /debug/pprof/.
+//
 // Connect with xnfsh -connect <addr> or load it with xnfload.
 package main
 
@@ -14,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,10 +40,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-statement execution deadline (0 = engine default)")
 	retry := flag.Int("retry", wire.DefaultRetryBudget, "server-side write-conflict retry budget (-1 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	httpAddr := flag.String("http", "", "address for the /metrics + /debug/pprof HTTP sidecar (empty = off)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this, with phase spans and plan (0 = off)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "xnfserver: ", log.LstdFlags|log.Lmicroseconds)
-	db, err := openDB(*dataDir, *syncMode)
+	db, err := openDB(*dataDir, *syncMode, *slowQuery, logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -60,6 +70,10 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
+
+	if *httpAddr != "" {
+		go serveHTTP(*httpAddr, db, logger)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -93,9 +107,15 @@ func main() {
 
 // openDB builds the served database: durable when -data names a directory,
 // in-memory otherwise.
-func openDB(dataDir, syncMode string) (*sqlxnf.DB, error) {
+func openDB(dataDir, syncMode string, slowQuery time.Duration, logger *log.Logger) (*sqlxnf.DB, error) {
+	var opts []sqlxnf.Option
+	if slowQuery > 0 {
+		opts = append(opts,
+			sqlxnf.WithSlowQueryThreshold(slowQuery),
+			sqlxnf.WithSlowQueryLogf(logger.Printf))
+	}
 	if dataDir == "" {
-		return sqlxnf.Open(), nil
+		return sqlxnf.Open(opts...), nil
 	}
 	var policy sqlxnf.SyncPolicy
 	switch syncMode {
@@ -108,5 +128,22 @@ func openDB(dataDir, syncMode string) (*sqlxnf.DB, error) {
 	default:
 		return nil, fmt.Errorf("unknown -sync %q (want group, always, or none)", syncMode)
 	}
-	return sqlxnf.OpenDir(dataDir, sqlxnf.WithSyncPolicy(policy))
+	return sqlxnf.OpenDir(dataDir, append(opts, sqlxnf.WithSyncPolicy(policy))...)
+}
+
+// serveHTTP runs the observability sidecar: Prometheus-text metrics and the
+// stdlib pprof profile endpoints. It is best-effort — a bind failure logs
+// and the SQL server keeps running.
+func serveHTTP(addr string, db *sqlxnf.DB, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.Engine().Metrics().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("metrics + pprof on http://%s/metrics", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("http sidecar: %v", err)
+	}
 }

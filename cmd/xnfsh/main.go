@@ -17,7 +17,10 @@
 //
 // Meta commands: \d (list tables and views), \costats (composite-object
 // cache entries and counters), \checkpoint (force a checkpoint and truncate
-// the log), \walstats (WAL and durability counters), \q (quit).
+// the log), \walstats (WAL and durability counters), \metrics (statement
+// summary plus the full Prometheus-text exposition), \q (quit). EXPLAIN
+// ANALYZE <select> executes the statement with instrumented operators and
+// prints actual rows/batches/time per plan node.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -65,7 +69,7 @@ func main() {
 	// plumbing; the shell itself keeps running.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
-	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\checkpoint, \\walstats, \\q quit, Ctrl-C cancels)")
+	fmt.Println("sqlxnf shell — SQL/XNF statements end with ';'  (\\d tables, \\costats CO cache, \\checkpoint, \\walstats, \\metrics, \\q quit, Ctrl-C cancels)")
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -101,6 +105,10 @@ func main() {
 			continue
 		case "\\walstats":
 			printWALStats(db)
+			prompt()
+			continue
+		case "\\metrics":
+			printMetrics(db)
 			prompt()
 			continue
 		}
@@ -146,10 +154,22 @@ func openDB(dataDir, syncMode string) (*sqlxnf.DB, error) {
 	return sqlxnf.OpenDir(dataDir, sqlxnf.WithSyncPolicy(policy))
 }
 
-// printWALStats renders the write-ahead log: durable segment state and
-// fsync counters when file-backed, plus the in-memory tail.
+// printUptime is the shared header for the stats meta commands: engine
+// uptime and statement throughput from the same unified snapshot the body
+// renders, so the two can never disagree.
+func printUptime(st sqlxnf.EngineStats) {
+	fmt.Printf("uptime=%s statements=%d (%.1f/s)\n",
+		(time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		st.StatementsTotal, st.StatementsPerSecond)
+}
+
+// printWALStats renders the write-ahead log from the unified engine
+// snapshot: durable segment state and fsync counters when file-backed,
+// plus the in-memory tail.
 func printWALStats(db *sqlxnf.DB) {
-	st := db.Engine().WALStats()
+	est := db.Stats()
+	printUptime(est)
+	st := est.WAL
 	if !st.Durable {
 		fmt.Printf("wal: in-memory, records=%d (no durable log; start with -data <dir>)\n", st.MemRecords)
 		return
@@ -160,6 +180,31 @@ func printWALStats(db *sqlxnf.DB) {
 	fmt.Printf("  lsn: last=%d durable=%d checkpoint=%d\n", f.LastLSN, f.DurableLSN, f.LastCheckpoint)
 	fmt.Printf("  io: appends=%d fsyncs=%d group-commit-skips=%d\n", f.Appends, f.Syncs, f.SyncSkips)
 	fmt.Printf("  mem-records=%d auto-checkpoint-failures=%d\n", st.MemRecords, st.AutoCheckpointFailures)
+}
+
+// printMetrics renders the per-class statement summary from the unified
+// snapshot, then the engine registry's full Prometheus-text exposition —
+// the same bytes a /metrics scrape returns.
+func printMetrics(db *sqlxnf.DB) {
+	st := db.Stats()
+	printUptime(st)
+	classes := make([]string, 0, len(st.Statements))
+	for c := range st.Statements {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cs := st.Statements[c]
+		fmt.Printf("  %-6s count=%-8d errors=%-4d p50=%s p99=%s mean=%s\n",
+			c, cs.Count, cs.Errors,
+			time.Duration(cs.P50US)*time.Microsecond,
+			time.Duration(cs.P99US)*time.Microsecond,
+			time.Duration(cs.MeanUS)*time.Microsecond)
+	}
+	fmt.Println("---")
+	if err := db.Engine().Metrics().WritePrometheus(os.Stdout); err != nil {
+		fmt.Println("error:", err)
+	}
 }
 
 // runStatement executes one statement under a cancellable context wired to
@@ -197,12 +242,15 @@ func fmtElapsed(d time.Duration) string {
 	}
 }
 
-// printCOStats renders the composite-object cache: aggregate counters, then
-// one line per resident entry (most recently used first) with its
-// dependency snapshot — the tables whose DML versions gate its validity.
+// printCOStats renders the composite-object cache from the unified engine
+// snapshot: aggregate counters, then one line per resident entry (most
+// recently used first) with its dependency snapshot — the tables whose DML
+// versions gate its validity.
 func printCOStats(db *sqlxnf.DB) {
 	eng := db.Engine()
-	st := eng.COCacheStats()
+	est := db.Stats()
+	printUptime(est)
+	st := est.COCache
 	fmt.Printf("co-cache: entries=%d resident=%s hits=%d misses=%d invalidations=%d evictions=%d waits=%d\n",
 		st.Entries, fmtBytes(st.ResidentBytes), st.Hits, st.Misses, st.Invalidations, st.Evictions, st.Waits)
 	fmt.Printf("spec-cache: hits=%d misses=%d\n", st.SpecHits, st.SpecMisses)

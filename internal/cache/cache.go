@@ -13,7 +13,6 @@ package cache
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 
 	"sqlxnf/internal/storage"
 	"sqlxnf/internal/types"
@@ -187,13 +186,13 @@ func (c *Cache) Open(node string) (*Cursor, error) {
 	if n == nil {
 		return nil, fmt.Errorf("cache: no component table %q", node)
 	}
-	atomic.AddInt64(&c.Stats.CursorOpens, 1)
+	c.noteOpen()
 	return &Cursor{cache: c, tuples: n.Tuples, pos: -1}, nil
 }
 
 // Next advances to the next live tuple; false at the end.
 func (cur *Cursor) Next() bool {
-	atomic.AddInt64(&cur.cache.Stats.CursorMoves, 1)
+	cur.cache.noteMove()
 	for cur.pos+1 < len(cur.tuples) {
 		cur.pos++
 		if !cur.tuples[cur.pos].deleted {
@@ -256,7 +255,7 @@ func (cur *Cursor) OpenDependentPath(edges ...string) (*Cursor, error) {
 		}
 		frontier = next
 	}
-	atomic.AddInt64(&cur.cache.Stats.CursorOpens, 1)
+	cur.cache.noteOpen()
 	return &Cursor{cache: cur.cache, tuples: frontier, pos: -1}, nil
 }
 
@@ -265,7 +264,7 @@ func (c *Cache) dependentFrom(t *Tuple, edge string) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	atomic.AddInt64(&c.Stats.CursorOpens, 1)
+	c.noteOpen()
 	return &Cursor{cache: c, tuples: related, pos: -1}, nil
 }
 
@@ -281,14 +280,14 @@ func (c *Cache) related(t *Tuple, edge string) ([]*Tuple, error) {
 	switch {
 	case strings.EqualFold(e.Parent.Name, t.node.Name):
 		for _, l := range t.out[key] {
-			atomic.AddInt64(&c.Stats.PointerHops, 1)
+			c.noteHop()
 			if !l.dead && !l.Child.deleted {
 				out = append(out, l.Child)
 			}
 		}
 	case strings.EqualFold(e.Child.Name, t.node.Name):
 		for _, l := range t.in[key] {
-			atomic.AddInt64(&c.Stats.PointerHops, 1)
+			c.noteHop()
 			if !l.dead && !l.Parent.deleted {
 				out = append(out, l.Parent)
 			}

@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"sync/atomic"
-
 	"fmt"
 	"strings"
 
@@ -61,7 +59,7 @@ func (c *Cache) Update(t *Tuple, col string, v types.Value) error {
 		return err
 	}
 	t.rid = newRID
-	atomic.AddInt64(&c.Stats.WriteBacks, 1)
+	c.noteWriteBack()
 	return nil
 }
 
@@ -97,7 +95,7 @@ func (c *Cache) Insert(node string, row types.Row) (*Tuple, error) {
 	t := &Tuple{node: n, Row: row.Clone(), rid: rid,
 		out: map[string][]*Link{}, in: map[string][]*Link{}}
 	n.Tuples = append(n.Tuples, t)
-	atomic.AddInt64(&c.Stats.WriteBacks, 1)
+	c.noteWriteBack()
 	return t, nil
 }
 
@@ -143,7 +141,7 @@ func (c *Cache) Delete(t *Tuple) error {
 		return err
 	}
 	t.deleted = true
-	atomic.AddInt64(&c.Stats.WriteBacks, 1)
+	c.noteWriteBack()
 	return nil
 }
 
@@ -223,7 +221,7 @@ func (c *Cache) Connect(edge string, parent, child *Tuple, attrs ...types.Value)
 	e.Links = append(e.Links, l)
 	parent.out[key] = append(parent.out[key], l)
 	child.in[key] = append(child.in[key], l)
-	atomic.AddInt64(&c.Stats.WriteBacks, 1)
+	c.noteWriteBack()
 	return nil
 }
 
@@ -299,6 +297,6 @@ func (c *Cache) Disconnect(edge string, parent, child *Tuple) error {
 		return fmt.Errorf("cache: relationship %s is not updatable", edge)
 	}
 	link.dead = true
-	atomic.AddInt64(&c.Stats.WriteBacks, 1)
+	c.noteWriteBack()
 	return nil
 }

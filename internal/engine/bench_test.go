@@ -10,6 +10,7 @@ package engine
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // benchEngine loads a small star schema: 30 departments × 20 employees.
@@ -64,3 +65,26 @@ func benchRepeatedPoint(b *testing.B, planCache int) {
 
 func BenchmarkExecRepeatedPointQueryCold(b *testing.B)   { benchRepeatedPoint(b, -1) }
 func BenchmarkExecRepeatedPointQueryCached(b *testing.B) { benchRepeatedPoint(b, 0) }
+
+// BenchmarkExecRepeatedPointQueryTraced is the same prepared-hit loop with
+// per-statement tracing on (slow-query threshold set, never fired): the
+// price of recording phase spans and the plan on every execution. Diff
+// against Cached to see what tracing costs; Cached itself must not move
+// when tracing stays off.
+func BenchmarkExecRepeatedPointQueryTraced(b *testing.B) {
+	opts := DefaultOptions()
+	opts.SlowQueryThreshold = time.Hour
+	opts.SlowQueryLogf = func(string, ...any) {}
+	e := New(opts)
+	s := e.Session()
+	s.MustExec(`CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR)`)
+	for i := 0; i < 100; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO EMP VALUES (%d, 'emp-%d')", i, i))
+	}
+	q := "SELECT ename FROM EMP WHERE eno = 42"
+	s.MustExec(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MustExec(q)
+	}
+}

@@ -173,7 +173,9 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 		if err := s.eng.faults.Hit(faultinj.ComatMat); err != nil {
 			return nil, false, err
 		}
-		co, err := xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+		ev := xnf.NewEvaluator(s, s.eng.opts.XNF)
+		co, err := ev.Evaluate(spec)
+		s.eng.met.addEvalStats(&ev.Stats)
 		return co, false, err
 	}
 
@@ -213,7 +215,10 @@ func (s *Session) fetchCO(key string, specFn func() (*qgm.XNFSpec, error)) (*xnf
 		if err := s.eng.faults.Hit(faultinj.ComatMat); err != nil {
 			return nil, err
 		}
-		return xnf.NewEvaluator(s, s.eng.opts.XNF).Evaluate(spec)
+		ev := xnf.NewEvaluator(s, s.eng.opts.XNF)
+		co, err := ev.Evaluate(spec)
+		s.eng.met.addEvalStats(&ev.Stats)
+		return co, err
 	}
 	mine := false
 	co, hit, err := cm.FetchCO(s.sctx, key, epoch, vf, func() (*xnf.CO, []comat.TableDep, error) {

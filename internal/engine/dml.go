@@ -202,9 +202,11 @@ func (s *Session) noteWrite(t *catalog.Table) {
 // the same conflict reached through a stale RID (host-surface writes).
 func (s *Session) conflictHere(t *catalog.Table, ver storage.RowVer) error {
 	if ver.Deleted != 0 && ver.Deleted != s.txID {
+		s.eng.met.writeConflicts.Inc()
 		return fmt.Errorf("%w (table %s)", ErrWriteConflict, t.Name)
 	}
 	if s.snap != nil && !s.snap.sees(ver.Created) {
+		s.eng.met.writeConflicts.Inc()
 		return fmt.Errorf("%w (table %s)", ErrWriteConflict, t.Name)
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 	"sqlxnf/internal/exec"
 	"sqlxnf/internal/faultinj"
 	"sqlxnf/internal/lock"
+	"sqlxnf/internal/obs"
 	"sqlxnf/internal/optimizer"
 	"sqlxnf/internal/parser"
 	"sqlxnf/internal/qgm"
@@ -90,6 +91,14 @@ type Options struct {
 	// statement boundary and roll back before sealing the WAL. 0 uses
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// SlowQueryThreshold arms per-statement phase tracing and the
+	// slow-query log: statements taking at least this long are logged with
+	// their text, binds-redacted cache key, phase spans, and plan. 0 (the
+	// default) disables tracing entirely — the prepared-hit fast path then
+	// pays zero allocations for it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogf receives slow-query records (default log.Printf).
+	SlowQueryLogf func(format string, args ...any)
 }
 
 // DefaultCheckpointBytes is the auto-checkpoint threshold when unset.
@@ -172,6 +181,10 @@ type Engine struct {
 	stmtGate    sync.RWMutex
 	closed      bool
 	stmtWG      sync.WaitGroup
+	// met is the engine's observability surface (internal/obs): per-class
+	// statement histograms, MVCC/vacuum/eval counters, and the registry
+	// behind Engine.Metrics, /metrics, and the unified Stats snapshot.
+	met *engineMetrics
 }
 
 // New creates an empty database engine.
@@ -208,6 +221,7 @@ func New(opts Options) *Engine {
 		disk.SetFaultInjector(e.faults)
 		bp.SetFaultInjector(e.faults)
 	}
+	e.met = newEngineMetrics(e)
 	return e
 }
 
@@ -381,6 +395,28 @@ type Stats struct {
 	ActiveTx int `json:"active_tx"`
 	// DeadRows estimates unsettled row versions awaiting vacuum.
 	DeadRows int64 `json:"dead_rows"`
+	// UptimeSeconds is the time since the engine was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Statements summarizes the per-class latency histograms (classes with
+	// no activity are omitted).
+	Statements map[string]StatementStats `json:"statements,omitempty"`
+	// StatementsTotal counts every governed statement across classes.
+	StatementsTotal int64 `json:"statements_total"`
+	// StatementsPerSecond is StatementsTotal over uptime.
+	StatementsPerSecond float64 `json:"statements_per_second"`
+	// SlowStatements counts statements over the slow-query threshold.
+	SlowStatements int64 `json:"slow_statements"`
+	// WriteConflicts counts writes rejected by first-committer-wins
+	// conflict detection.
+	WriteConflicts int64 `json:"write_conflicts"`
+	// Vacuum counts vacuum sweeps and the versions they reclaimed.
+	Vacuum VacuumStats `json:"vacuum"`
+	// Eval aggregates XNF evaluator work across every materialization
+	// (evaluators themselves are created per TAKE and discarded).
+	Eval xnf.EvalStats `json:"xnf_eval"`
+	// NavCache aggregates the XNF application-cache counters process-wide
+	// (cache instances are per-checkout; see cache.GlobalStats).
+	NavCache NavCacheStats `json:"nav_cache"`
 }
 
 // Stats snapshots the engine's counters.
@@ -388,15 +424,33 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	act := len(e.activeTx)
 	e.mu.Unlock()
-	return Stats{
-		PlanCache: e.PlanCacheStats(),
-		COCache:   e.COCacheStats(),
-		WAL:       e.WALStats(),
-		Pool:      e.bp.Stats(),
-		PoolPages: e.bp.Capacity(),
-		ActiveTx:  act,
-		DeadRows:  e.deadRows.Load(),
+	stmts, total := e.met.statementStats()
+	up := time.Since(e.met.birth).Seconds()
+	st := Stats{
+		PlanCache:       e.PlanCacheStats(),
+		COCache:         e.COCacheStats(),
+		WAL:             e.WALStats(),
+		Pool:            e.bp.Stats(),
+		PoolPages:       e.bp.Capacity(),
+		ActiveTx:        act,
+		DeadRows:        e.deadRows.Load(),
+		UptimeSeconds:   up,
+		Statements:      stmts,
+		StatementsTotal: total,
+		SlowStatements:  e.met.slow.Value(),
+		WriteConflicts:  e.met.writeConflicts.Value(),
+		Vacuum: VacuumStats{
+			Sweeps: e.met.vacSweeps.Value(),
+			Purged: e.met.vacPurged.Value(),
+			Frozen: e.met.vacFrozen.Value(),
+		},
+		Eval:     e.met.evalStats(),
+		NavCache: navCacheStats(),
 	}
+	if up > 0 {
+		st.StatementsPerSecond = float64(total) / up
+	}
+	return st
 }
 
 // Result is the outcome of one statement.
@@ -452,6 +506,17 @@ type Session struct {
 	// must run after the statement gate shuts and without the close
 	// context's cancellation.
 	internal bool
+	// stmtClass is the running statement's classification, set by the
+	// execution paths and read by govern when it records the statement's
+	// latency histogram.
+	stmtClass stmtClass
+	// trace is the running statement's phase trace (nil = tracing off, the
+	// default). Written at statement boundaries by govern; span calls all
+	// happen on the session goroutine.
+	trace *obs.Trace
+	// pendingParse carries script parse time measured before govern starts
+	// the statement trace; the first governed statement claims it.
+	pendingParse time.Duration
 }
 
 // Session opens a new session.
@@ -492,7 +557,7 @@ func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) 
 		// parser-delimited statement text, which ends before the ';' — a
 		// script with interior ';' keeps it and simply never matches.
 		var served bool
-		res, err := s.govern(ctx, func() (*Result, error) {
+		res, err := s.govern(ctx, sql, func() (*Result, error) {
 			r, ok, err := s.execCachedTake("CO:" + normalizeSQL(trimStmtTail(sql)))
 			served = ok
 			return r, err
@@ -506,12 +571,20 @@ func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) 
 			key, binds = normalizeSQL(sql), nil
 		}
 		if ent := s.eng.plans.peek(key, s.eng.cat.Epoch()); ent != nil && ent.nParams == len(binds) {
-			return s.govern(ctx, func() (*Result, error) {
+			return s.govern(ctx, sql, func() (*Result, error) {
 				return s.execCachedSelect(ent, binds)
 			})
 		}
 	}
+	var parseStart time.Time
+	traced := s.eng.opts.SlowQueryThreshold > 0
+	if traced {
+		parseStart = time.Now()
+	}
 	stmts, err := parser.ParseScript(sql)
+	if traced {
+		s.pendingParse = time.Since(parseStart)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +593,7 @@ func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) 
 	}
 	var last *Result
 	for _, st := range stmts {
-		r, err := s.govern(ctx, func() (*Result, error) {
+		r, err := s.govern(ctx, st.Text, func() (*Result, error) {
 			return s.execStmt(st)
 		})
 		if err != nil {
@@ -554,7 +627,14 @@ func (s *Session) statementContext(ctx context.Context) (context.Context, contex
 // timeout, and contains panics — a panic unwinding out of fn is converted to
 // an *exec.PanicError, the open transaction rolls back (releasing its
 // locks), and the session remains usable.
-func (s *Session) govern(ctx context.Context, fn func() (*Result, error)) (res *Result, err error) {
+//
+// govern is also the statement observation point: every statement (success,
+// error, or contained panic) records into its class's latency histogram,
+// and — when Options.SlowQueryThreshold arms tracing — carries a phase
+// trace that feeds the slow-query log. text is the statement's source for
+// that log; the off path costs two time.Now calls and one histogram
+// observe.
+func (s *Session) govern(ctx context.Context, text string, fn func() (*Result, error)) (res *Result, err error) {
 	if err := s.beginStmt(); err != nil {
 		return nil, err
 	}
@@ -572,10 +652,29 @@ func (s *Session) govern(ctx context.Context, fn func() (*Result, error)) (res *
 	}
 	prev := s.sctx
 	s.sctx = sctx
+	s.stmtClass = classOther
+	tr := s.traceStmt()
+	prevTr := s.trace
+	s.trace = tr
+	if tr != nil && s.pendingParse > 0 {
+		tr.Add(obs.PhaseParse, s.pendingParse)
+		s.pendingParse = 0
+	}
+	start := time.Now()
 	defer func() {
 		s.sctx = prev
+		s.trace = prevTr
 		if v := recover(); v != nil {
 			res, err = nil, s.containPanic(exec.NewPanicError(v))
+		}
+		elapsed := time.Since(start)
+		s.eng.met.observeStmt(s.stmtClass, elapsed, err != nil)
+		if tr != nil {
+			// A statement unwinding with an error leaves no dangling span.
+			tr.CloseOpen()
+			if elapsed >= s.eng.opts.SlowQueryThreshold {
+				s.logSlowQuery(text, s.stmtClass, elapsed, tr)
+			}
 		}
 	}()
 	return fn()
@@ -684,26 +783,37 @@ func (s *Session) execStmt(st parser.ScriptStmt) (*Result, error) {
 func (s *Session) dispatch(st parser.ScriptStmt) (*Result, error) {
 	switch stmt := st.Stmt.(type) {
 	case *parser.CreateTableStmt:
+		s.stmtClass = classDDL
 		return s.createTable(stmt, st.Text)
 	case *parser.CreateIndexStmt:
+		s.stmtClass = classDDL
 		return s.createIndex(stmt, st.Text)
 	case *parser.CreateViewStmt:
+		s.stmtClass = classDDL
 		return s.createView(stmt, st.Text)
 	case *parser.DropStmt:
+		s.stmtClass = classDDL
 		return s.drop(stmt, st.Text)
 	case *parser.InsertStmt:
+		s.stmtClass = classDML
 		return s.insert(stmt)
 	case *parser.UpdateStmt:
+		s.stmtClass = classDML
 		return s.update(stmt)
 	case *parser.DeleteStmt:
+		s.stmtClass = classDML
 		return s.deleteStmt(stmt)
 	case *parser.SelectStmt:
+		// selectStmt classifies from the compiled plan's shape.
 		return s.selectStmt(stmt, st.Text)
 	case *parser.XNFQuery:
+		s.stmtClass = classTake
 		return s.xnfQuery(stmt, st.Text)
 	case *parser.AnalyzeStmt:
+		s.stmtClass = classDDL
 		return s.analyze(stmt)
 	case *parser.CheckpointStmt:
+		s.stmtClass = classDDL
 		return s.checkpoint()
 	case *parser.ExplainStmt:
 		// Dispatched inside the autocommit wrapper so the shared locks the
@@ -734,6 +844,10 @@ func (s *Session) begin() {
 // commit's LSN also syncs everything the next lock holder depends on.
 func (s *Session) commit() error {
 	e := s.eng
+	if tr := s.trace; tr != nil {
+		h := tr.StartSpan(obs.PhaseCommit)
+		defer tr.EndSpan(h)
+	}
 	wrote := s.beganLogged
 	var commitLSN wal.LSN
 	if wrote {
@@ -752,7 +866,15 @@ func (s *Session) commit() error {
 	s.inTx = false
 	s.beganLogged = false
 	if wrote && e.flog != nil && !e.recovering {
-		if err := e.flog.Sync(commitLSN); err != nil {
+		var fsyncSpan int
+		if tr := s.trace; tr != nil {
+			fsyncSpan = tr.StartSpan(obs.PhaseWALFsync)
+		}
+		err := e.flog.Sync(commitLSN)
+		if tr := s.trace; tr != nil {
+			tr.EndSpan(fsyncSpan)
+		}
+		if err != nil {
 			return fmt.Errorf("engine: commit not durable: %w", err)
 		}
 		e.maybeAutoCheckpoint()
@@ -817,6 +939,10 @@ func (s *Session) appendLog(rec wal.Record) wal.LSN {
 
 func (s *Session) appendLogLocked(rec wal.Record) wal.LSN {
 	e := s.eng
+	var appendStart time.Time
+	if s.trace != nil {
+		appendStart = time.Now()
+	}
 	if !s.beganLogged && rec.Type != wal.RecBegin {
 		s.beganLogged = true
 		begin := wal.Record{Tx: s.txID, Type: wal.RecBegin}
@@ -828,6 +954,10 @@ func (s *Session) appendLogLocked(rec wal.Record) wal.LSN {
 	rec.LSN = e.log.Append(rec)
 	if e.flog != nil {
 		_ = e.flog.Append(rec)
+	}
+	if tr := s.trace; tr != nil {
+		// One statement appends many records; accumulate their total.
+		tr.Add(obs.PhaseWALAppend, time.Since(appendStart))
 	}
 	return rec.LSN
 }
@@ -898,6 +1028,10 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 		}
 	}
 	epoch := s.eng.cat.Epoch()
+	var optSpan int
+	if tr := s.trace; tr != nil {
+		optSpan = tr.StartSpan(obs.PhaseOptimize)
+	}
 	b := s.builder()
 	b.ParamLiterals = paramOK
 	box, err := b.BuildSelect(stmt)
@@ -937,6 +1071,12 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	s.stmtClass = classifyPlan(plan)
+	if tr := s.trace; tr != nil {
+		tr.EndSpan(optSpan)
+		tr.Key = key
+		tr.Plan = exec.Dump(plan)
+	}
 	schema := box.Out
 	if box.HiddenSort > 0 {
 		schema = schema[:len(schema)-box.HiddenSort]
@@ -967,12 +1107,20 @@ func (s *Session) selectStmt(stmt *parser.SelectStmt, text string) (*Result, err
 				nParams: len(binds),
 				guards:  info.Guards,
 				deps:    refDeps,
+				class:   s.stmtClass,
 			})
 		}
 	}
 	ctx := s.newExecContext()
 	ctx.Binds = binds
+	var execSpan int
+	if tr := s.trace; tr != nil {
+		execSpan = tr.StartSpan(obs.PhaseExecute)
+	}
 	rows, err := exec.Collect(ctx, plan)
+	if tr := s.trace; tr != nil {
+		tr.EndSpan(execSpan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1016,6 +1164,7 @@ func (s *Session) runCachedPlan(ent *planEntry, binds []types.Value) (*Result, e
 		return nil, fmt.Errorf("engine: cached plan for %q expects %d parameters, got %d",
 			ent.key, ent.nParams, len(binds))
 	}
+	s.stmtClass = ent.class
 	for _, tn := range ent.tables {
 		if err := s.lockTable(tn, lock.Shared); err != nil {
 			return nil, err
@@ -1027,11 +1176,24 @@ func (s *Session) runCachedPlan(ent *planEntry, binds []types.Value) (*Result, e
 		// new estimates instead of running a plan costed on drifted stats.
 		return s.recompileBound(ent, binds)
 	}
+	tr := s.trace
+	var bindSpan int
+	if tr != nil {
+		bindSpan = tr.StartSpan(obs.PhaseBind)
+	}
 	for _, g := range ent.guards {
 		t, err := s.eng.cat.Table(g.Table)
 		if err != nil || g.Param >= len(binds) || !g.Check(t, binds[g.Param]) {
+			if tr != nil {
+				tr.EndSpan(bindSpan)
+			}
 			return s.recompileBound(ent, binds)
 		}
+	}
+	var cacheSpan int
+	if tr != nil {
+		tr.EndSpan(bindSpan)
+		cacheSpan = tr.StartSpan(obs.PhasePlanCache)
 	}
 	p, ok := ent.acquire()
 	if !ok {
@@ -1039,7 +1201,17 @@ func (s *Session) runCachedPlan(ent *planEntry, binds []types.Value) (*Result, e
 	}
 	ctx := s.newExecContext()
 	ctx.Binds = binds
+	var execSpan int
+	if tr != nil {
+		tr.EndSpan(cacheSpan)
+		tr.Key = ent.key
+		tr.Plan = exec.Dump(p)
+		execSpan = tr.StartSpan(obs.PhaseExecute)
+	}
 	rows, err := exec.Collect(ctx, p)
+	if tr != nil {
+		tr.EndSpan(execSpan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1085,6 +1257,10 @@ func startsWithOut(sql string) bool {
 // means "not served"; the caller falls back to the parse path (which will
 // re-materialize through the normal single-flight fetch).
 func (s *Session) execCachedTake(key string) (*Result, bool, error) {
+	s.stmtClass = classTake
+	if tr := s.trace; tr != nil {
+		tr.Key = key
+	}
 	epoch := s.eng.cat.Epoch()
 	tables, ok := s.eng.comat.PeekDeps(key, epoch)
 	if !ok {
@@ -1263,7 +1439,10 @@ func (s *Session) lockSpecTables(spec *qgm.XNFSpec, mode lock.Mode) error {
 	return nil
 }
 
-// explain renders compilation artifacts for a statement.
+// explain renders compilation artifacts for a statement. With Analyze set
+// the compiled plan is also executed (inside the statement's transaction,
+// like any SELECT) wrapped in instrumentation, and the plan tree carries
+// actual per-operator row counts and timings next to the estimates.
 func (s *Session) explain(stmt *parser.ExplainStmt, text string) (*Result, error) {
 	switch target := stmt.Target.(type) {
 	case *parser.SelectStmt:
@@ -1283,9 +1462,15 @@ func (s *Session) explain(stmt *parser.ExplainStmt, text string) (*Result, error
 		if err != nil {
 			return nil, err
 		}
+		if stmt.Analyze {
+			return s.explainAnalyze(plan)
+		}
 		out := "-- QGM --\n" + before + "-- after rewrite --\n" + after + "-- plan --\n" + exec.Dump(plan)
 		return &Result{Explain: out}, nil
 	case *parser.XNFQuery:
+		if stmt.Analyze {
+			return nil, fmt.Errorf("engine: EXPLAIN ANALYZE supports SELECT queries")
+		}
 		box, err := s.builder().BuildXNF(target)
 		if err != nil {
 			return nil, err
@@ -1294,4 +1479,22 @@ func (s *Session) explain(stmt *parser.ExplainStmt, text string) (*Result, error
 	default:
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT and XNF queries")
 	}
+}
+
+// explainAnalyze executes a freshly compiled (never cached, never pooled)
+// plan wrapped in exec.Instrument and renders the tree with actuals. The
+// result rows are drained and discarded — EXPLAIN ANALYZE returns the
+// annotated plan, not the data.
+func (s *Session) explainAnalyze(plan exec.Plan) (*Result, error) {
+	wrapped := exec.Instrument(plan)
+	ctx := s.newExecContext()
+	t0 := time.Now()
+	rows, err := exec.Collect(ctx, wrapped)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	out := fmt.Sprintf("-- plan (analyzed) --\n%s-- total: rows=%d time=%s --\n",
+		exec.Dump(wrapped), len(rows), elapsed.Round(time.Microsecond))
+	return &Result{Explain: out}, nil
 }

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sqlxnf/internal/optimizer"
+)
+
+var actualRowsRe = regexp.MustCompile(`actual rows=(\d+)`)
+
+// rootActualRows parses the root operator's actual row count out of an
+// EXPLAIN ANALYZE rendering (the first plan line).
+func rootActualRows(t *testing.T, explain string) int {
+	t.Helper()
+	lines := strings.Split(explain, "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "-- plan (analyzed) --") {
+		t.Fatalf("unexpected EXPLAIN ANALYZE header:\n%s", explain)
+	}
+	m := actualRowsRe.FindStringSubmatch(lines[1])
+	if m == nil {
+		t.Fatalf("root line has no actuals: %q", lines[1])
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func analyzeFixture(t *testing.T, e *Engine) *Session {
+	t.Helper()
+	s := e.Session()
+	s.MustExec("CREATE TABLE A (id INT PRIMARY KEY, v INT, g INT)")
+	s.MustExec("CREATE TABLE B (id INT PRIMARY KEY, a_id INT, w INT)")
+	for i := 0; i < 500; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO A VALUES (%d, %d, %d)", i, i%100, i%7))
+	}
+	for i := 0; i < 900; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO B VALUES (%d, %d, %d)", i, i%500, i%50))
+	}
+	return s
+}
+
+// TestExplainAnalyzeScan checks actual-vs-collected parity on a filtered
+// scan: the root's actual row count must equal what the query returns.
+func TestExplainAnalyzeScan(t *testing.T) {
+	e := New(Options{})
+	s := analyzeFixture(t, e)
+	q := "SELECT id, v FROM A WHERE v < 37"
+	want := len(s.MustExec(q).Rows)
+	r := s.MustExec("EXPLAIN ANALYZE " + q)
+	if got := rootActualRows(t, r.Explain); got != want {
+		t.Fatalf("root actual rows = %d, query returns %d\n%s", got, want, r.Explain)
+	}
+	if !strings.Contains(r.Explain, "batches=") || !strings.Contains(r.Explain, "time=") {
+		t.Fatalf("missing batch/time actuals:\n%s", r.Explain)
+	}
+	if !strings.Contains(r.Explain, "-- total: rows=") {
+		t.Fatalf("missing total summary:\n%s", r.Explain)
+	}
+	// Every operator line in the tree carries actuals (serial plan).
+	for _, line := range strings.Split(r.Explain, "\n") {
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if !strings.Contains(line, "actual rows=") {
+			t.Fatalf("operator line without actuals: %q\n%s", line, r.Explain)
+		}
+	}
+	if len(s.MustExec(q).Rows) != want {
+		t.Fatal("EXPLAIN ANALYZE perturbed the data")
+	}
+}
+
+// TestExplainAnalyzeJoin checks parity on a two-table join, including the
+// estimate-vs-actual juxtaposition on the join node.
+func TestExplainAnalyzeJoin(t *testing.T) {
+	e := New(Options{})
+	s := analyzeFixture(t, e)
+	s.MustExec("ANALYZE")
+	q := "SELECT A.id, B.w FROM A, B WHERE A.id = B.a_id AND B.w < 20"
+	want := len(s.MustExec(q).Rows)
+	if want == 0 {
+		t.Fatal("join fixture returned no rows")
+	}
+	r := s.MustExec("EXPLAIN ANALYZE " + q)
+	if got := rootActualRows(t, r.Explain); got != want {
+		t.Fatalf("root actual rows = %d, query returns %d\n%s", got, want, r.Explain)
+	}
+	if !strings.Contains(r.Explain, "Join") {
+		t.Fatalf("expected a join operator:\n%s", r.Explain)
+	}
+	// ANALYZE ran, so at least one node should show both est and actual.
+	if !strings.Contains(r.Explain, "est rows=") {
+		t.Fatalf("expected estimates alongside actuals:\n%s", r.Explain)
+	}
+}
+
+// TestExplainAnalyzeAgg checks parity on a GROUP BY plan: the aggregate
+// emits one row per group.
+func TestExplainAnalyzeAgg(t *testing.T) {
+	e := New(Options{})
+	s := analyzeFixture(t, e)
+	q := "SELECT g, COUNT(*) FROM A GROUP BY g"
+	want := len(s.MustExec(q).Rows)
+	if want != 7 {
+		t.Fatalf("fixture groups = %d, want 7", want)
+	}
+	r := s.MustExec("EXPLAIN ANALYZE " + q)
+	if got := rootActualRows(t, r.Explain); got != want {
+		t.Fatalf("root actual rows = %d, query returns %d\n%s", got, want, r.Explain)
+	}
+}
+
+// TestExplainAnalyzeParallel runs EXPLAIN ANALYZE over a Gather plan at
+// DOP>1: the Gather node (and everything above it) must carry exact
+// actuals; the worker template below stays unannotated (it is cloned per
+// worker, not executed in place).
+func TestExplainAnalyzeParallel(t *testing.T) {
+	e := New(Options{Optimizer: optimizer.Options{MaxDOP: 4}})
+	s := parallelFixture(t, e)
+	q := "SELECT id FROM P WHERE v < 37"
+	want := len(s.MustExec(q).Rows)
+	r := s.MustExec("EXPLAIN ANALYZE " + q)
+	if !strings.Contains(r.Explain, "Gather (parallel=") {
+		t.Fatalf("expected a parallel plan:\n%s", r.Explain)
+	}
+	if got := rootActualRows(t, r.Explain); got != want {
+		t.Fatalf("root actual rows = %d, query returns %d\n%s", got, want, r.Explain)
+	}
+	gatherSeen := false
+	for _, line := range strings.Split(r.Explain, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "Gather (parallel=") {
+			gatherSeen = true
+			if !strings.Contains(line, "actual rows=") {
+				t.Fatalf("Gather line must carry actuals: %q", line)
+			}
+			continue
+		}
+		if gatherSeen && trimmed != "" && !strings.HasPrefix(trimmed, "--") {
+			// Worker template lines: estimates only, never actuals.
+			if strings.Contains(line, "actual rows=") {
+				t.Fatalf("worker template line has actuals (template was mutated): %q", line)
+			}
+		}
+	}
+	if !gatherSeen {
+		t.Fatalf("no Gather line found:\n%s", r.Explain)
+	}
+	// The plan cache must not have been poisoned by the instrumented run.
+	for rep := 0; rep < 2; rep++ {
+		if got := len(s.MustExec(q).Rows); got != want {
+			t.Fatalf("rep %d after analyze: %d rows, want %d", rep, got, want)
+		}
+	}
+}
+
+// TestExplainAnalyzeRejectsXNF: EXPLAIN ANALYZE is SELECT-only.
+func TestExplainAnalyzeRejectsXNF(t *testing.T) {
+	e := New(Options{})
+	s := e.Session()
+	s.MustExec("CREATE TABLE T (id INT PRIMARY KEY)")
+	if _, err := s.Exec("EXPLAIN ANALYZE SELECT XNF FROM NODES (n AS SELECT id FROM T)"); err == nil {
+		t.Fatal("expected EXPLAIN ANALYZE to reject XNF queries")
+	}
+}

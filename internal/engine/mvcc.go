@@ -259,6 +259,11 @@ func (e *Engine) vacuumHorizon() uint64 {
 // of the slot is never purged. Returns the number of versions purged and
 // frozen.
 func (e *Engine) Vacuum() (purged, frozen int) {
+	defer func() {
+		e.met.vacSweeps.Inc()
+		e.met.vacPurged.Add(int64(purged))
+		e.met.vacFrozen.Add(int64(frozen))
+	}()
 	horizon := e.vacuumHorizon()
 	heaps := map[*storage.Heap]bool{}
 	byTag := map[uint32]*catalog.Table{}

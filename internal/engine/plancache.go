@@ -59,6 +59,9 @@ type planEntry struct {
 	// materialization, so a component-table change evicts the entry and the
 	// next execution replans against the refreshed CO.
 	deps []comat.TableDep
+	// class is the statement's histogram bucket, computed from the plan
+	// shape at compile time so hit executions classify for free.
+	class stmtClass
 
 	poolMu sync.Mutex
 	pool   []exec.Plan // idle executable clones

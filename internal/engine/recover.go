@@ -79,6 +79,9 @@ func Open(opts Options) (*Engine, error) {
 func recoverRecords(records []wal.Record, opts Options, flog *wal.FileLog) (*Engine, error) {
 	eng := New(opts)
 	eng.flog = flog
+	if flog != nil {
+		flog.SetMetrics(eng.met.walMetrics())
+	}
 	info := RecoveryInfo{RecordsSeen: len(records)}
 	eng.recovering = true
 	s := eng.Session()

@@ -1,0 +1,410 @@
+// Package obs is the engine's dependency-free observability core: atomic
+// counters and gauges, fixed-bucket latency histograms with quantile
+// snapshots, a named registry that renders itself in the Prometheus text
+// exposition format, and a lightweight per-statement trace (trace.go).
+//
+// Everything here is stdlib-only and allocation-conscious: a counter Add is
+// one atomic add, a histogram Observe is two atomic adds plus a bit-length,
+// and nothing on a record path takes a lock. Registries are built once at
+// engine start; scrapes (WritePrometheus, Snapshot) pay the allocation cost
+// instead of the hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of histogram buckets: exponential latency
+// buckets with upper bounds 1µs, 2µs, 4µs, ... 2^(HistBuckets-2) µs, plus a
+// final +Inf overflow bucket. 26 buckets reach ~16.8s before overflow —
+// wide enough for a statement timeout and narrow enough that p99
+// interpolation stays within a factor of two of truth.
+const HistBuckets = 26
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free and
+// allocation-free: bucket selection is a bit-length on the microsecond
+// count, then two atomic adds (bucket, sum) plus the count. Concurrent
+// observers never block each other; a concurrent Snapshot may see a sum and
+// count from slightly different instants, which is fine for monitoring.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index: bucket i covers
+// (2^(i-1), 2^i] microseconds, bucket 0 covers [0, 1µs], the last bucket is
+// the +Inf overflow.
+func bucketFor(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	// bits.Len64(us-1) is ceil(log2(us)) for us ≥ 2.
+	b := bits.Len64(us - 1)
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, mergeable and
+// queryable for quantiles.
+type HistSnapshot struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	SumNS   int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// Merge folds another snapshot into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+}
+
+// bucketUpper returns bucket i's upper bound.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the containing bucket. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	for i, b := range s.Buckets {
+		if cum+b < rank {
+			cum += b
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = bucketUpper(i - 1)
+		}
+		hi := bucketUpper(i)
+		if i == HistBuckets-1 {
+			// Overflow bucket has no upper bound; report its lower edge.
+			return lo
+		}
+		frac := float64(rank-cum) / float64(b)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return bucketUpper(HistBuckets - 1)
+}
+
+// P50 is Quantile(0.50).
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P99 is Quantile(0.99).
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Mean returns the average observed latency (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Metric kinds for the registry's Prometheus rendering.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind int
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	// scale divides histogram bucket bounds for exposition. Latency
+	// histograms expose seconds (Prometheus convention); size histograms
+	// expose the raw unit (scale 1).
+	sizeUnits bool
+}
+
+// Sample is one collector-emitted value: collectors let the registry pull
+// counters that live in existing subsystem structs (plan cache, buffer
+// pool, WAL) at scrape time without migrating their storage.
+type Sample struct {
+	// Name is the full metric name (snake_case, e.g. "sqlxnf_pool_hits").
+	Name string
+	// Help is the one-line description (emitted once per name).
+	Help string
+	// Value is the sample value.
+	Value float64
+	// Gauge marks the sample as a gauge (default counter).
+	Gauge bool
+}
+
+// Registry is a named set of metrics plus pull-time collectors. One
+// process-wide Default registry exists for package-level instruments;
+// each engine builds its own so multiple embedded engines don't mix.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	byName     map[string]*metric
+	collectors []func() []Sample
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// Default is the process-wide registry for package-level instruments.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. Names should
+// be snake_case with a subsystem prefix ("sqlxnf_wire_requests").
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.intern(name, help, kindCounter)
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.intern(name, help, kindGauge)
+	return m.g
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+// Buckets are the package-wide exponential microsecond ladder; exposition
+// converts bounds to seconds per Prometheus convention.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	m := r.intern(name, help, kindHistogram)
+	return m.h
+}
+
+// SizeHistogram returns a histogram whose samples are dimensionless sizes
+// (batch sizes, byte counts) rather than latencies: Observe still takes a
+// time.Duration-shaped value — pass ObserveN — and exposition keeps the raw
+// bucket bounds instead of converting to seconds.
+func (r *Registry) SizeHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.h
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, h: &Histogram{}, sizeUnits: true}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m.h
+}
+
+// ObserveN records a dimensionless count n in a SizeHistogram (n maps to
+// the bucket that would hold n microseconds).
+func (h *Histogram) ObserveN(n int64) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Duration(n) * time.Microsecond)
+}
+
+func (r *Registry) intern(name, help string, kind int) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// RegisterCollector adds a pull-time sample source: fn runs at every scrape
+// and its samples render alongside registered metrics. Collectors must be
+// safe for concurrent calls.
+func (r *Registry) RegisterCollector(fn func() []Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// WritePrometheus renders every metric and collector sample in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	collectors := append([]func() []Sample(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.g.Value())
+		case kindHistogram:
+			writeHist(&b, m)
+		}
+	}
+	for _, fn := range collectors {
+		samples := fn()
+		// Deterministic output order: samples sort by name within each
+		// collector (collectors themselves render in registration order).
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+		for _, s := range samples {
+			typ := "counter"
+			if s.Gauge {
+				typ = "gauge"
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", s.Name, s.Help, s.Name, typ, s.Name, formatFloat(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHist(b *strings.Builder, m *metric) {
+	s := m.h.Snapshot()
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+	cum := int64(0)
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += s.Buckets[i]
+		if m.sizeUnits {
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", m.name, int64(1)<<uint(i), cum)
+		} else {
+			fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", m.name, formatFloat(bucketUpper(i).Seconds()), cum)
+		}
+	}
+	cum += s.Buckets[HistBuckets-1]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+	if m.sizeUnits {
+		fmt.Fprintf(b, "%s_sum %s\n", m.name, formatFloat(float64(s.SumNS)/float64(time.Microsecond)))
+	} else {
+		fmt.Fprintf(b, "%s_sum %s\n", m.name, formatFloat(float64(s.SumNS)/float64(time.Second)))
+	}
+	fmt.Fprintf(b, "%s_count %d\n", m.name, s.Count)
+}
+
+// formatFloat renders a float without trailing-zero noise.
+func formatFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_counter", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_counter", "help"); again != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+	g := r.Gauge("t_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Nil receivers are the tracing-off fast path: must not panic.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(time.Millisecond)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 samples at ~100µs, 1 at ~5ms: p50 in the 100µs bucket, p99
+	// still in it, mean pulled slightly up.
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	p50 := s.P50()
+	if p50 < 64*time.Microsecond || p50 > 128*time.Microsecond {
+		t.Errorf("p50 = %v, want within (64µs,128µs]", p50)
+	}
+	p999 := s.Quantile(0.999)
+	if p999 < 2*time.Millisecond {
+		t.Errorf("p99.9 = %v, want in the 5ms bucket region", p999)
+	}
+	if m := s.Mean(); m < 100*time.Microsecond || m > 300*time.Microsecond {
+		t.Errorf("mean = %v, want ~148µs", m)
+	}
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines (run
+// under -race) and checks the totals are exact: observation must be
+// lock-free but lossless.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(1+(i%1000)) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must not race with observers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	sum := int64(0)
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum = %d, count = %d — lost or double-counted samples", sum, s.Count)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(10 * time.Microsecond)
+		b.Observe(10 * time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", merged.Count)
+	}
+	if merged.SumNS != sa.SumNS+sb.SumNS {
+		t.Fatalf("merged sum = %d, want %d", merged.SumNS, sa.SumNS+sb.SumNS)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != sa.Buckets[i]+sb.Buckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, merged.Buckets[i], sa.Buckets[i]+sb.Buckets[i])
+		}
+	}
+	// Merged p50 sits between the two modes.
+	p50 := merged.P50()
+	if p50 < 8*time.Microsecond || p50 > 16*time.Millisecond {
+		t.Errorf("merged p50 = %v, want between the modes", p50)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_reqs", "requests served").Add(3)
+	r.Gauge("t_live", "live things").Set(2)
+	r.Histogram("t_lat_seconds", "latency").Observe(100 * time.Microsecond)
+	r.SizeHistogram("t_batch", "batch size").ObserveN(16)
+	r.RegisterCollector(func() []Sample {
+		return []Sample{
+			{Name: "t_pulled", Help: "pulled counter", Value: 9},
+			{Name: "t_pulled_gauge", Help: "pulled gauge", Value: 1.5, Gauge: true},
+		}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE t_reqs counter", "t_reqs 3",
+		"# TYPE t_live gauge", "t_live 2",
+		"# TYPE t_lat_seconds histogram", "t_lat_seconds_count 1",
+		`t_lat_seconds_bucket{le="+Inf"} 1`,
+		`t_batch_bucket{le="16"} 1`,
+		"t_pulled 9",
+		"# TYPE t_pulled_gauge gauge", "t_pulled_gauge 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative.
+	if !strings.Contains(out, `t_lat_seconds_bucket{le="0.000128"} 1`) {
+		t.Errorf("expected cumulative 128µs bucket to include the 100µs sample:\n%s", out)
+	}
+}

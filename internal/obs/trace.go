@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase names the statement-lifecycle spans a Trace records. The set
+// mirrors the compilation/execution pipeline: parse → plan-cache lookup →
+// optimize → bind → execute, plus the durability tail (WAL append, fsync)
+// and the commit itself.
+type Phase string
+
+// The statement trace phases.
+const (
+	PhaseParse     Phase = "parse"
+	PhasePlanCache Phase = "plancache"
+	PhaseOptimize  Phase = "optimize"
+	PhaseBind      Phase = "bind"
+	PhaseExecute   Phase = "execute"
+	PhaseWALAppend Phase = "wal_append"
+	PhaseWALFsync  Phase = "wal_fsync"
+	PhaseCommit    Phase = "commit"
+)
+
+// Span is one closed (or still-open) phase interval, as offsets from the
+// trace's start.
+type Span struct {
+	Phase Phase
+	Start time.Duration
+	End   time.Duration // zero while open
+}
+
+// Dur returns the span's length (0 while open).
+func (s Span) Dur() time.Duration {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Trace records the phase spans of one statement. A nil *Trace is the
+// "tracing off" state: every call site guards with a nil check, so the
+// prepared-hit fast path pays zero allocations and zero time.Now calls when
+// tracing is disabled. Traces are owned by one statement's goroutine; spans
+// from parallel workers are not recorded (worker time shows up inside the
+// execute span).
+type Trace struct {
+	t0    time.Time
+	spans []Span
+	// Plan is the executed plan's rendered tree, captured by the engine when
+	// the statement compiled or bound one (slow-query log payload).
+	Plan string
+	// Key is the statement's binds-redacted cache key.
+	Key string
+}
+
+// NewTrace starts a trace at now.
+func NewTrace() *Trace {
+	return &Trace{t0: time.Now(), spans: make([]Span, 0, 8)}
+}
+
+// StartSpan opens a phase span and returns its handle for EndSpan.
+func (t *Trace) StartSpan(p Phase) int {
+	t.spans = append(t.spans, Span{Phase: p, Start: time.Since(t.t0)})
+	return len(t.spans) - 1
+}
+
+// EndSpan closes the span StartSpan returned. Closing an already-closed or
+// out-of-range handle is a no-op.
+func (t *Trace) EndSpan(h int) {
+	if h < 0 || h >= len(t.spans) || t.spans[h].End != 0 {
+		return
+	}
+	t.spans[h].End = time.Since(t.t0)
+}
+
+// Add accumulates an already-measured duration into the phase's synthetic
+// span (anchored at offset 0), creating it on first use. Phases that fire
+// many times per statement use it — one DML statement appends many WAL
+// records, and the trace wants their total, not a span per record. It also
+// records durations measured before the trace existed (parse time on the
+// script path). Zero or negative durations record nothing.
+func (t *Trace) Add(p Phase, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := range t.spans {
+		if t.spans[i].Phase == p && t.spans[i].Start == 0 {
+			t.spans[i].End += d
+			return
+		}
+	}
+	t.spans = append(t.spans, Span{Phase: p, Start: 0, End: d})
+}
+
+// CloseOpen closes every still-open span at now. The engine calls it when a
+// statement unwinds with an error so a failed execute leaves no dangling
+// span — the trace remains renderable and leak-free.
+func (t *Trace) CloseOpen() {
+	now := time.Since(t.t0)
+	for i := range t.spans {
+		if t.spans[i].End == 0 && t.spans[i].Start <= now {
+			t.spans[i].End = now
+		}
+	}
+}
+
+// Spans returns the recorded spans (shared slice; callers must not mutate).
+func (t *Trace) Spans() []Span { return t.spans }
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration { return time.Since(t.t0) }
+
+// String renders the spans compactly: "parse=12µs optimize=340µs ...".
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Phase, s.Dur().Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	p := tr.StartSpan(PhaseParse)
+	time.Sleep(time.Millisecond)
+	tr.EndSpan(p)
+	e := tr.StartSpan(PhaseExecute)
+	tr.EndSpan(e)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Phase != PhaseParse || spans[0].Dur() < time.Millisecond {
+		t.Errorf("parse span = %+v, want ≥1ms", spans[0])
+	}
+	// Double-close and bad handles are no-ops.
+	end := spans[0].End
+	tr.EndSpan(p)
+	tr.EndSpan(-1)
+	tr.EndSpan(99)
+	if tr.Spans()[0].End != end {
+		t.Error("double EndSpan moved the span end")
+	}
+	s := tr.String()
+	if !strings.Contains(s, "parse=") || !strings.Contains(s, "execute=") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+// TestTraceCloseOpen is the failure-path contract: a statement that errors
+// mid-execute leaves its open spans closed, not dangling.
+func TestTraceCloseOpen(t *testing.T) {
+	tr := NewTrace()
+	tr.StartSpan(PhaseParse)
+	tr.EndSpan(0)
+	tr.StartSpan(PhaseExecute) // never explicitly ended: the failure
+	tr.CloseOpen()
+	for _, s := range tr.Spans() {
+		if s.End == 0 {
+			t.Fatalf("span %s left open after CloseOpen", s.Phase)
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %s closed before it started: %+v", s.Phase, s)
+		}
+	}
+}

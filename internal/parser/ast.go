@@ -403,9 +403,12 @@ type RollbackStmt struct{}
 
 func (*RollbackStmt) stmtNode() {}
 
-// ExplainStmt wraps a statement for plan display.
+// ExplainStmt wraps a statement for plan display. With Analyze set
+// (EXPLAIN ANALYZE <stmt>) the statement is actually executed and the plan
+// is annotated with per-operator actual row counts and timings.
 type ExplainStmt struct {
-	Target Statement
+	Target  Statement
+	Analyze bool
 }
 
 func (*ExplainStmt) stmtNode() {}

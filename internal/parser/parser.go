@@ -233,11 +233,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &RollbackStmt{}, nil
 	case "EXPLAIN":
 		p.advance()
+		analyze := p.matchKeyword("ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Target: inner}, nil
+		return &ExplainStmt{Target: inner, Analyze: analyze}, nil
 	case "ANALYZE":
 		p.advance()
 		st := &AnalyzeStmt{}

@@ -128,6 +128,8 @@ type FileLog struct {
 	writeErr  error // sticky: first write/rotate failure poisons the log
 
 	appends, syncs, syncSkips int64
+
+	met *Metrics // optional observation sink (see SetMetrics); read under mu
 }
 
 // Open scans dir's segment files (creating dir if needed), tolerating a
@@ -308,8 +310,14 @@ func segName(first LSN) string { return fmt.Sprintf("wal-%016d.seg", uint64(firs
 // unless rotation or a large pending buffer forces a flush; under SyncNone
 // it writes through (without fsync) on every call.
 func (l *FileLog) Append(rec Record) error {
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	defer func() {
+		if l.met != nil && l.met.Append != nil {
+			l.met.Append.Observe(time.Since(t0))
+		}
+	}()
 	if l.writeErr != nil {
 		return l.writeErr
 	}
@@ -473,13 +481,24 @@ func (l *FileLog) Sync(lsn LSN) error {
 	f := l.f
 	target := l.written
 	bytesAtFlush := l.liveBytesLocked()
+	met := l.met
+	batch := int64(l.sibs + 1) // leader + followers riding this force
 	l.mu.Unlock()
 
+	t0 := time.Now()
 	var ferr error
 	if err := l.opts.Faults.Hit(faultinj.WALFsync); err != nil {
 		ferr = fmt.Errorf("wal: fsync: %w", err)
 	} else if err := f.Sync(); err != nil {
 		ferr = fmt.Errorf("wal: fsync: %w", err)
+	}
+	if met != nil {
+		if met.Fsync != nil {
+			met.Fsync.Observe(time.Since(t0))
+		}
+		if met.BatchSize != nil {
+			met.BatchSize.ObserveN(batch)
+		}
 	}
 
 	l.mu.Lock()

@@ -1,0 +1,29 @@
+package wal
+
+import (
+	"sqlxnf/internal/obs"
+)
+
+// Metrics receives latency and batching observations from a FileLog. Every
+// field is optional, and a nil *Metrics (the default) is inert, so the log
+// pays nothing when nobody is watching.
+type Metrics struct {
+	// Append observes the wall time of each Append call (buffering a
+	// framed record, plus any rotation or spill flush it triggers).
+	Append *obs.Histogram
+	// Fsync observes the wall time of each disk force issued by Sync.
+	// Forces covered by another committer's fsync observe nothing.
+	Fsync *obs.Histogram
+	// BatchSize observes, at each force, how many committers ride the
+	// fsync: the leader plus every follower asleep on syncCond. This is
+	// the group-commit batch size (1 = no batching happened).
+	BatchSize *obs.Histogram
+}
+
+// SetMetrics attaches m to the log. Safe to call at any time, including
+// while other goroutines append and sync; pass nil to detach.
+func (l *FileLog) SetMetrics(m *Metrics) {
+	l.mu.Lock()
+	l.met = m
+	l.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Wire-layer observability: per-op latency histograms and a pull-time
+// collector that exposes the server's admission/shedding/robustness
+// counters, both registered into the engine's metrics registry so one
+// /metrics scrape covers the whole stack.
+
+package wire
+
+import (
+	"time"
+
+	"sqlxnf/internal/obs"
+)
+
+// wireMetrics holds the server's latency histograms. The counters behind
+// the collector live on Server itself (atomic.Int64); this only adds the
+// exposition glue.
+type wireMetrics struct {
+	execLat  *obs.Histogram
+	pingLat  *obs.Histogram
+	statsLat *obs.Histogram
+}
+
+// newWireMetrics registers the wire server's histograms and counter
+// collector into reg (the owning engine's registry).
+func newWireMetrics(reg *obs.Registry, s *Server) *wireMetrics {
+	m := &wireMetrics{
+		execLat: reg.Histogram("wire_exec_latency_seconds",
+			"exec request latency, admission to response (includes retries)"),
+		pingLat: reg.Histogram("wire_ping_latency_seconds",
+			"ping request latency"),
+		statsLat: reg.Histogram("wire_stats_latency_seconds",
+			"stats request latency"),
+	}
+	reg.RegisterCollector(func() []obs.Sample {
+		c := s.Counters()
+		return []obs.Sample{
+			{Name: "wire_conns_accepted_total", Help: "connections admitted", Value: float64(c.Accepted)},
+			{Name: "wire_conns_rejected_total", Help: "connections shed at the connection cap", Value: float64(c.RejectedConns)},
+			{Name: "wire_conns_live", Help: "connections open now", Value: float64(c.LiveConns), Gauge: true},
+			{Name: "wire_sessions_live", Help: "engine sessions bound to connections now", Value: float64(c.LiveSessions), Gauge: true},
+			{Name: "wire_requests_total", Help: "exec requests received", Value: float64(c.Requests)},
+			{Name: "wire_admitted_total", Help: "exec requests that won a worker slot", Value: float64(c.Admitted)},
+			{Name: "wire_shed_busy_total", Help: "exec requests shed with server-busy", Value: float64(c.ShedBusy)},
+			{Name: "wire_shed_shutdown_total", Help: "exec requests shed while draining", Value: float64(c.ShedShutdown)},
+			{Name: "wire_retries_total", Help: "server-side write-conflict retries", Value: float64(c.Retries)},
+			{Name: "wire_retries_exhausted_total", Help: "requests whose retry budget ran dry", Value: float64(c.RetriesExhausted)},
+			{Name: "wire_panics_total", Help: "contained wire-layer panics", Value: float64(c.Panics)},
+			{Name: "wire_protocol_errors_total", Help: "malformed frames or unknown ops", Value: float64(c.ProtocolErrs)},
+			{Name: "wire_net_faults_total", Help: "injected connection faults", Value: float64(c.NetFaults)},
+		}
+	})
+	return m
+}
+
+// observe records one dispatched request into its op's histogram.
+func (m *wireMetrics) observe(op string, d time.Duration) {
+	switch op {
+	case OpExec:
+		m.execLat.Observe(d)
+	case OpPing:
+		m.pingLat.Observe(d)
+	case OpStats:
+		m.statsLat.Observe(d)
+	}
+}

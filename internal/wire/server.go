@@ -107,6 +107,8 @@ type Server struct {
 	panics, protocolErrs, netFaults atomic.Int64
 	jitterMu                        sync.Mutex
 	jitter                          *rand.Rand
+
+	met *wireMetrics
 }
 
 // NewServer builds a server over an open database.
@@ -131,6 +133,7 @@ func NewServer(db *sqlxnf.DB, cfg Config) *Server {
 		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.baseCtx, s.hardStop = context.WithCancel(context.Background())
+	s.met = newWireMetrics(db.Engine().Metrics(), s)
 	return s
 }
 
@@ -285,8 +288,11 @@ func (s *Server) respond(w *bufio.Writer, resp *Response) bool {
 	return w.Flush() == nil
 }
 
-// handle dispatches one request on the connection's session.
+// handle dispatches one request on the connection's session, timing it
+// into the op's wire-latency histogram.
 func (s *Server) handle(sess *sqlxnf.Session, req *Request) *Response {
+	t0 := time.Now()
+	defer func() { s.met.observe(req.Op, time.Since(t0)) }()
 	switch req.Op {
 	case OpPing:
 		return &Response{ID: req.ID, OK: true}

@@ -185,6 +185,21 @@ func WithVacuumDeadRows(n int) Option {
 	return func(o *engine.Options) { o.VacuumDeadRows = n }
 }
 
+// WithSlowQueryThreshold arms per-statement phase tracing and the
+// slow-query log: any statement taking at least d is logged with its text,
+// binds-redacted cache key, phase spans (parse, optimize, bind, execute,
+// WAL append/fsync, commit), and plan. Tracing off (the default) costs the
+// prepared-hit fast path nothing.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(o *engine.Options) { o.SlowQueryThreshold = d }
+}
+
+// WithSlowQueryLogf routes slow-query records to logf instead of the
+// standard logger.
+func WithSlowQueryLogf(logf func(format string, args ...any)) Option {
+	return func(o *engine.Options) { o.SlowQueryLogf = logf }
+}
+
 // SyncPolicy governs when a durable database forces its WAL to disk
 // (internal/wal re-exported).
 type SyncPolicy = wal.SyncPolicy
